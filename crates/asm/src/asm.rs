@@ -1,0 +1,815 @@
+//! The two-pass assembler.
+//!
+//! Syntax, one statement per line (`;` starts a comment):
+//!
+//! ```text
+//! .org 0x1000          ; base address (must precede any emission)
+//! start:               ; a label
+//!     movi r0, 42
+//!     movi r1, msg     ; labels are plain 32-bit immediates
+//!     cmpi r0, 0
+//!     jz   done
+//!     call start
+//! done:
+//!     halt
+//! msg:
+//!     .ascii "hello"   ; raw bytes
+//!     .byte 0, 0xff
+//!     .word 0xdeadbeef
+//!     .space 16        ; 16 zero bytes
+//! ```
+//!
+//! Memory operands are written `[reg+disp]`, `[reg-disp]` or `[reg]`,
+//! matching the disassembler's output so that listings re-assemble.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use swsec_vm::isa::{AluOp, Cond, Instr, Reg};
+
+/// The result of assembling a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmOutput {
+    /// Load address of the first emitted byte.
+    pub base: u32,
+    /// The raw image.
+    pub bytes: Vec<u8>,
+    /// Every label with its absolute address.
+    pub labels: BTreeMap<String, u32>,
+}
+
+impl AsmOutput {
+    /// Address of a label.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] with [`AsmErrorKind::UnknownLabel`] if no
+    /// such label was defined.
+    pub fn label(&self, name: &str) -> Result<u32, AsmError> {
+        self.labels.get(name).copied().ok_or_else(|| AsmError {
+            line: 0,
+            kind: AsmErrorKind::UnknownLabel(name.to_string()),
+        })
+    }
+}
+
+/// What went wrong while assembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings are given in each variant's doc
+pub enum AsmErrorKind {
+    /// A mnemonic that is not part of the ISA or directive set.
+    UnknownMnemonic(String),
+    /// An operand that could not be parsed.
+    BadOperand(String),
+    /// Wrong number of operands for the mnemonic.
+    WrongArity { mnemonic: String, expected: usize, got: usize },
+    /// Reference to a label that is never defined.
+    UnknownLabel(String),
+    /// The same label defined twice.
+    DuplicateLabel(String),
+    /// `.org` after bytes were already emitted.
+    LateOrg,
+    /// A displacement outside the i16 range of load/store encodings.
+    DispOutOfRange(i64),
+    /// A malformed string literal in `.ascii`.
+    BadString(String),
+}
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number (0 for errors without a location).
+    pub line: usize,
+    /// The specific problem.
+    pub kind: AsmErrorKind,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let loc = if self.line > 0 {
+            format!("line {}: ", self.line)
+        } else {
+            String::new()
+        };
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "{loc}unknown mnemonic `{m}`"),
+            AsmErrorKind::BadOperand(o) => write!(f, "{loc}cannot parse operand `{o}`"),
+            AsmErrorKind::WrongArity { mnemonic, expected, got } => {
+                write!(f, "{loc}`{mnemonic}` takes {expected} operands, got {got}")
+            }
+            AsmErrorKind::UnknownLabel(l) => write!(f, "{loc}undefined label `{l}`"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "{loc}label `{l}` defined twice"),
+            AsmErrorKind::LateOrg => write!(f, "{loc}`.org` must precede any emitted bytes"),
+            AsmErrorKind::DispOutOfRange(d) => {
+                write!(f, "{loc}displacement {d} outside the ±32767 encoding range")
+            }
+            AsmErrorKind::BadString(s) => write!(f, "{loc}malformed string literal {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An operand as written in the source, before label resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Operand {
+    Reg(Reg),
+    Imm(i64),
+    Label(String),
+    Mem { base: Reg, disp: i64 },
+    Str(String),
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    Some(match s {
+        "r0" => Reg::R0,
+        "r1" => Reg::R1,
+        "r2" => Reg::R2,
+        "r3" => Reg::R3,
+        "r4" => Reg::R4,
+        "r5" => Reg::R5,
+        "r6" => Reg::R6,
+        "r7" => Reg::R7,
+        "sp" => Reg::Sp,
+        "bp" => Reg::Bp,
+        _ => return None,
+    })
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(&hex.replace('_', ""), 16).ok()?
+    } else if let Some(ch) = body.strip_prefix('\'') {
+        let ch = ch.strip_suffix('\'')?;
+        let mut chars = ch.chars();
+        let c = chars.next()?;
+        if chars.next().is_some() {
+            return None;
+        }
+        c as i64
+    } else {
+        body.replace('_', "").parse::<i64>().ok()?
+    };
+    Some(if neg { -value } else { value })
+}
+
+fn parse_operand(s: &str) -> Result<Operand, AsmErrorKind> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| AsmErrorKind::BadOperand(s.to_string()))?
+            .trim();
+        // Forms: reg, reg+disp, reg-disp.
+        let (reg_part, disp) = if let Some(idx) = inner.find(['+', '-']) {
+            let (r, d) = inner.split_at(idx);
+            let disp = parse_int(d.trim()).ok_or_else(|| AsmErrorKind::BadOperand(s.to_string()))?;
+            (r.trim(), disp)
+        } else {
+            (inner, 0)
+        };
+        let base = parse_reg(reg_part).ok_or_else(|| AsmErrorKind::BadOperand(s.to_string()))?;
+        return Ok(Operand::Mem { base, disp });
+    }
+    if s.starts_with('"') {
+        let body = s
+            .strip_prefix('"')
+            .and_then(|t| t.strip_suffix('"'))
+            .ok_or_else(|| AsmErrorKind::BadString(s.to_string()))?;
+        return Ok(Operand::Str(unescape(body).ok_or_else(|| AsmErrorKind::BadString(s.to_string()))?));
+    }
+    if let Some(reg) = parse_reg(s) {
+        return Ok(Operand::Reg(reg));
+    }
+    if let Some(imm) = parse_int(s) {
+        return Ok(Operand::Imm(imm));
+    }
+    if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') && !s.is_empty() {
+        return Ok(Operand::Label(s.to_string()));
+    }
+    Err(AsmErrorKind::BadOperand(s.to_string()))
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '0' => out.push('\0'),
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Splits the operand field on commas that are not inside quotes or
+/// brackets.
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut cur = String::new();
+    let mut prev_escape = false;
+    for c in s.chars() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth = depth.saturating_sub(1),
+            ',' if !in_str && depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+                prev_escape = false;
+                continue;
+            }
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+#[derive(Debug)]
+enum Stmt {
+    Label(String),
+    Instr { mnemonic: String, operands: Vec<Operand> },
+    Org(u32),
+    Byte(Vec<Operand>),
+    Word(Vec<Operand>),
+    Ascii(String),
+    Space(u32),
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Vec<Stmt>, AsmError> {
+    let code = match line.find(';') {
+        Some(idx) => &line[..idx],
+        None => line,
+    };
+    let code = code.trim();
+    if code.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut stmts = Vec::new();
+    let mut rest = code;
+    // Leading labels (possibly several on one line).
+    while let Some(idx) = rest.find(':') {
+        let candidate = rest[..idx].trim();
+        if !candidate.is_empty()
+            && candidate
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            && !rest[..idx].contains(char::is_whitespace)
+        {
+            stmts.push(Stmt::Label(candidate.to_string()));
+            rest = rest[idx + 1..].trim_start();
+        } else {
+            break;
+        }
+    }
+    if rest.is_empty() {
+        return Ok(stmts);
+    }
+    let (mnemonic, args) = match rest.find(char::is_whitespace) {
+        Some(idx) => (&rest[..idx], rest[idx..].trim()),
+        None => (rest, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let raw_ops = if args.is_empty() {
+        Vec::new()
+    } else {
+        split_operands(args)
+    };
+    let mut operands = Vec::with_capacity(raw_ops.len());
+    for raw in &raw_ops {
+        operands.push(parse_operand(raw).map_err(|kind| AsmError { line: lineno, kind })?);
+    }
+    let stmt = match mnemonic.as_str() {
+        ".org" => match operands.as_slice() {
+            [Operand::Imm(v)] => Stmt::Org(*v as u32),
+            _ => {
+                return Err(AsmError {
+                    line: lineno,
+                    kind: AsmErrorKind::BadOperand(args.to_string()),
+                })
+            }
+        },
+        ".byte" => Stmt::Byte(operands),
+        ".word" => Stmt::Word(operands),
+        ".ascii" => match operands.as_slice() {
+            [Operand::Str(s)] => Stmt::Ascii(s.clone()),
+            _ => {
+                return Err(AsmError {
+                    line: lineno,
+                    kind: AsmErrorKind::BadString(args.to_string()),
+                })
+            }
+        },
+        ".space" => match operands.as_slice() {
+            [Operand::Imm(v)] if *v >= 0 => Stmt::Space(*v as u32),
+            _ => {
+                return Err(AsmError {
+                    line: lineno,
+                    kind: AsmErrorKind::BadOperand(args.to_string()),
+                })
+            }
+        },
+        _ => Stmt::Instr { mnemonic, operands },
+    };
+    stmts.push(stmt);
+    Ok(stmts)
+}
+
+/// Size of a statement in bytes, for the label-address pass.
+fn stmt_len(stmt: &Stmt, lineno: usize) -> Result<u32, AsmError> {
+    Ok(match stmt {
+        Stmt::Label(_) | Stmt::Org(_) => 0,
+        Stmt::Byte(ops) => ops.len() as u32,
+        Stmt::Word(ops) => 4 * ops.len() as u32,
+        Stmt::Ascii(s) => s.len() as u32,
+        Stmt::Space(n) => *n,
+        Stmt::Instr { mnemonic, .. } => mnemonic_len(mnemonic).ok_or_else(|| AsmError {
+            line: lineno,
+            kind: AsmErrorKind::UnknownMnemonic(mnemonic.clone()),
+        })? as u32,
+    })
+}
+
+fn mnemonic_len(m: &str) -> Option<usize> {
+    Some(match m {
+        "nop" | "halt" | "ret" | "leave" => 1,
+        "mov" | "push" | "pop" | "callr" | "jmpr" | "sys" | "trap" | "cmp" | "add" | "sub"
+        | "mul" | "divu" | "divs" | "modu" | "mods" | "and" | "or" | "xor" | "shl" | "shr"
+        | "sar" => 2,
+        "load" | "store" | "loadb" | "storeb" | "lea" => 4,
+        "pushi" | "jmp" | "jz" | "jnz" | "jlt" | "jge" | "jle" | "jgt" | "jb" | "jae" | "call"
+        | "enter" => 5,
+        "movi" | "addi" | "cmpi" => 6,
+        _ => return None,
+    })
+}
+
+fn alu_op(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "divu" => AluOp::DivU,
+        "divs" => AluOp::DivS,
+        "modu" => AluOp::ModU,
+        "mods" => AluOp::ModS,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "sar" => AluOp::Sar,
+        _ => return None,
+    })
+}
+
+fn cond(m: &str) -> Option<Cond> {
+    Some(match m {
+        "jz" => Cond::Z,
+        "jnz" => Cond::Nz,
+        "jlt" => Cond::Lt,
+        "jge" => Cond::Ge,
+        "jle" => Cond::Le,
+        "jgt" => Cond::Gt,
+        "jb" => Cond::B,
+        "jae" => Cond::Ae,
+        _ => return None,
+    })
+}
+
+struct Resolver<'a> {
+    labels: &'a BTreeMap<String, u32>,
+    line: usize,
+}
+
+impl Resolver<'_> {
+    fn imm(&self, op: &Operand) -> Result<u32, AsmError> {
+        match op {
+            Operand::Imm(v) => Ok(*v as u32),
+            Operand::Label(name) => self.labels.get(name).copied().ok_or_else(|| AsmError {
+                line: self.line,
+                kind: AsmErrorKind::UnknownLabel(name.clone()),
+            }),
+            other => Err(self.bad(other)),
+        }
+    }
+
+    fn reg(&self, op: &Operand) -> Result<Reg, AsmError> {
+        match op {
+            Operand::Reg(r) => Ok(*r),
+            other => Err(self.bad(other)),
+        }
+    }
+
+    fn mem(&self, op: &Operand) -> Result<(Reg, i16), AsmError> {
+        match op {
+            Operand::Mem { base, disp } => {
+                let disp16 = i16::try_from(*disp).map_err(|_| AsmError {
+                    line: self.line,
+                    kind: AsmErrorKind::DispOutOfRange(*disp),
+                })?;
+                Ok((*base, disp16))
+            }
+            other => Err(self.bad(other)),
+        }
+    }
+
+    fn bad(&self, op: &Operand) -> AsmError {
+        AsmError {
+            line: self.line,
+            kind: AsmErrorKind::BadOperand(format!("{op:?}")),
+        }
+    }
+}
+
+fn encode_instr(
+    mnemonic: &str,
+    operands: &[Operand],
+    resolver: &Resolver<'_>,
+) -> Result<Instr, AsmError> {
+    let arity_err = |expected: usize| AsmError {
+        line: resolver.line,
+        kind: AsmErrorKind::WrongArity {
+            mnemonic: mnemonic.to_string(),
+            expected,
+            got: operands.len(),
+        },
+    };
+    let need = |n: usize| -> Result<(), AsmError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(arity_err(n))
+        }
+    };
+    let instr = match mnemonic {
+        "nop" => {
+            need(0)?;
+            Instr::Nop
+        }
+        "halt" => {
+            need(0)?;
+            Instr::Halt
+        }
+        "ret" => {
+            need(0)?;
+            Instr::Ret
+        }
+        "leave" => {
+            need(0)?;
+            Instr::Leave
+        }
+        "movi" => {
+            need(2)?;
+            Instr::MovI { dst: resolver.reg(&operands[0])?, imm: resolver.imm(&operands[1])? }
+        }
+        "mov" => {
+            need(2)?;
+            Instr::Mov { dst: resolver.reg(&operands[0])?, src: resolver.reg(&operands[1])? }
+        }
+        "load" | "loadb" | "lea" => {
+            need(2)?;
+            let dst = resolver.reg(&operands[0])?;
+            let (base, disp) = resolver.mem(&operands[1])?;
+            match mnemonic {
+                "load" => Instr::Load { dst, base, disp },
+                "loadb" => Instr::LoadB { dst, base, disp },
+                _ => Instr::Lea { dst, base, disp },
+            }
+        }
+        "store" | "storeb" => {
+            need(2)?;
+            let (base, disp) = resolver.mem(&operands[0])?;
+            let src = resolver.reg(&operands[1])?;
+            if mnemonic == "store" {
+                Instr::Store { base, disp, src }
+            } else {
+                Instr::StoreB { base, disp, src }
+            }
+        }
+        "push" => {
+            need(1)?;
+            Instr::Push(resolver.reg(&operands[0])?)
+        }
+        "pop" => {
+            need(1)?;
+            Instr::Pop(resolver.reg(&operands[0])?)
+        }
+        "pushi" => {
+            need(1)?;
+            Instr::PushI(resolver.imm(&operands[0])?)
+        }
+        "addi" => {
+            need(2)?;
+            Instr::AddI { dst: resolver.reg(&operands[0])?, imm: resolver.imm(&operands[1])? }
+        }
+        "cmp" => {
+            need(2)?;
+            Instr::Cmp { a: resolver.reg(&operands[0])?, b: resolver.reg(&operands[1])? }
+        }
+        "cmpi" => {
+            need(2)?;
+            Instr::CmpI { a: resolver.reg(&operands[0])?, imm: resolver.imm(&operands[1])? }
+        }
+        "jmp" => {
+            need(1)?;
+            Instr::Jmp(resolver.imm(&operands[0])?)
+        }
+        "call" => {
+            need(1)?;
+            Instr::Call(resolver.imm(&operands[0])?)
+        }
+        "callr" => {
+            need(1)?;
+            Instr::CallR(resolver.reg(&operands[0])?)
+        }
+        "jmpr" => {
+            need(1)?;
+            Instr::JmpR(resolver.reg(&operands[0])?)
+        }
+        "enter" => {
+            need(1)?;
+            Instr::Enter(resolver.imm(&operands[0])?)
+        }
+        "sys" => {
+            need(1)?;
+            Instr::Sys(resolver.imm(&operands[0])? as u8)
+        }
+        "trap" => {
+            need(1)?;
+            Instr::Trap(resolver.imm(&operands[0])? as u8)
+        }
+        _ => {
+            if let Some(op) = alu_op(mnemonic) {
+                need(2)?;
+                Instr::Alu {
+                    op,
+                    dst: resolver.reg(&operands[0])?,
+                    src: resolver.reg(&operands[1])?,
+                }
+            } else if let Some(c) = cond(mnemonic) {
+                need(1)?;
+                Instr::JCond { cond: c, target: resolver.imm(&operands[0])? }
+            } else {
+                return Err(AsmError {
+                    line: resolver.line,
+                    kind: AsmErrorKind::UnknownMnemonic(mnemonic.to_string()),
+                });
+            }
+        }
+    };
+    Ok(instr)
+}
+
+/// Assembles a complete source file into a loadable image.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered: unknown mnemonics, bad
+/// operands, undefined or duplicate labels, late `.org`.
+///
+/// # Examples
+///
+/// ```
+/// let out = swsec_asm::assemble(
+///     ".org 0x1000\n\
+///      start: movi r0, 1\n\
+///      sys 0            ; exit(1)\n",
+/// )?;
+/// assert_eq!(out.base, 0x1000);
+/// assert_eq!(out.label("start")?, 0x1000);
+/// # Ok::<(), swsec_asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<AsmOutput, AsmError> {
+    let mut stmts = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        for stmt in parse_line(line, lineno)? {
+            stmts.push((lineno, stmt));
+        }
+    }
+
+    // Pass 1: label addresses.
+    let mut labels = BTreeMap::new();
+    let mut base = 0u32;
+    let mut pc = 0u32;
+    let mut emitted = false;
+    for (lineno, stmt) in &stmts {
+        match stmt {
+            Stmt::Org(addr) => {
+                if emitted {
+                    return Err(AsmError { line: *lineno, kind: AsmErrorKind::LateOrg });
+                }
+                base = *addr;
+                pc = *addr;
+            }
+            Stmt::Label(name) => {
+                if labels.insert(name.clone(), pc).is_some() {
+                    return Err(AsmError {
+                        line: *lineno,
+                        kind: AsmErrorKind::DuplicateLabel(name.clone()),
+                    });
+                }
+            }
+            other => {
+                let len = stmt_len(other, *lineno)?;
+                if len > 0 {
+                    emitted = true;
+                }
+                pc = pc.wrapping_add(len);
+            }
+        }
+    }
+
+    // Pass 2: encoding.
+    let mut bytes = Vec::new();
+    for (lineno, stmt) in &stmts {
+        let resolver = Resolver { labels: &labels, line: *lineno };
+        match stmt {
+            Stmt::Org(_) | Stmt::Label(_) => {}
+            Stmt::Byte(ops) => {
+                for op in ops {
+                    bytes.push(resolver.imm(op)? as u8);
+                }
+            }
+            Stmt::Word(ops) => {
+                for op in ops {
+                    bytes.extend_from_slice(&resolver.imm(op)?.to_le_bytes());
+                }
+            }
+            Stmt::Ascii(s) => bytes.extend_from_slice(s.as_bytes()),
+            Stmt::Space(n) => bytes.extend(std::iter::repeat(0u8).take(*n as usize)),
+            Stmt::Instr { mnemonic, operands } => {
+                let instr = encode_instr(mnemonic, operands, &resolver)?;
+                instr.encode(&mut bytes);
+            }
+        }
+    }
+    Ok(AsmOutput { base, bytes, labels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swsec_vm::isa::Instr;
+
+    #[test]
+    fn assembles_minimal_program() {
+        let out = assemble("movi r0, 42\nsys 0\n").unwrap();
+        let (i, _) = Instr::decode(&out.bytes).unwrap();
+        assert_eq!(i, Instr::MovI { dst: Reg::R0, imm: 42 });
+    }
+
+    #[test]
+    fn org_sets_base_and_labels_are_absolute() {
+        let out = assemble(
+            ".org 0x1000\n\
+             loop: nop\n\
+             jmp loop\n",
+        )
+        .unwrap();
+        assert_eq!(out.base, 0x1000);
+        assert_eq!(out.label("loop").unwrap(), 0x1000);
+        // jmp encodes the absolute label address.
+        let (i, _) = Instr::decode(&out.bytes[1..]).unwrap();
+        assert_eq!(i, Instr::Jmp(0x1000));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let out = assemble(
+            "jmp end\n\
+             nop\n\
+             end: halt\n",
+        )
+        .unwrap();
+        let (i, _) = Instr::decode(&out.bytes).unwrap();
+        assert_eq!(i, Instr::Jmp(6)); // 5-byte jmp + 1-byte nop
+    }
+
+    #[test]
+    fn memory_operands_parse_all_forms() {
+        let out = assemble(
+            "load r0, [bp-16]\n\
+             store [sp+4], r1\n\
+             loadb r2, [r3]\n",
+        )
+        .unwrap();
+        let (a, n) = Instr::decode(&out.bytes).unwrap();
+        assert_eq!(a, Instr::Load { dst: Reg::R0, base: Reg::Bp, disp: -16 });
+        let (b, n2) = Instr::decode(&out.bytes[n..]).unwrap();
+        assert_eq!(b, Instr::Store { base: Reg::Sp, disp: 4, src: Reg::R1 });
+        let (c, _) = Instr::decode(&out.bytes[n + n2..]).unwrap();
+        assert_eq!(c, Instr::LoadB { dst: Reg::R2, base: Reg::R3, disp: 0 });
+    }
+
+    #[test]
+    fn data_directives_emit_bytes() {
+        let out = assemble(
+            ".byte 1, 2, 0xff\n\
+             .word 0x08048424\n\
+             .ascii \"AB\\n\"\n\
+             .space 2\n",
+        )
+        .unwrap();
+        assert_eq!(
+            out.bytes,
+            vec![1, 2, 0xff, 0x24, 0x84, 0x04, 0x08, b'A', b'B', b'\n', 0, 0]
+        );
+    }
+
+    #[test]
+    fn labels_usable_as_movi_immediates() {
+        let out = assemble(
+            ".org 0x2000\n\
+             movi r1, msg\n\
+             halt\n\
+             msg: .ascii \"hi\"\n",
+        )
+        .unwrap();
+        let (i, _) = Instr::decode(&out.bytes).unwrap();
+        assert_eq!(i, Instr::MovI { dst: Reg::R1, imm: 0x2007 });
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let out = assemble("; full comment line\n\n  nop ; trailing\n").unwrap();
+        assert_eq!(out.bytes, vec![0x00]);
+    }
+
+    #[test]
+    fn error_unknown_mnemonic_includes_line() {
+        let err = assemble("nop\nfrobnicate r0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn error_undefined_label() {
+        let err = assemble("jmp nowhere\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UnknownLabel(_)));
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        let err = assemble("a: nop\na: nop\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn error_late_org() {
+        let err = assemble("nop\n.org 0x1000\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::LateOrg));
+    }
+
+    #[test]
+    fn error_wrong_arity() {
+        let err = assemble("mov r0\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::WrongArity { .. }));
+    }
+
+    #[test]
+    fn error_disp_out_of_range() {
+        let err = assemble("load r0, [bp+40000]\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DispOutOfRange(40000)));
+    }
+
+    #[test]
+    fn negative_and_char_immediates() {
+        let out = assemble("movi r0, -1\nmovi r1, 'A'\n").unwrap();
+        let (a, n) = Instr::decode(&out.bytes).unwrap();
+        assert_eq!(a, Instr::MovI { dst: Reg::R0, imm: u32::MAX });
+        let (b, _) = Instr::decode(&out.bytes[n..]).unwrap();
+        assert_eq!(b, Instr::MovI { dst: Reg::R1, imm: 65 });
+    }
+
+    #[test]
+    fn alu_and_cond_families() {
+        let out = assemble("add r0, r1\nsar r2, r3\njae 0x10\n").unwrap();
+        let (a, n) = Instr::decode(&out.bytes).unwrap();
+        assert_eq!(a, Instr::Alu { op: AluOp::Add, dst: Reg::R0, src: Reg::R1 });
+        let (b, n2) = Instr::decode(&out.bytes[n..]).unwrap();
+        assert_eq!(b, Instr::Alu { op: AluOp::Sar, dst: Reg::R2, src: Reg::R3 });
+        let (c, _) = Instr::decode(&out.bytes[n + n2..]).unwrap();
+        assert_eq!(c, Instr::JCond { cond: Cond::Ae, target: 0x10 });
+    }
+}

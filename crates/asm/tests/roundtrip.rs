@@ -1,0 +1,92 @@
+//! Property: the `Display` form of every instruction is valid assembler
+//! syntax that re-assembles to the identical encoding — so disassembly
+//! listings are always round-trippable, and the two syntax definitions
+//! (printer and parser) can never drift apart.
+
+use proptest::prelude::*;
+
+use swsec_vm::isa::{AluOp, Cond, Instr, Reg, ALL_REGS};
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    prop::sample::select(ALL_REGS.to_vec())
+}
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    let alu = prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::DivU,
+        AluOp::DivS,
+        AluOp::ModU,
+        AluOp::ModS,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+    ]);
+    let cond = prop::sample::select(vec![
+        Cond::Z,
+        Cond::Nz,
+        Cond::Lt,
+        Cond::Ge,
+        Cond::Le,
+        Cond::Gt,
+        Cond::B,
+        Cond::Ae,
+    ]);
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Ret),
+        Just(Instr::Leave),
+        (reg_strategy(), any::<u32>()).prop_map(|(dst, imm)| Instr::MovI { dst, imm }),
+        (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
+        (reg_strategy(), reg_strategy(), any::<i16>())
+            .prop_map(|(dst, base, disp)| Instr::Load { dst, base, disp }),
+        (reg_strategy(), reg_strategy(), any::<i16>())
+            .prop_map(|(base, src, disp)| Instr::Store { base, disp, src }),
+        (reg_strategy(), reg_strategy(), any::<i16>())
+            .prop_map(|(dst, base, disp)| Instr::LoadB { dst, base, disp }),
+        (reg_strategy(), reg_strategy(), any::<i16>())
+            .prop_map(|(base, src, disp)| Instr::StoreB { base, disp, src }),
+        reg_strategy().prop_map(Instr::Push),
+        reg_strategy().prop_map(Instr::Pop),
+        any::<u32>().prop_map(Instr::PushI),
+        (alu, reg_strategy(), reg_strategy())
+            .prop_map(|(op, dst, src)| Instr::Alu { op, dst, src }),
+        (reg_strategy(), any::<u32>()).prop_map(|(dst, imm)| Instr::AddI { dst, imm }),
+        (reg_strategy(), reg_strategy()).prop_map(|(a, b)| Instr::Cmp { a, b }),
+        (reg_strategy(), any::<u32>()).prop_map(|(a, imm)| Instr::CmpI { a, imm }),
+        any::<u32>().prop_map(Instr::Jmp),
+        (cond, any::<u32>()).prop_map(|(cond, target)| Instr::JCond { cond, target }),
+        any::<u32>().prop_map(Instr::Call),
+        reg_strategy().prop_map(Instr::CallR),
+        reg_strategy().prop_map(Instr::JmpR),
+        any::<u32>().prop_map(Instr::Enter),
+        any::<u8>().prop_map(Instr::Sys),
+        any::<u8>().prop_map(Instr::Trap),
+        (reg_strategy(), reg_strategy(), any::<i16>())
+            .prop_map(|(dst, base, disp)| Instr::Lea { dst, base, disp }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_form_reassembles_to_identical_bytes(
+        instrs in prop::collection::vec(instr_strategy(), 1..24),
+    ) {
+        let mut expected = Vec::new();
+        let mut source = String::new();
+        for i in &instrs {
+            i.encode(&mut expected);
+            source.push_str(&i.to_string());
+            source.push('\n');
+        }
+        let assembled = swsec_asm::assemble(&source)
+            .unwrap_or_else(|e| panic!("display form failed to assemble:\n{source}\n{e}"));
+        prop_assert_eq!(assembled.bytes, expected, "source:\n{}", source);
+    }
+}

@@ -1,0 +1,37 @@
+//! # swsec-attacks — the attack arsenal of §III-B and §IV
+//!
+//! Everything the paper's two attackers can do, as a library:
+//!
+//! * [`payload`] — overflow payload construction driven by compiled
+//!   frame layouts (stack smashing, code-pointer overwrite, data-only);
+//! * [`shellcode`] — injectable machine-code routines (direct code
+//!   injection, memory exfiltration, data corruption);
+//! * [`gadgets`] — ROP gadget discovery by misaligned linear sweep,
+//!   plus interior-instruction location for the Figure 4 attack;
+//! * [`rop`] — ROP chain and return-to-libc frame construction;
+//! * [`scraper`] — memory-scraping malware at user and kernel
+//!   privilege, both as a fast model and as real in-VM code.
+//!
+//! These tools are *constructive* on purpose: the countermeasure
+//! experiments must demonstrate each attack succeeding on an
+//! unprotected platform before showing the countermeasure stopping it.
+//!
+//! ```
+//! use swsec_attacks::payload::Payload;
+//!
+//! let payload = Payload::new().pad(16, b'A').word(0x0804_8401).build();
+//! assert_eq!(payload.len(), 20);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gadgets;
+pub mod payload;
+pub mod rop;
+pub mod scraper;
+pub mod shellcode;
+
+pub use gadgets::{find_instr_addr, Gadget, GadgetFinder};
+pub use payload::Payload;
+pub use rop::RopChain;
+pub use scraper::{scraper_program, ScrapePrivilege, Scraper};

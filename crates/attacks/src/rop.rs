@@ -1,0 +1,160 @@
+//! Return-oriented-programming chains and return-to-libc frames.
+//!
+//! Once the saved return address is under the attacker's control and
+//! DEP forbids executing injected data, the attacker strings together
+//! *existing* code. A [`RopChain`] is the stack image that drives such
+//! an execution: each `ret` consumes the next word.
+
+use crate::gadgets::GadgetFinder;
+use swsec_vm::isa::Reg;
+
+/// Builder for the stack words of a ROP chain.
+///
+/// The chain is laid out so the *first* pushed word is consumed by the
+/// first `ret` — i.e. words appear in execution order.
+#[derive(Debug, Clone, Default)]
+pub struct RopChain {
+    words: Vec<u32>,
+}
+
+impl RopChain {
+    /// Starts an empty chain.
+    pub fn new() -> RopChain {
+        RopChain::default()
+    }
+
+    /// Appends a raw word (a gadget address or immediate datum).
+    pub fn word(mut self, w: u32) -> RopChain {
+        self.words.push(w);
+        self
+    }
+
+    /// Appends a `pop <reg>; ret` gadget followed by `value`, loading
+    /// `value` into `reg` when the chain runs.
+    ///
+    /// Returns `None` when the binary contains no such gadget.
+    pub fn set_reg(self, finder: &GadgetFinder, reg: Reg, value: u32) -> Option<RopChain> {
+        let gadget = finder.pop_ret(reg)?;
+        Some(self.word(gadget).word(value))
+    }
+
+    /// Appends a classic return-to-libc frame: "return" into `function`
+    /// with `args` on the stack and `ret_after` as the address the
+    /// function will return to when done.
+    ///
+    /// Layout (matching the callee's `enter`-based prologue, which
+    /// expects `[sp] = return address, [sp+4] = arg0, …` on entry):
+    /// `function, ret_after, arg0, arg1, …`.
+    pub fn call(mut self, function: u32, ret_after: u32, args: &[u32]) -> RopChain {
+        self.words.push(function);
+        self.words.push(ret_after);
+        self.words.extend_from_slice(args);
+        self
+    }
+
+    /// The chain as stack words, in execution order.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Number of words in the chain.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Serializes the chain to bytes (little-endian words) for embedding
+    /// in an overflow payload.
+    pub fn build(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 4);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swsec_vm::isa::Instr;
+
+    fn encode_all(instrs: &[Instr]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in instrs {
+            i.encode(&mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn set_reg_uses_pop_ret_gadget() {
+        let code = encode_all(&[Instr::Pop(Reg::R2), Instr::Ret]);
+        let finder = GadgetFinder::scan(&code, 0x7000, 3);
+        let chain = RopChain::new()
+            .set_reg(&finder, Reg::R2, 0x4242_4242)
+            .unwrap();
+        assert_eq!(chain.words(), &[0x7000, 0x4242_4242]);
+    }
+
+    #[test]
+    fn set_reg_fails_without_gadget() {
+        let code = encode_all(&[Instr::Nop, Instr::Halt]);
+        let finder = GadgetFinder::scan(&code, 0, 3);
+        assert!(RopChain::new().set_reg(&finder, Reg::R0, 1).is_none());
+    }
+
+    #[test]
+    fn call_frame_layout() {
+        let chain = RopChain::new().call(0x1111, 0x2222, &[7, 8]);
+        assert_eq!(chain.words(), &[0x1111, 0x2222, 7, 8]);
+    }
+
+    #[test]
+    fn build_is_little_endian() {
+        let bytes = RopChain::new().word(0x0804_840a).build();
+        assert_eq!(bytes, vec![0x0a, 0x84, 0x04, 0x08]);
+    }
+
+    #[test]
+    fn chains_execute_on_the_machine() {
+        use swsec_vm::mem::Perm;
+        use swsec_vm::prelude::*;
+
+        // Text: f(x) = exits with x+1;  gadget: pop r5; ret.
+        let text_base = 0x1000u32;
+        let image = swsec_asm::assemble(&format!(
+            ".org {text_base:#x}\n\
+             f:  enter 0\n\
+                 load r0, [bp+8]\n\
+                 addi r0, 1\n\
+                 sys 0\n\
+             gadget: pop r5\n\
+                 ret\n"
+        ))
+        .unwrap();
+        let finder = GadgetFinder::scan(&image.bytes, text_base, 3);
+        let f = image.label("f").unwrap();
+        // Chain: load 0x55 into r5 (gratuitous), then call f(41).
+        let chain = RopChain::new()
+            .set_reg(&finder, Reg::R5, 0x55)
+            .unwrap()
+            .call(f, 0xdead_0000, &[41]);
+
+        let mut m = Machine::new();
+        m.mem_mut().map(text_base, 0x1000, Perm::RX).unwrap();
+        m.mem_mut().poke_bytes(text_base, &image.bytes).unwrap();
+        m.mem_mut().map(0x8000, 0x1000, Perm::RW).unwrap();
+        // Plant the chain on the stack and "return" into it, as if a
+        // smashed frame just executed `ret`.
+        m.mem_mut().poke_bytes(0x8800, &chain.build()).unwrap();
+        m.set_reg(Reg::Sp, 0x8800 + 4);
+        m.set_ip(chain.words()[0]);
+        assert_eq!(m.run(1_000), RunOutcome::Halted(42));
+        assert_eq!(m.reg(Reg::R5), 0x55);
+    }
+}

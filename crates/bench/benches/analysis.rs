@@ -1,0 +1,43 @@
+//! E6 bench: regenerate the analysis table and time the two tool
+//! families over the seeded corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use swsec::experiments::analysis;
+use swsec_defenses::analyzer::{analyze, Precision};
+use swsec_defenses::runtime_check::check_with_tests;
+use swsec_minc::parse;
+
+fn bench(c: &mut Criterion) {
+    swsec_bench::print_report("E6: analysis", &[analysis::run().table()]);
+
+    let corpus: Vec<_> = analysis::corpus()
+        .into_iter()
+        .map(|e| (parse(e.source).unwrap(), e.benign.to_vec()))
+        .collect();
+
+    c.bench_function("e6_static_analysis_corpus", |b| {
+        b.iter(|| {
+            for (unit, _) in &corpus {
+                black_box(analyze(unit, Precision::Paranoid));
+            }
+        })
+    });
+    c.bench_function("e6_runtime_check_corpus", |b| {
+        b.iter(|| {
+            for (unit, benign) in &corpus {
+                black_box(
+                    check_with_tests(unit, std::slice::from_ref(benign), 1_000_000).unwrap(),
+                );
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

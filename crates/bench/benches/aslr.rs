@@ -1,0 +1,25 @@
+//! E4 bench: regenerate the ASLR brute-force sweep and time one
+//! brute-force campaign at 4 bits of entropy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use swsec::experiments::aslr;
+
+fn bench(c: &mut Criterion) {
+    let sweep = aslr::run(&[2, 4, 6, 8], 6, 7);
+    swsec_bench::print_report("E4: ASLR sweep", &[sweep.table()]);
+
+    c.bench_function("e4_brute_force_campaign_4bits", |b| {
+        let mut rng = StdRng::seed_from_u64(99);
+        b.iter(|| aslr::brute_force_once(4, &mut rng, 1_000))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

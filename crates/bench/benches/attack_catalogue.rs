@@ -1,0 +1,30 @@
+//! E2 bench: regenerate the catalogue and time each attack technique
+//! end-to-end (compile victim, craft payload, run, classify).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use swsec::experiments::catalogue;
+use swsec::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    swsec_bench::print_report("E2: catalogue", &catalogue::run(42).tables());
+
+    let mut group = c.benchmark_group("e2_attack_technique");
+    for t in Technique::ALL {
+        group.bench_function(t.label(), |b| {
+            b.iter(|| {
+                let r = run_technique(black_box(t), DefenseConfig::none(), 42).unwrap();
+                assert!(r.outcome.succeeded());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E10 bench: regenerate the attestation table and time measurement,
+//! key derivation and the attest/verify roundtrip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use swsec::experiments::attest as attest_exp;
+use swsec::experiments::scraping;
+use swsec_pma::platform::Measurement;
+use swsec_pma::{attest, Platform, Verifier};
+
+fn bench(c: &mut Criterion) {
+    swsec_bench::print_report("E10: attestation", &[attest_exp::run().table()]);
+
+    let image = scraping::secret_module_image();
+    let platform = Platform::new([7; 32]);
+
+    c.bench_function("e10_measure_module", |b| {
+        b.iter(|| black_box(Measurement::of(&image)))
+    });
+    let measurement = Measurement::of(&image);
+    c.bench_function("e10_derive_module_key", |b| {
+        b.iter(|| black_box(platform.derive_key(measurement)))
+    });
+    let key = platform.derive_key(measurement);
+    c.bench_function("e10_attest_and_verify", |b| {
+        b.iter(|| {
+            let mut verifier = Verifier::new(measurement, key);
+            let nonce = verifier.challenge(1);
+            let report = attest(&key, nonce, b"data");
+            assert!(verifier.verify(nonce, &report));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E11 bench: regenerate the continuity tables and time save/load
+//! roundtrips under the three schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use swsec::experiments::continuity as cont_exp;
+use swsec_pma::platform::ModuleKey;
+use swsec_pma::{
+    CounterContinuity, CrashPoint, NaiveContinuity, Platform, TwoPhaseContinuity, UntrustedStore,
+};
+
+fn bench(c: &mut Criterion) {
+    swsec_bench::print_report("E11: continuity", &cont_exp::run().tables());
+
+    let key = ModuleKey([9; 32]);
+    let state = vec![0x55u8; 64];
+
+    c.bench_function("e11_naive_save_load", |b| {
+        let mut scheme = NaiveContinuity::new(key, 0);
+        let mut store = UntrustedStore::new();
+        b.iter(|| {
+            scheme.save(&mut store, &state);
+            scheme.load(&store).unwrap()
+        })
+    });
+    c.bench_function("e11_counter_save_load", |b| {
+        let mut platform = Platform::new([1; 32]);
+        let counter = platform.alloc_counter();
+        let mut scheme = CounterContinuity::new(key, counter, 0);
+        let mut store = UntrustedStore::new();
+        b.iter(|| {
+            scheme.save(&mut platform, &mut store, &state, CrashPoint::None);
+            scheme.load(&platform, &store).unwrap()
+        })
+    });
+    c.bench_function("e11_two_phase_save_load", |b| {
+        let mut platform = Platform::new([1; 32]);
+        let counter = platform.alloc_counter();
+        let mut scheme = TwoPhaseContinuity::new(key, counter, 0, 1);
+        let mut store = UntrustedStore::new();
+        b.iter(|| {
+            scheme.save(&mut platform, &mut store, &state, CrashPoint::None);
+            scheme.load(&mut platform, &store).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

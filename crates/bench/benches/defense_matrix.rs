@@ -1,0 +1,24 @@
+//! E3 bench: regenerate the attack × countermeasure matrix and time a
+//! full matrix sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use swsec::experiments::matrix;
+
+fn bench(c: &mut Criterion) {
+    let m = matrix::run(42);
+    swsec_bench::print_report("E3: defense matrix", &[m.table()]);
+    println!(
+        "compromises per configuration: {:?}",
+        m.compromises_per_config()
+    );
+
+    c.bench_function("e3_full_matrix_7x8", |b| b.iter(|| matrix::run(42)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E1 bench: regenerate Figure 1 and time the compilation pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use swsec::experiments::fig1;
+use swsec_minc::{compile, parse, CompileOptions};
+
+fn bench(c: &mut Criterion) {
+    let report = fig1::run();
+    swsec_bench::print_report("E1: Figure 1 reproduction", &[report.snapshot.clone()]);
+    println!("{}", report.listing);
+
+    let unit = parse(fig1::FIG1_SOURCE).unwrap();
+    c.bench_function("e1_compile_fig1_server", |b| {
+        b.iter(|| compile(black_box(&unit), &CompileOptions::default()).unwrap())
+    });
+    c.bench_function("e1_full_fig1_reproduction", |b| b.iter(fig1::run));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

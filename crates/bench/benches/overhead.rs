@@ -1,0 +1,42 @@
+//! E5 bench: regenerate the countermeasure overhead table and measure
+//! the wall-clock counterpart of the instruction counts: the same
+//! workload executed plain, with canaries, and with bounds checks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use swsec::experiments::overhead;
+use swsec::prelude::*;
+use swsec_minc::parse;
+
+fn bench(c: &mut Criterion) {
+    let report = overhead::run();
+    swsec_bench::print_report("E5: overhead", &[report.table()]);
+
+    let (_, checksum_src) = overhead::workloads().into_iter().next().unwrap();
+    let unit = parse(&checksum_src).unwrap();
+    let mut group = c.benchmark_group("e5_checksum_walltime");
+    let mut canary = DefenseConfig::none();
+    canary.canary = true;
+    let mut bounds = DefenseConfig::none();
+    bounds.bounds_checks = true;
+    for (name, config) in [
+        ("plain", DefenseConfig::none()),
+        ("canary", canary),
+        ("bounds", bounds),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut session = launch(&unit, config, 1).unwrap();
+                assert!(session.run(50_000_000).is_halted());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E12 bench: regenerate the isolation-cost table and measure the
+//! host-side cost PMA checking adds to every executed instruction —
+//! the "hardware" price of the protection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use swsec::experiments::{fig4, pma_cost};
+use swsec_vm::cpu::RunOutcome;
+
+fn bench(c: &mut Criterion) {
+    swsec_bench::print_report("E12: PMA cost", &[pma_cost::run().table()]);
+
+    let module = fig4::build_module(57, false);
+    // With protection (as loaded by the platform).
+    c.bench_function("e12_module_call_with_pma", |b| {
+        b.iter(|| {
+            let mut m = fig4::machine_for_cost_probe(&module, 57);
+            assert_eq!(m.run(100_000), RunOutcome::Halted(666));
+        })
+    });
+    // Same machine, protection stripped (unprotected platform).
+    c.bench_function("e12_module_call_without_pma", |b| {
+        b.iter(|| {
+            let mut m = fig4::machine_for_cost_probe(&module, 57);
+            m.set_protection(None);
+            assert_eq!(m.run(100_000), RunOutcome::Halted(666));
+        })
+    });
+    // Secure compilation premium, wall-clock.
+    let secure = fig4::build_module(57, true);
+    c.bench_function("e12_module_call_secure_compiled", |b| {
+        b.iter(|| {
+            let mut m = fig4::machine_for_cost_probe(&secure, 57);
+            assert_eq!(m.run(100_000), RunOutcome::Halted(666));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E8 bench: regenerate the access-control rule grid and time the
+//! checks the "hardware" performs on every access.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use swsec::experiments::pma_rules;
+use swsec_vm::policy::{ProtectedRegion, ProtectionMap, TransferKind};
+
+fn bench(c: &mut Criterion) {
+    let report = pma_rules::run();
+    swsec_bench::print_report("E8: PMA rules", &[report.table()]);
+
+    let map = ProtectionMap::new(vec![ProtectedRegion::new(
+        0x0a00_0000..0x0a00_1000,
+        0x0a10_0000..0x0a10_1000,
+        vec![0x0a00_0000],
+    )]);
+    c.bench_function("e8_check_data_inside", |b| {
+        b.iter(|| black_box(map.check_data(0x0a00_0400, 0x0a10_0004)))
+    });
+    c.bench_function("e8_check_data_outside_denied", |b| {
+        b.iter(|| black_box(map.check_data(0x0900_0000, 0x0a10_0004)))
+    });
+    c.bench_function("e8_check_fetch_entry", |b| {
+        b.iter(|| black_box(map.check_fetch(0x0900_0000, 0x0a00_0000, TransferKind::Call)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E7 bench: regenerate the scraping table and time address-space
+//! scans with and without PMA protection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use swsec::experiments::scraping;
+use swsec_attacks::Scraper;
+use swsec_pma::Platform;
+use swsec_vm::cpu::Machine;
+use swsec_vm::mem::Perm;
+use swsec_vm::policy::ReentryPolicy;
+
+fn bench(c: &mut Criterion) {
+    swsec_bench::print_report("E7: scraping", &[scraping::run().table()]);
+
+    let image = scraping::secret_module_image();
+
+    // Unprotected machine.
+    let mut unprotected = Machine::new();
+    unprotected
+        .mem_mut()
+        .map(image.code_base(), image.code().len() as u32, Perm::RX)
+        .unwrap();
+    unprotected
+        .mem_mut()
+        .poke_bytes(image.code_base(), image.code())
+        .unwrap();
+    unprotected
+        .mem_mut()
+        .map(image.data_base(), image.data().len() as u32, Perm::RW)
+        .unwrap();
+    unprotected
+        .mem_mut()
+        .poke_bytes(image.data_base(), image.data())
+        .unwrap();
+
+    // Protected machine.
+    let mut platform = Platform::new([1; 32]);
+    let mut protected = Machine::new();
+    platform
+        .load_module(&mut protected, &image, ReentryPolicy::EntryPointsOnly)
+        .unwrap();
+
+    let scraper = Scraper::kernel();
+    c.bench_function("e7_scan_unprotected", |b| {
+        b.iter(|| black_box(scraper.scan_word(&unprotected, 666)))
+    });
+    c.bench_function("e7_scan_protected", |b| {
+        b.iter(|| black_box(scraper.scan_word(&protected, 666)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

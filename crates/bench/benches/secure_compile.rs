@@ -1,0 +1,46 @@
+//! E9 bench: regenerate the Figure 4 secure-compilation tables and
+//! time the module call under both compilations, plus the brute-force
+//! campaigns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use swsec::experiments::fig4;
+
+fn bench(c: &mut Criterion) {
+    swsec_bench::print_report("E9: secure compilation", &fig4::run().tables());
+
+    let naive = fig4::build_module(57, false);
+    let secure = fig4::build_module(57, true);
+    c.bench_function("e9_honest_call_naive", |b| {
+        b.iter(|| black_box(fig4::single_call(&naive, fig4::FnPtrChoice::HonestGetPin, 57)))
+    });
+    c.bench_function("e9_honest_call_secure", |b| {
+        b.iter(|| black_box(fig4::single_call(&secure, fig4::FnPtrChoice::HonestGetPin, 57)))
+    });
+    let strict = fig4::build_module_strict(57);
+    c.bench_function("e13_honest_call_strict_reentry", |b| {
+        b.iter(|| {
+            black_box(fig4::single_call_with_policy(
+                &strict,
+                fig4::FnPtrChoice::HonestGetPin,
+                57,
+                swsec_vm::policy::ReentryPolicy::EntryPointsOnly,
+            ))
+        })
+    });
+    c.bench_function("e9_brute_force_with_reset_naive", |b| {
+        b.iter(|| {
+            let m = fig4::build_module(57, false);
+            let r = fig4::brute_force(&m, 100, true);
+            assert!(r.found);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! # swsec-bench — the benchmark harness of the reproduction
+//!
+//! One Criterion bench target per experiment (E1..E12, see
+//! `DESIGN.md` §5). Each target first *regenerates and prints* its
+//! experiment's table — so `cargo bench` reproduces every figure of
+//! the paper — and then times the representative kernel under
+//! Criterion.
+
+/// Prints a banner followed by an experiment's regenerated tables, so
+/// bench logs double as experiment reports.
+pub fn print_report(experiment: &str, tables: &[swsec::report::Table]) {
+    println!("\n================ {experiment} ================");
+    for t in tables {
+        println!("{t}");
+    }
+}

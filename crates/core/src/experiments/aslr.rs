@@ -1,0 +1,155 @@
+//! Experiment E4 — ASLR as a probabilistic defense (§III-C1).
+//!
+//! ASLR does not remove the vulnerability; it makes each exploit
+//! attempt a guess. This experiment measures the number of attempts a
+//! brute-forcing attacker needs at several entropy levels and compares
+//! against the analytic expectation of `2^bits`, then shows the
+//! paper's caveat (\[5\]): one information leak collapses the search to
+//! a single attempt.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use swsec_defenses::{AslrConfig, DefenseConfig};
+
+use crate::attacker::{run_technique, Technique};
+use crate::report::Table;
+
+/// Result for one entropy level.
+#[derive(Debug, Clone, Copy)]
+pub struct AslrTrial {
+    /// Entropy bits.
+    pub bits: u8,
+    /// Number of brute-force campaigns averaged.
+    pub trials: u32,
+    /// Mean attempts until the return-to-libc attack landed.
+    pub mean_attempts: f64,
+    /// Analytic expectation (`2^bits`).
+    pub expected: f64,
+    /// Attempts the leak-assisted attacker needed (always 1).
+    pub leak_attempts: u32,
+}
+
+/// Sweep results.
+#[derive(Debug, Clone)]
+pub struct AslrSweep {
+    /// One row per entropy level.
+    pub rows: Vec<AslrTrial>,
+}
+
+impl AslrSweep {
+    /// Renders the sweep.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "E4: brute-forcing ASLR (return-to-libc until it lands)",
+            &[
+                "entropy bits",
+                "trials",
+                "mean attempts",
+                "expected 2^bits",
+                "leak-assisted attempts",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.bits.to_string(),
+                r.trials.to_string(),
+                format!("{:.1}", r.mean_attempts),
+                format!("{:.0}", r.expected),
+                r.leak_attempts.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// One brute-force campaign: fresh launches (fresh randomization each
+/// time, like restarting a crashed server) until the fixed-guess attack
+/// succeeds. Returns the number of attempts.
+pub fn brute_force_once(bits: u8, rng: &mut StdRng, cap: u64) -> u64 {
+    let mut config = DefenseConfig::none();
+    config.aslr_bits = Some(bits);
+    for attempt in 1..=cap {
+        let seed: u64 = rng.gen();
+        let result = run_technique(Technique::Ret2Libc, config, seed)
+            .expect("victim compiles");
+        if result.outcome.succeeded() {
+            return attempt;
+        }
+    }
+    cap
+}
+
+/// Runs the sweep. `trials_for` maps entropy bits to the number of
+/// campaigns to average (fewer for high entropies to bound run time).
+pub fn run(bits_levels: &[u8], base_trials: u32, master_seed: u64) -> AslrSweep {
+    let mut rng = StdRng::seed_from_u64(master_seed);
+    let mut rows = Vec::new();
+    for &bits in bits_levels {
+        let aslr = AslrConfig::bits(bits);
+        let expected = aslr.expected_attempts();
+        // Cap campaigns so the experiment terminates even when unlucky.
+        let cap = (expected as u64) * 20 + 16;
+        let trials = base_trials.max(1);
+        let mut total = 0u64;
+        for _ in 0..trials {
+            total += brute_force_once(bits, &mut rng, cap);
+        }
+        // The leak-assisted attacker reads the randomized addresses out
+        // of the leak: first attempt lands.
+        let mut config = DefenseConfig::none();
+        config.aslr_bits = Some(bits);
+        let leak = run_technique(Technique::InfoLeak, config, rng.gen())
+            .expect("victim compiles");
+        rows.push(AslrTrial {
+            bits,
+            trials,
+            mean_attempts: total as f64 / f64::from(trials),
+            expected,
+            leak_attempts: if leak.outcome.succeeded() { 1 } else { u32::MAX },
+        });
+    }
+    AslrSweep { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempts_scale_with_entropy() {
+        // Small entropies keep the test fast; the shape is what matters.
+        let sweep = run(&[2, 4], 8, 7);
+        let low = &sweep.rows[0];
+        let high = &sweep.rows[1];
+        assert!(low.mean_attempts >= 1.0);
+        assert!(
+            high.mean_attempts > low.mean_attempts,
+            "more entropy must mean more attempts ({} vs {})",
+            high.mean_attempts,
+            low.mean_attempts
+        );
+        // Within a loose factor of the analytic expectation.
+        for r in &sweep.rows {
+            assert!(
+                r.mean_attempts > r.expected * 0.15 && r.mean_attempts < r.expected * 6.0,
+                "bits {}: mean {} vs expected {}",
+                r.bits,
+                r.mean_attempts,
+                r.expected
+            );
+        }
+    }
+
+    #[test]
+    fn leak_collapses_the_search() {
+        let sweep = run(&[4], 2, 9);
+        assert_eq!(sweep.rows[0].leak_attempts, 1);
+    }
+
+    #[test]
+    fn table_renders() {
+        let sweep = run(&[2], 2, 5);
+        assert!(sweep.table().to_string().contains("entropy bits"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Experiment E14 (extension) — brute-forcing stack canaries against a
+//! forking server.
+//!
+//! §III-C1 calls the canary "a (for the attacker) unpredictable
+//! value". That unpredictability has a classic caveat the literature
+//! added to the paper's story: servers that handle each request in a
+//! *forked child* give every child the **same** canary as the parent.
+//! A crash oracle (did the child die on the canary check?) then lets
+//! the attacker recover the canary one byte at a time — at most
+//! 4 × 256 attempts instead of 2³² — and then smash past it.
+//!
+//! The experiment runs the byte-by-byte attack against both server
+//! models:
+//!
+//! * **forking** (same seed per attempt → same canary): canary
+//!   recovered, smash succeeds;
+//! * **re-executing** (fresh seed per attempt → fresh canary): the
+//!   oracle tells the attacker nothing durable; recovery fails.
+
+use swsec_defenses::DefenseConfig;
+use swsec_minc::parse;
+use swsec_vm::cpu::{Fault, RunOutcome};
+use swsec_vm::isa::trap;
+
+use crate::attacker::VICTIM_SMASH;
+use crate::loader;
+use crate::report::Table;
+
+/// Result of a byte-by-byte canary recovery campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleResult {
+    /// Whether all four canary bytes were recovered.
+    pub recovered: bool,
+    /// The recovered value (meaningful only when `recovered`).
+    pub canary: u32,
+    /// Oracle queries spent.
+    pub attempts: u32,
+    /// Whether the follow-up smash with the recovered canary landed.
+    pub smash_succeeded: bool,
+}
+
+const FILLER: usize = 52; // buf[48] + the x local, up to the canary slot
+
+fn oracle_query(seed: u64, payload: &[u8]) -> RunOutcome {
+    let unit = parse(VICTIM_SMASH).expect("victim parses");
+    let mut cfg = DefenseConfig::none();
+    cfg.canary = true;
+    let mut session = loader::launch(&unit, cfg, seed).expect("compiles");
+    session.machine.io_mut().feed_input(0, payload);
+    session.run(1_000_000)
+}
+
+/// Runs the byte-by-byte recovery. `fork_semantics` keeps the canary
+/// fixed across attempts (forking server); otherwise every attempt
+/// sees a fresh canary (re-executed server).
+pub fn brute_force_canary(base_seed: u64, fork_semantics: bool, budget: u32) -> OracleResult {
+    let mut known: Vec<u8> = Vec::new();
+    let mut attempts = 0u32;
+    'bytes: for _pos in 0..4 {
+        for guess in 0u16..=255 {
+            if attempts >= budget {
+                break 'bytes;
+            }
+            attempts += 1;
+            let seed = if fork_semantics {
+                base_seed
+            } else {
+                base_seed + u64::from(attempts)
+            };
+            let mut payload = vec![b'A'; FILLER];
+            payload.extend_from_slice(&known);
+            payload.push(guess as u8);
+            let outcome = oracle_query(seed, &payload);
+            let crashed_on_canary = matches!(
+                outcome,
+                RunOutcome::Fault(Fault::SoftwareTrap { code, .. }) if code == trap::CANARY
+            );
+            if !crashed_on_canary {
+                // The child survived the canary check: byte confirmed.
+                known.push(guess as u8);
+                continue 'bytes;
+            }
+        }
+        // No byte survived: the oracle is useless (fresh canaries).
+        break;
+    }
+    let recovered = known.len() == 4;
+    let canary = if recovered {
+        u32::from_le_bytes([known[0], known[1], known[2], known[3]])
+    } else {
+        0
+    };
+
+    // Stage 2: full smash with the recovered canary, diverting the
+    // return into `grant`.
+    let mut smash_succeeded = false;
+    if recovered {
+        let unit = parse(VICTIM_SMASH).expect("victim parses");
+        let mut cfg = DefenseConfig::none();
+        cfg.canary = true;
+        let mut session = loader::launch(&unit, cfg, base_seed).expect("compiles");
+        let grant = session.program.function_addr("grant").expect("exists");
+        let mut payload = vec![b'A'; FILLER];
+        payload.extend_from_slice(&canary.to_le_bytes());
+        payload.extend_from_slice(&0xbfff_0000u32.to_le_bytes()); // saved bp
+        payload.extend_from_slice(&grant.to_le_bytes());
+        session.machine.io_mut().feed_input(0, &payload);
+        let _ = session.run(1_000_000);
+        smash_succeeded = session
+            .machine
+            .io()
+            .output(1)
+            .windows(6)
+            .any(|w| w == b"SECRET");
+    }
+    OracleResult {
+        recovered,
+        canary,
+        attempts,
+        smash_succeeded,
+    }
+}
+
+/// Full E14 results.
+#[derive(Debug, Clone)]
+pub struct CanaryOracleReport {
+    /// Attack against the forking server.
+    pub forking: OracleResult,
+    /// Attack against the re-executing server.
+    pub fresh: OracleResult,
+    /// The actual canary of the forking server, for verification.
+    pub actual_canary: u32,
+}
+
+impl CanaryOracleReport {
+    /// Renders the report.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "E14: byte-by-byte canary brute force via a crash oracle",
+            &["server model", "canary recovered", "oracle queries", "smash"],
+        );
+        let mut push = |name: &str, r: OracleResult| {
+            t.row(vec![
+                name.to_string(),
+                if r.recovered {
+                    format!("yes ({:#010x})", r.canary)
+                } else {
+                    "no".to_string()
+                },
+                r.attempts.to_string(),
+                if r.smash_succeeded {
+                    "COMPROMISED"
+                } else {
+                    "blocked"
+                }
+                .to_string(),
+            ]);
+        };
+        push("forking (canary survives fork)", self.forking);
+        push("re-executing (fresh canary)", self.fresh);
+        t
+    }
+}
+
+/// Runs the E14 experiment.
+pub fn run(seed: u64) -> CanaryOracleReport {
+    let unit = parse(VICTIM_SMASH).expect("victim parses");
+    let mut cfg = DefenseConfig::none();
+    cfg.canary = true;
+    let actual_canary = loader::launch(&unit, cfg, seed)
+        .expect("compiles")
+        .canary_value
+        .expect("canary installed");
+    CanaryOracleReport {
+        forking: brute_force_canary(seed, true, 2048),
+        fresh: brute_force_canary(seed, false, 2048),
+        actual_canary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forking_server_leaks_its_canary_byte_by_byte() {
+        let r = run(31);
+        assert!(r.forking.recovered);
+        assert_eq!(r.forking.canary, r.actual_canary);
+        // At most 4 × 256 queries, enormously less than 2^32.
+        assert!(r.forking.attempts <= 1024, "{}", r.forking.attempts);
+        assert!(r.forking.smash_succeeded);
+    }
+
+    #[test]
+    fn fresh_canaries_defeat_the_oracle() {
+        let r = run(31);
+        // With per-attempt re-randomization the "survived" signal no
+        // longer identifies a durable byte; full recovery of the
+        // *current* canary must fail (astronomically unlikely to
+        // succeed by chance).
+        assert!(!r.fresh.smash_succeeded);
+    }
+
+    #[test]
+    fn table_renders() {
+        assert!(run(31).table().to_string().contains("forking"));
+    }
+}

@@ -1,0 +1,36 @@
+//! The experiment drivers: one module per figure/table of the
+//! reproduction (see `DESIGN.md` §5 for the index).
+//!
+//! | module | experiment |
+//! |---|---|
+//! | [`fig1`] | E1 — Figure 1: source/machine-code/run-time state |
+//! | [`catalogue`] | E2 — vulnerability & attack catalogue |
+//! | [`matrix`] | E3 — attack × countermeasure matrix |
+//! | [`aslr`] | E4 — ASLR brute-force sweep |
+//! | [`overhead`] | E5 — countermeasure instruction overhead |
+//! | [`analysis`] | E6 — static analysis & run-time checking |
+//! | [`scraping`] | E7 — Figure 2: memory scraping vs PMA |
+//! | [`pma_rules`] | E8 — Figure 3: the access-control rules |
+//! | [`fig4`] | E9 — Figure 4: secure compilation |
+//! | [`attest`] | E10 — remote attestation |
+//! | [`continuity`] | E11 — state continuity & rollback |
+//! | [`pma_cost`] | E12 — isolation cost |
+//! | [`strict_reentry`] | E13 — strict-policy secure compilation |
+//! | [`canary_oracle`] | E14 — byte-by-byte canary brute force |
+//! | [`heap_uaf`] | E15 — use-after-free and heap quarantine |
+
+pub mod analysis;
+pub mod aslr;
+pub mod attest;
+pub mod canary_oracle;
+pub mod catalogue;
+pub mod continuity;
+pub mod fig1;
+pub mod heap_uaf;
+pub mod fig4;
+pub mod matrix;
+pub mod overhead;
+pub mod pma_cost;
+pub mod pma_rules;
+pub mod scraping;
+pub mod strict_reentry;

@@ -1,0 +1,48 @@
+//! # swsec — the low-level software security laboratory
+//!
+//! This crate ties the substrates together into the system of
+//! Piessens & Verbauwhede, *Software Security: Vulnerabilities and
+//! Countermeasures for Two Attacker Models* (DATE 2016):
+//!
+//! * [`loader`] — compile-and-launch under a chosen defense stack
+//!   (canaries, DEP, ASLR, shadow stack, bounds checks);
+//! * [`equiv`] — the paper's security objective as an executable
+//!   check: compiled behaviour vs the source semantics;
+//! * [`attacker`] — the §III-B attack techniques as runnable
+//!   procedures with canonical victims;
+//! * [`experiments`] — the E1..E12 drivers reproducing every figure
+//!   and claim (see `DESIGN.md` and `EXPERIMENTS.md`);
+//! * [`report`] — plain-text tables the drivers emit.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use swsec::prelude::*;
+//!
+//! // Attack the unprotected platform…
+//! let r = run_technique(Technique::Ret2Libc, DefenseConfig::none(), 42)?;
+//! assert!(r.outcome.succeeded());
+//! // …then deploy stack canaries and watch it die.
+//! let mut cfg = DefenseConfig::none();
+//! cfg.canary = true;
+//! let r = run_technique(Technique::Ret2Libc, cfg, 42)?;
+//! assert!(!r.outcome.succeeded());
+//! # Ok::<(), swsec_minc::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attacker;
+pub mod equiv;
+pub mod experiments;
+pub mod loader;
+pub mod report;
+
+/// The names nearly every user of the laboratory needs.
+pub mod prelude {
+    pub use crate::attacker::{run_technique, AttackOutcome, AttackResult, Technique};
+    pub use crate::equiv::{compare, Comparison, Verdict};
+    pub use crate::loader::{launch, Session};
+    pub use crate::report::Table;
+    pub use swsec_defenses::DefenseConfig;
+}

@@ -1,0 +1,106 @@
+//! Plain-text report tables for experiment output.
+//!
+//! Every experiment driver returns one or more [`Table`]s; examples and
+//! the benchmark harness print them, and `EXPERIMENTS.md` quotes them.
+
+use std::fmt;
+
+/// A titled table with a header row and data rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row has `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "## {}", self.title)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["attack", "verdict"]);
+        t.row(vec!["stack smash", "COMPROMISED"]);
+        t.row(vec!["rop", "blocked"]);
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("stack smash  COMPROMISED"));
+        assert!(s.contains("rop          blocked"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_mismatched_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+}

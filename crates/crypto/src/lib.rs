@@ -1,0 +1,59 @@
+//! # swsec-crypto — self-contained primitives for the platform model
+//!
+//! The protected-module architecture of §IV needs exactly four
+//! cryptographic capabilities, all implemented here from their
+//! specifications (no external crates, so the platform model is fully
+//! auditable in-tree):
+//!
+//! * [`sha256`] — module *measurement* (hash of a code segment);
+//! * [`hmac`] — attestation MACs and HKDF key derivation
+//!   (module-private keys derived from the platform master key and the
+//!   measurement);
+//! * [`stream`] — ChaCha20, the confidentiality half of sealing;
+//! * [`seal`] — encrypt-then-MAC sealed storage for module state.
+//!
+//! All implementations are validated against published test vectors
+//! (FIPS 180-4, RFC 4231, RFC 5869, RFC 8439) in their module tests.
+//!
+//! ```
+//! use swsec_crypto::sha256::Sha256;
+//! let measurement = Sha256::digest(b"module code bytes");
+//! assert_eq!(measurement.len(), 32);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hmac;
+pub mod seal;
+pub mod sha256;
+pub mod stream;
+
+/// Renders bytes as lowercase hex, for test vectors and reports.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(swsec_crypto::to_hex(&[0xde, 0xad]), "dead");
+/// ```
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_hex_empty() {
+        assert_eq!(to_hex(&[]), "");
+    }
+
+    #[test]
+    fn to_hex_leading_zero() {
+        assert_eq!(to_hex(&[0x00, 0x0f, 0xf0]), "000ff0");
+    }
+}

@@ -1,0 +1,124 @@
+//! Whole-stack defense configurations.
+//!
+//! A [`DefenseConfig`] names one point in the countermeasure space of
+//! §III-C1 — some combination of compiler hardening (canaries, bounds
+//! checks), loader hardening (DEP, ASLR) and hardware support (shadow
+//! stack). The defense-matrix experiment enumerates these points and
+//! pits every attack technique against each.
+
+use std::fmt;
+
+use swsec_minc::HardenOptions;
+
+use crate::aslr::AslrConfig;
+
+/// One combination of deployed countermeasures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DefenseConfig {
+    /// Compiler-emitted stack canaries.
+    pub canary: bool,
+    /// Data Execution Prevention: page permissions enforced (W^X).
+    pub dep: bool,
+    /// ASLR entropy bits, if ASLR is on.
+    pub aslr_bits: Option<u8>,
+    /// Hardware shadow stack (return-address CFI).
+    pub shadow_stack: bool,
+    /// Compiler software bounds checks (test-time instrumentation).
+    pub bounds_checks: bool,
+}
+
+impl DefenseConfig {
+    /// No countermeasures: the early-1990s platform.
+    pub fn none() -> DefenseConfig {
+        DefenseConfig::default()
+    }
+
+    /// The "widely adopted" §III-C1 trio: canaries + DEP + ASLR.
+    pub fn modern(aslr_bits: u8) -> DefenseConfig {
+        DefenseConfig {
+            canary: true,
+            dep: true,
+            aslr_bits: Some(aslr_bits),
+            shadow_stack: false,
+            bounds_checks: false,
+        }
+    }
+
+    /// The compiler flags this configuration implies.
+    pub fn harden_options(&self) -> HardenOptions {
+        HardenOptions {
+            stack_canary: self.canary,
+            bounds_checks: self.bounds_checks,
+            pma_fnptr_check: false,
+            scrub_registers: false,
+            strict_reentry: false,
+            heap_quarantine: false,
+        }
+    }
+
+    /// The ASLR model this configuration implies, if any.
+    pub fn aslr(&self) -> Option<AslrConfig> {
+        self.aslr_bits.map(AslrConfig::bits)
+    }
+
+    /// A short label for report tables, e.g. `"canary+DEP+ASLR(8)"`.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.canary {
+            parts.push("canary".to_string());
+        }
+        if self.dep {
+            parts.push("DEP".to_string());
+        }
+        if let Some(bits) = self.aslr_bits {
+            parts.push(format!("ASLR({bits})"));
+        }
+        if self.shadow_stack {
+            parts.push("shadow-stack".to_string());
+        }
+        if self.bounds_checks {
+            parts.push("bounds".to_string());
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+impl fmt::Display for DefenseConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_readable() {
+        assert_eq!(DefenseConfig::none().label(), "none");
+        assert_eq!(DefenseConfig::modern(8).label(), "canary+DEP+ASLR(8)");
+        let mut c = DefenseConfig::none();
+        c.shadow_stack = true;
+        c.bounds_checks = true;
+        assert_eq!(c.label(), "shadow-stack+bounds");
+    }
+
+    #[test]
+    fn harden_options_reflect_flags() {
+        let c = DefenseConfig::modern(8);
+        let h = c.harden_options();
+        assert!(h.stack_canary);
+        assert!(!h.bounds_checks);
+        assert!(!h.pma_fnptr_check);
+    }
+
+    #[test]
+    fn aslr_model_tracks_bits() {
+        assert!(DefenseConfig::none().aslr().is_none());
+        assert_eq!(DefenseConfig::modern(12).aslr().unwrap().entropy_bits, 12);
+    }
+}

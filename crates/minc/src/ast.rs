@@ -1,0 +1,349 @@
+//! Abstract syntax of MinC.
+//!
+//! MinC is a miniature C: enough of the language to express every
+//! program in the paper (the Figure 1 server, the Figure 2/4 secret
+//! modules) and the benchmark workloads, while keeping C's dangerous
+//! semantics — no implicit bounds checks, arrays decay to pointers,
+//! out-of-bounds access is *undefined at the machine level* (it does
+//! whatever compiled code happens to do).
+
+use std::fmt;
+
+/// A MinC type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit unsigned character.
+    Char,
+    /// No value (function returns only).
+    Void,
+    /// Pointer to `T`.
+    Ptr(Box<Type>),
+    /// Fixed-size array of `T` (only as variable types; decays to
+    /// pointer in expressions and parameters).
+    Array(Box<Type>, usize),
+    /// Pointer to a function returning the given type and taking the
+    /// given parameter types — e.g. `int (*get_pin)()` in the paper's
+    /// Figure 4.
+    FnPtr(Box<Type>, Vec<Type>),
+}
+
+impl Type {
+    /// Size of a value of this type in bytes.
+    pub fn size(&self) -> u32 {
+        match self {
+            Type::Int => 4,
+            Type::Char => 1,
+            Type::Void => 0,
+            Type::Ptr(_) | Type::FnPtr(..) => 4,
+            Type::Array(elem, n) => elem.size() * (*n as u32),
+        }
+    }
+
+    /// The element type when this is an array or pointer.
+    pub fn element(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) | Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether this type occupies one byte in memory (`char`).
+    pub fn is_byte(&self) -> bool {
+        matches!(self, Type::Char)
+    }
+
+    /// The type this type decays to in an expression (arrays become
+    /// pointers; everything else is unchanged).
+    pub fn decayed(&self) -> Type {
+        match self {
+            Type::Array(elem, _) => Type::Ptr(elem.clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Char => write!(f, "char"),
+            Type::Void => write!(f, "void"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, n) => write!(f, "{t}[{n}]"),
+            Type::FnPtr(ret, params) => {
+                write!(f, "{ret} (*)(")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical not `!e` (yields 0 or 1).
+    Not,
+    /// Bitwise not `~e` is spelled `e ^ -1` in MinC (no `~` token).
+    /// Pointer dereference `*e`.
+    Deref,
+    /// Address-of `&e`.
+    Addr,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed)
+    Div,
+    /// `%` (signed)
+    Mod,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic, operands are signed ints)
+    Shr,
+    /// `<` (signed)
+    Lt,
+    /// `>` (signed)
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// String literal; evaluates to the address of its data-segment copy.
+    StrLit(String),
+    /// Variable reference.
+    Var(String),
+    /// Assignment `target = value`; `target` must be an lvalue.
+    Assign {
+        /// The lvalue being assigned.
+        target: Box<Expr>,
+        /// The value stored.
+        value: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Function call; the callee is a name or a function-pointer
+    /// expression.
+    Call {
+        /// The callee expression.
+        callee: Box<Expr>,
+        /// Argument expressions, left to right.
+        args: Vec<Expr>,
+    },
+    /// Array indexing `base[index]` (scaled by the element size).
+    Index {
+        /// The array or pointer expression.
+        base: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// Postfix `target++` / `target--`; evaluates to the *old* value.
+    PostIncDec {
+        /// The lvalue updated.
+        target: Box<Expr>,
+        /// `true` for `++`, `false` for `--`.
+        inc: bool,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration, optionally initialized.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `for` loop.
+    For {
+        /// Optional initializer statement (declaration or expression).
+        init: Option<Box<Stmt>>,
+        /// Optional condition (absent means "true").
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `return`, optionally with a value.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// A `{ ... }` block with its own scope.
+    Block(Vec<Stmt>),
+}
+
+/// Initializer of a global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Scalar integer initializer.
+    Int(i64),
+    /// String initializer for a `char` array (NUL-padded to the array
+    /// size).
+    Str(String),
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Optional initializer (zero otherwise).
+    pub init: Option<GlobalInit>,
+    /// Declared `static` (module-private; meaningful to the PMA
+    /// experiments, ignored by ordinary compilation).
+    pub is_static: bool,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Type (arrays decay to pointers here).
+    pub ty: Type,
+}
+
+/// A function definition or extern declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body; `None` for `extern` declarations resolved at link time.
+    pub body: Option<Vec<Stmt>>,
+    /// Declared `static` (not exported from a module).
+    pub is_static: bool,
+}
+
+/// A complete translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    /// Global variables, in declaration order.
+    pub globals: Vec<Global>,
+    /// Functions, in declaration order.
+    pub functions: Vec<Function>,
+}
+
+impl Unit {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a global by name.
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(Type::Int.size(), 4);
+        assert_eq!(Type::Char.size(), 1);
+        assert_eq!(Type::Ptr(Box::new(Type::Char)).size(), 4);
+        assert_eq!(Type::Array(Box::new(Type::Char), 16).size(), 16);
+        assert_eq!(Type::Array(Box::new(Type::Int), 4).size(), 16);
+        assert_eq!(Type::FnPtr(Box::new(Type::Int), vec![]).size(), 4);
+    }
+
+    #[test]
+    fn array_decay() {
+        let arr = Type::Array(Box::new(Type::Char), 16);
+        assert_eq!(arr.decayed(), Type::Ptr(Box::new(Type::Char)));
+        assert_eq!(Type::Int.decayed(), Type::Int);
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Ptr(Box::new(Type::Char)).to_string(), "char*");
+        assert_eq!(
+            Type::FnPtr(Box::new(Type::Int), vec![Type::Int]).to_string(),
+            "int (*)(int)"
+        );
+    }
+}

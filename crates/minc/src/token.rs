@@ -1,0 +1,164 @@
+//! Tokens of the MinC language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    // Literals and names.
+    /// Integer literal (decimal, hex or character constant).
+    Int(i64),
+    /// String literal (escapes already processed).
+    Str(String),
+    /// An identifier.
+    Ident(String),
+
+    // Keywords.
+    /// `int`
+    KwInt,
+    /// `char`
+    KwChar,
+    /// `void`
+    KwVoid,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `static`
+    KwStatic,
+    /// `extern`
+    KwExtern,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Ident(name) => write!(f, "{name}"),
+            Token::KwInt => write!(f, "int"),
+            Token::KwChar => write!(f, "char"),
+            Token::KwVoid => write!(f, "void"),
+            Token::KwIf => write!(f, "if"),
+            Token::KwElse => write!(f, "else"),
+            Token::KwWhile => write!(f, "while"),
+            Token::KwFor => write!(f, "for"),
+            Token::KwReturn => write!(f, "return"),
+            Token::KwStatic => write!(f, "static"),
+            Token::KwExtern => write!(f, "extern"),
+            Token::KwBreak => write!(f, "break"),
+            Token::KwContinue => write!(f, "continue"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Assign => write!(f, "="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Amp => write!(f, "&"),
+            Token::Pipe => write!(f, "|"),
+            Token::Caret => write!(f, "^"),
+            Token::Bang => write!(f, "!"),
+            Token::Shl => write!(f, "<<"),
+            Token::Shr => write!(f, ">>"),
+            Token::Lt => write!(f, "<"),
+            Token::Gt => write!(f, ">"),
+            Token::Le => write!(f, "<="),
+            Token::Ge => write!(f, ">="),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::PlusPlus => write!(f, "++"),
+            Token::MinusMinus => write!(f, "--"),
+        }
+    }
+}
+
+/// A token together with its 1-based source line, for error messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}

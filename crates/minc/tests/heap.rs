@@ -1,0 +1,188 @@
+//! Heap allocator tests: `alloc`/`free` on both the compiled machine
+//! and the reference interpreter, including the temporal-violation
+//! semantics of explicit deallocation (§III-A: "such deallocation can
+//! happen implicitly or explicitly").
+
+use swsec_minc::interp::{self, InterpOutcome};
+use swsec_minc::{compile, parse, CompileOptions};
+use swsec_vm::cpu::{Machine, RunOutcome};
+
+fn run_vm(src: &str, input: &[u8]) -> (RunOutcome, Vec<u8>) {
+    let unit = parse(src).unwrap();
+    let prog = compile(&unit, &CompileOptions::default()).unwrap();
+    let mut m = Machine::new();
+    prog.load(&mut m).unwrap();
+    m.io_mut().feed_input(0, input);
+    let outcome = m.run(5_000_000);
+    let out = m.io().output(1).to_vec();
+    (outcome, out)
+}
+
+fn run_ref(src: &str, input: &[u8]) -> InterpOutcome {
+    let unit = parse(src).unwrap();
+    interp::run(&unit, &[(0, input.to_vec())], 5_000_000).outcome
+}
+
+#[test]
+fn alloc_returns_usable_memory() {
+    let src = "int main() { char *p = alloc(16); \
+               for (int i = 0; i < 16; i++) p[i] = i; \
+               int s = 0; for (int i = 0; i < 16; i++) s = s + p[i]; \
+               return s; }";
+    assert_eq!(run_vm(src, &[]).0, RunOutcome::Halted(120));
+    assert_eq!(run_ref(src, &[]), InterpOutcome::Exit(120));
+}
+
+#[test]
+fn distinct_allocations_do_not_alias() {
+    let src = "int main() { char *a = alloc(8); char *b = alloc(8); \
+               a[0] = 1; b[0] = 2; return a[0] * 10 + b[0]; }";
+    assert_eq!(run_vm(src, &[]).0, RunOutcome::Halted(12));
+    assert_eq!(run_ref(src, &[]), InterpOutcome::Exit(12));
+}
+
+#[test]
+fn freed_chunks_are_reused_lifo_on_the_machine() {
+    // The machine allocator reuses the freed chunk for the next
+    // same-size request — the substrate of use-after-free attacks.
+    let src = "int main() { char *a = alloc(16); free(a); \
+               char *b = alloc(16); \
+               return b == a; }";
+    // Pointer equality: at machine level the addresses coincide. (The
+    // reference semantics trap the comparison of a dangling pointer —
+    // run the machine only.)
+    assert_eq!(run_vm(src, &[]).0, RunOutcome::Halted(1));
+}
+
+#[test]
+fn machine_allocator_returns_null_when_exhausted() {
+    let src = "int main() { int n = 0; \
+               while (alloc(4096) != 0) { n++; if (n > 100) return 99; } \
+               return n; }";
+    // 64 KiB heap / (4096+8 rounded) chunks — exhausts well below 100.
+    let (outcome, _) = run_vm(src, &[]);
+    match outcome {
+        RunOutcome::Halted(n) => assert!((2..=16).contains(&n), "n = {n}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn use_after_free_is_a_source_level_trap() {
+    let src = "int main() { char *p = alloc(8); p[0] = 7; free(p); return p[0]; }";
+    match run_ref(src, &[]) {
+        InterpOutcome::Trap(v) => assert!(v.message.contains("temporal"), "{}", v.message),
+        other => panic!("expected temporal trap, got {other:?}"),
+    }
+    // The machine happily reads through the dangling pointer — and
+    // what it finds is the allocator's free-list link, which `free`
+    // wrote over the first payload word (the classic glibc "fd
+    // pointer" behaviour; here the list was empty, so 0).
+    assert_eq!(run_vm(src, &[]).0, RunOutcome::Halted(0));
+}
+
+#[test]
+fn double_free_is_a_source_level_trap() {
+    let src = "int main() { char *p = alloc(8); free(p); free(p); return 0; }";
+    match run_ref(src, &[]) {
+        InterpOutcome::Trap(v) => assert!(v.message.contains("double free")),
+        other => panic!("expected double-free trap, got {other:?}"),
+    }
+}
+
+#[test]
+fn free_of_stack_memory_is_a_source_level_trap() {
+    let src = "int main() { char buf[8]; free(buf); return 0; }";
+    match run_ref(src, &[]) {
+        InterpOutcome::Trap(v) => assert!(v.message.contains("non-heap")),
+        other => panic!("expected non-heap trap, got {other:?}"),
+    }
+}
+
+#[test]
+fn free_null_is_a_no_op() {
+    let src = "int main() { char *p; p = p - p + 0; free(0); return 42; }";
+    // Simpler: free(0) directly.
+    let src2 = "int main() { free(0); return 42; }";
+    let _ = src;
+    assert_eq!(run_vm(src2, &[]).0, RunOutcome::Halted(42));
+    assert_eq!(run_ref(src2, &[]), InterpOutcome::Exit(42));
+}
+
+#[test]
+fn interior_free_is_a_source_level_trap() {
+    let src = "int main() { char *p = alloc(8); free(p + 4); return 0; }";
+    match run_ref(src, &[]) {
+        InterpOutcome::Trap(v) => assert!(v.message.contains("middle")),
+        other => panic!("expected interior-free trap, got {other:?}"),
+    }
+}
+
+#[test]
+fn classic_use_after_free_type_confusion() {
+    // The classic UAF: a "session" record is freed; an attacker-
+    // controlled "name" buffer reuses its chunk; the dangling session
+    // pointer now reads attacker bytes. session[0] is the is_admin
+    // flag.
+    let src = "\
+void main() {\n\
+    char *session = alloc(16);\n\
+    session[0] = 0;           // is_admin = false\n\
+    free(session);\n\
+    char *name = alloc(16);   // reuses the freed chunk\n\
+    read(0, name, 16);        // attacker-controlled\n\
+    if (session[0] != 0) { write(1, \"ADMIN\", 5); }\n\
+    else { write(1, \"USER\", 4); }\n\
+}\n";
+    // Benign input: first byte zero → USER on the machine.
+    let (outcome, out) = run_vm(src, &[0u8; 16]);
+    assert!(outcome.is_halted());
+    assert_eq!(out, b"USER");
+    // Attack input: first byte nonzero → the dangling read sees it.
+    let (outcome, out) = run_vm(src, &[1u8; 16]);
+    assert!(outcome.is_halted());
+    assert_eq!(out, b"ADMIN");
+    // The source semantics trap the dangling read either way.
+    match run_ref(src, &[1u8; 16]) {
+        InterpOutcome::Trap(v) => assert!(v.message.contains("temporal")),
+        other => panic!("expected temporal trap, got {other:?}"),
+    }
+}
+
+#[test]
+fn heap_equivalence_for_correct_programs() {
+    // A correct alloc/use/free lifecycle is observationally identical
+    // on both sides.
+    let src = "\
+void main() {\n\
+    char *buf = alloc(32);\n\
+    int n = read(0, buf, 32);\n\
+    write(1, buf, n);\n\
+    free(buf);\n\
+    char *second = alloc(8);\n\
+    second[0] = 'X';\n\
+    write(1, second, 1);\n\
+    free(second);\n\
+}\n";
+    let (outcome, out) = run_vm(src, b"hello");
+    assert_eq!(outcome, RunOutcome::Halted(0));
+    assert_eq!(out, b"helloX");
+    let unit = parse(src).unwrap();
+    let r = interp::run(&unit, &[(0, b"hello".to_vec())], 5_000_000);
+    assert_eq!(r.outcome, InterpOutcome::Exit(0));
+    assert_eq!(r.io, vec![(1, b"helloX".to_vec())]);
+}
+
+#[test]
+fn heap_overflow_is_a_spatial_trap_at_source_level() {
+    let src = "void main() { char *p = alloc(8); read(0, p, 32); }";
+    match run_ref(src, &[0x41; 32]) {
+        InterpOutcome::Trap(v) => assert!(v.message.contains("spatial")),
+        other => panic!("expected spatial trap, got {other:?}"),
+    }
+    // On the machine the overflow silently corrupts the neighbouring
+    // chunk header — heap metadata corruption, the classic heap attack
+    // surface.
+    let (outcome, _) = run_vm(src, &[0x41; 32]);
+    assert!(outcome.is_halted());
+}

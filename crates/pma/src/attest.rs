@@ -1,0 +1,191 @@
+//! Remote attestation (§IV-C).
+//!
+//! After loading, a module proves to a remote party that *an unmodified
+//! version of it* is running in protected memory. The mechanism is the
+//! symmetric-key scheme of Sancus-class architectures: the verifier was
+//! provisioned (out of band) with the key the platform derives for the
+//! *expected* measurement; the loaded module holds the key the platform
+//! derived for its *actual* measurement. A MAC over a verifier-chosen
+//! nonce therefore verifies exactly when the loaded code is the expected
+//! code — an OS that modified the module before loading it left the
+//! module with the wrong key.
+
+use swsec_crypto::hmac::{ct_eq, hmac_sha256};
+
+use crate::platform::{Measurement, ModuleKey};
+
+/// An attestation report: MAC over the nonce and optional report data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestationReport {
+    /// The nonce being answered.
+    pub nonce: [u8; 16],
+    /// Application data bound into the report (e.g. a public key or an
+    /// output commitment). May be empty.
+    pub data: Vec<u8>,
+    /// `HMAC(module_key, nonce ‖ data)`.
+    pub mac: [u8; 32],
+}
+
+/// Produces an attestation report using the module's platform-derived
+/// key. Runs *inside* the module (the key never leaves it).
+pub fn attest(key: &ModuleKey, nonce: [u8; 16], data: &[u8]) -> AttestationReport {
+    let mut input = Vec::with_capacity(16 + data.len());
+    input.extend_from_slice(&nonce);
+    input.extend_from_slice(data);
+    AttestationReport {
+        nonce,
+        data: data.to_vec(),
+        mac: hmac_sha256(&key.0, &input),
+    }
+}
+
+/// The remote verifier: knows which measurement it expects and the key
+/// the platform would derive for that measurement.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    expected_measurement: Measurement,
+    expected_key: ModuleKey,
+    used_nonces: Vec<[u8; 16]>,
+}
+
+impl Verifier {
+    /// Creates a verifier provisioned with the expected measurement and
+    /// the corresponding module key.
+    pub fn new(expected_measurement: Measurement, expected_key: ModuleKey) -> Verifier {
+        Verifier {
+            expected_measurement,
+            expected_key,
+            used_nonces: Vec::new(),
+        }
+    }
+
+    /// The measurement this verifier expects.
+    pub fn expected_measurement(&self) -> Measurement {
+        self.expected_measurement
+    }
+
+    /// Issues a fresh nonce derived from a caller-supplied random seed.
+    pub fn challenge(&mut self, seed: u64) -> [u8; 16] {
+        let mut nonce = [0u8; 16];
+        nonce[..8].copy_from_slice(&seed.to_le_bytes());
+        nonce[8..].copy_from_slice(&(self.used_nonces.len() as u64).to_le_bytes());
+        nonce
+    }
+
+    /// Verifies a report against a previously issued nonce.
+    ///
+    /// Rejects (constant-time MAC comparison) when the MAC is wrong —
+    /// i.e. the module was tampered with, or runs on another platform —
+    /// and when the nonce was already consumed (replay).
+    pub fn verify(&mut self, nonce: [u8; 16], report: &AttestationReport) -> bool {
+        if report.nonce != nonce {
+            return false;
+        }
+        if self.used_nonces.contains(&nonce) {
+            return false; // replayed
+        }
+        let mut input = Vec::with_capacity(16 + report.data.len());
+        input.extend_from_slice(&nonce);
+        input.extend_from_slice(&report.data);
+        let expected = hmac_sha256(&self.expected_key.0, &input);
+        let ok = ct_eq(&expected, &report.mac);
+        if ok {
+            self.used_nonces.push(nonce);
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleImage;
+    use crate::platform::Platform;
+
+    fn setup() -> (Platform, ModuleImage) {
+        let platform = Platform::new([9u8; 32]);
+        let image = ModuleImage::from_raw(
+            vec![0x22; 32],
+            vec![0; 4],
+            0x0a00_0000,
+            0x0a10_0000,
+            vec![0],
+        );
+        (platform, image)
+    }
+
+    #[test]
+    fn honest_module_attests() {
+        let (platform, image) = setup();
+        let measurement = Measurement::of(&image);
+        let key = platform.derive_key(measurement);
+        let mut verifier = Verifier::new(measurement, key);
+        let nonce = verifier.challenge(42);
+        let report = attest(&key, nonce, b"hello");
+        assert!(verifier.verify(nonce, &report));
+    }
+
+    #[test]
+    fn tampered_module_fails_attestation() {
+        let (platform, image) = setup();
+        let expected_measurement = Measurement::of(&image);
+        let expected_key = platform.derive_key(expected_measurement);
+        // The OS modifies the module before loading: the platform then
+        // derives a key for the *tampered* measurement.
+        let mut tampered = image.clone();
+        tampered.tamper_code_bit(5, 2);
+        let actual_key = platform.derive_key(Measurement::of(&tampered));
+        let mut verifier = Verifier::new(expected_measurement, expected_key);
+        let nonce = verifier.challenge(42);
+        let report = attest(&actual_key, nonce, b"");
+        assert!(!verifier.verify(nonce, &report));
+    }
+
+    #[test]
+    fn wrong_platform_fails_attestation() {
+        let (_, image) = setup();
+        let other_platform = Platform::new([1u8; 32]);
+        let measurement = Measurement::of(&image);
+        let good_key = Platform::new([9u8; 32]).derive_key(measurement);
+        let bad_key = other_platform.derive_key(measurement);
+        let mut verifier = Verifier::new(measurement, good_key);
+        let nonce = verifier.challenge(1);
+        assert!(!verifier.verify(nonce, &attest(&bad_key, nonce, b"")));
+    }
+
+    #[test]
+    fn replayed_report_rejected() {
+        let (platform, image) = setup();
+        let measurement = Measurement::of(&image);
+        let key = platform.derive_key(measurement);
+        let mut verifier = Verifier::new(measurement, key);
+        let nonce = verifier.challenge(7);
+        let report = attest(&key, nonce, b"");
+        assert!(verifier.verify(nonce, &report));
+        assert!(!verifier.verify(nonce, &report), "replay must fail");
+    }
+
+    #[test]
+    fn report_binds_data() {
+        let (platform, image) = setup();
+        let measurement = Measurement::of(&image);
+        let key = platform.derive_key(measurement);
+        let mut verifier = Verifier::new(measurement, key);
+        let nonce = verifier.challenge(7);
+        let mut report = attest(&key, nonce, b"commit-to-A");
+        report.data = b"commit-to-B".to_vec();
+        assert!(!verifier.verify(nonce, &report));
+    }
+
+    #[test]
+    fn report_for_wrong_nonce_rejected() {
+        let (platform, image) = setup();
+        let measurement = Measurement::of(&image);
+        let key = platform.derive_key(measurement);
+        let mut verifier = Verifier::new(measurement, key);
+        let n1 = verifier.challenge(1);
+        let n2 = verifier.challenge(2);
+        let report = attest(&key, n1, b"");
+        assert!(!verifier.verify(n2, &report));
+    }
+}

@@ -1,0 +1,545 @@
+//! State continuity: secure storage and recovery of protected-module
+//! state across restarts (§IV-C).
+//!
+//! The module's persistent state lives on storage **controlled by the
+//! attacker** (the OS owns the disk). Sealing gives confidentiality and
+//! integrity, but not *freshness*: the attacker can keep every blob the
+//! module ever sealed and feed back an old one — the paper's rollback
+//! attack that resets `tries_left` and enables PIN brute force.
+//!
+//! Three schemes, in increasing order of strength:
+//!
+//! * [`NaiveContinuity`] — sealing only. Rollback succeeds.
+//! * [`CounterContinuity`] — a platform monotonic counter is bumped
+//!   *before* the blob is written; recovery accepts only the blob whose
+//!   sequence number equals the counter. Rollback fails, but a crash in
+//!   the window between the bump and the write leaves **no** acceptable
+//!   blob: the module is bricked. This is the liveness problem the
+//!   paper points at ("random crashes … should not leave it in a state
+//!   where it can no longer make progress").
+//! * [`TwoPhaseContinuity`] — a Memoir/ICE-style write-ahead scheme:
+//!   seal with sequence `counter + 1`, write to the *other* of two
+//!   slots (keeping the previous blob), and only then bump the counter;
+//!   recovery accepts sequence `counter` or `counter + 1` (catching the
+//!   counter up in the latter case). Rollback still fails, and every
+//!   crash point recovers to either the old or the new state.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use swsec_crypto::seal::{open, seal, SealError};
+
+use crate::platform::{CounterId, ModuleKey, Platform};
+
+/// Attacker-controlled persistent storage (the OS's disk).
+///
+/// The attacker may snapshot it at any time and later restore the
+/// snapshot — that is the rollback attack.
+#[derive(Debug, Clone, Default)]
+pub struct UntrustedStore {
+    slots: HashMap<u32, Vec<u8>>,
+}
+
+impl UntrustedStore {
+    /// Creates empty storage.
+    pub fn new() -> UntrustedStore {
+        UntrustedStore::default()
+    }
+
+    /// Reads a slot.
+    pub fn read(&self, slot: u32) -> Option<&[u8]> {
+        self.slots.get(&slot).map(|v| v.as_slice())
+    }
+
+    /// Writes a slot.
+    pub fn write(&mut self, slot: u32, bytes: &[u8]) {
+        self.slots.insert(slot, bytes.to_vec());
+    }
+
+    /// Attacker action: copy the entire storage.
+    pub fn snapshot(&self) -> UntrustedStore {
+        self.clone()
+    }
+
+    /// Attacker action: replace the storage with an earlier snapshot.
+    pub fn restore(&mut self, snapshot: UntrustedStore) {
+        *self = snapshot;
+    }
+}
+
+/// Why stored state could not be recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContinuityError {
+    /// No blob is present.
+    NoState,
+    /// A blob failed to unseal (tampered or wrong key).
+    Corrupt,
+    /// A blob unsealed but its sequence number is not acceptable —
+    /// stale (rollback) or, for the counter scheme after an unlucky
+    /// crash, *nothing* acceptable exists (liveness loss).
+    Stale {
+        /// The best sequence found in storage.
+        found: u64,
+        /// The sequence the platform counter requires.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for ContinuityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContinuityError::NoState => write!(f, "no stored state"),
+            ContinuityError::Corrupt => write!(f, "stored state failed authentication"),
+            ContinuityError::Stale { found, expected } => {
+                write!(f, "stored state is stale (found seq {found}, expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContinuityError {}
+
+/// Where to inject a crash during a save, for liveness experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// No crash: the save completes.
+    None,
+    /// Crash before anything is written.
+    BeforeStore,
+    /// Crash after the blob is written but before the counter moves
+    /// (only meaningful for [`TwoPhaseContinuity`], which writes first).
+    AfterStore,
+    /// Crash after the counter moved but before the blob is written
+    /// (only meaningful for [`CounterContinuity`], which bumps first).
+    AfterBump,
+}
+
+fn encode(seq: u64, state: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + state.len());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(state);
+    out
+}
+
+fn decode(blob: Vec<u8>) -> Result<(u64, Vec<u8>), ContinuityError> {
+    if blob.len() < 8 {
+        return Err(ContinuityError::Corrupt);
+    }
+    let seq = u64::from_le_bytes(blob[..8].try_into().expect("length checked"));
+    Ok((seq, blob[8..].to_vec()))
+}
+
+fn nonce_for(seq: u64, salt: u32) -> [u8; 12] {
+    let mut n = [0u8; 12];
+    n[..8].copy_from_slice(&seq.to_le_bytes());
+    n[8..].copy_from_slice(&salt.to_le_bytes());
+    n
+}
+
+/// Sealing without freshness: confidentiality and integrity only.
+#[derive(Debug)]
+pub struct NaiveContinuity {
+    key: ModuleKey,
+    slot: u32,
+    local_seq: u64,
+}
+
+impl NaiveContinuity {
+    /// Creates the scheme for a module key, storing into `slot`.
+    pub fn new(key: ModuleKey, slot: u32) -> NaiveContinuity {
+        NaiveContinuity {
+            key,
+            slot,
+            local_seq: 0,
+        }
+    }
+
+    /// Seals and stores `state`.
+    pub fn save(&mut self, store: &mut UntrustedStore, state: &[u8]) {
+        self.local_seq += 1;
+        let blob = seal(
+            &self.key.0,
+            &nonce_for(self.local_seq, self.slot),
+            b"naive-continuity",
+            &encode(self.local_seq, state),
+        );
+        store.write(self.slot, &blob);
+    }
+
+    /// Recovers whatever validly-sealed blob is in storage — including a
+    /// replayed old one.
+    ///
+    /// # Errors
+    ///
+    /// [`ContinuityError::NoState`] on empty storage and
+    /// [`ContinuityError::Corrupt`] on tampered blobs.
+    pub fn load(&self, store: &UntrustedStore) -> Result<Vec<u8>, ContinuityError> {
+        let blob = store.read(self.slot).ok_or(ContinuityError::NoState)?;
+        let plain = open(&self.key.0, b"naive-continuity", blob).map_err(|e| match e {
+            SealError::TooShort | SealError::BadTag => ContinuityError::Corrupt,
+        })?;
+        decode(plain).map(|(_, state)| state)
+    }
+}
+
+/// Monotonic-counter freshness: bump-then-write.
+///
+/// Rollback-safe but not crash-safe — see the module docs.
+#[derive(Debug)]
+pub struct CounterContinuity {
+    key: ModuleKey,
+    counter: CounterId,
+    slot: u32,
+}
+
+impl CounterContinuity {
+    /// Creates the scheme over a platform counter, storing into `slot`.
+    pub fn new(key: ModuleKey, counter: CounterId, slot: u32) -> CounterContinuity {
+        CounterContinuity { key, counter, slot }
+    }
+
+    /// Saves `state`, optionally crashing at the injected point.
+    /// Returns `true` if the save completed.
+    pub fn save(
+        &mut self,
+        platform: &mut Platform,
+        store: &mut UntrustedStore,
+        state: &[u8],
+        crash: CrashPoint,
+    ) -> bool {
+        if crash == CrashPoint::BeforeStore {
+            return false;
+        }
+        // Bump first: from this instant the counter demands a blob that
+        // does not exist yet.
+        let seq = platform.bump_counter(self.counter);
+        if crash == CrashPoint::AfterBump {
+            return false;
+        }
+        let blob = seal(
+            &self.key.0,
+            &nonce_for(seq, self.slot),
+            b"counter-continuity",
+            &encode(seq, state),
+        );
+        store.write(self.slot, &blob);
+        true
+    }
+
+    /// Recovers the state whose sequence matches the platform counter.
+    ///
+    /// # Errors
+    ///
+    /// [`ContinuityError::Stale`] when the stored sequence does not
+    /// match the counter — after a rollback **or** after an unlucky
+    /// crash (liveness loss); [`ContinuityError::NoState`] /
+    /// [`ContinuityError::Corrupt`] as usual.
+    pub fn load(
+        &self,
+        platform: &Platform,
+        store: &UntrustedStore,
+    ) -> Result<Vec<u8>, ContinuityError> {
+        let expected = platform.counter(self.counter);
+        let blob = store.read(self.slot).ok_or(ContinuityError::NoState)?;
+        let plain = open(&self.key.0, b"counter-continuity", blob)
+            .map_err(|_| ContinuityError::Corrupt)?;
+        let (seq, state) = decode(plain)?;
+        if seq != expected {
+            return Err(ContinuityError::Stale {
+                found: seq,
+                expected,
+            });
+        }
+        Ok(state)
+    }
+}
+
+/// Write-ahead two-slot freshness: write-then-bump with recovery
+/// catch-up. Rollback-safe *and* crash-safe.
+#[derive(Debug)]
+pub struct TwoPhaseContinuity {
+    key: ModuleKey,
+    counter: CounterId,
+    slot_a: u32,
+    slot_b: u32,
+}
+
+impl TwoPhaseContinuity {
+    /// Creates the scheme over a platform counter and two storage slots.
+    pub fn new(key: ModuleKey, counter: CounterId, slot_a: u32, slot_b: u32) -> TwoPhaseContinuity {
+        TwoPhaseContinuity {
+            key,
+            counter,
+            slot_a,
+            slot_b,
+        }
+    }
+
+    fn slot_for(&self, seq: u64) -> u32 {
+        if seq % 2 == 0 {
+            self.slot_a
+        } else {
+            self.slot_b
+        }
+    }
+
+    /// Saves `state`, optionally crashing at the injected point.
+    /// Returns `true` if the save completed.
+    pub fn save(
+        &mut self,
+        platform: &mut Platform,
+        store: &mut UntrustedStore,
+        state: &[u8],
+        crash: CrashPoint,
+    ) -> bool {
+        if crash == CrashPoint::BeforeStore {
+            return false;
+        }
+        // Write ahead: the new blob (sequence counter+1) goes to the
+        // *other* slot, leaving the current blob intact.
+        let next = platform.counter(self.counter) + 1;
+        let blob = seal(
+            &self.key.0,
+            &nonce_for(next, self.slot_for(next)),
+            b"two-phase-continuity",
+            &encode(next, state),
+        );
+        store.write(self.slot_for(next), &blob);
+        if crash == CrashPoint::AfterStore {
+            return false;
+        }
+        platform.bump_counter(self.counter);
+        true
+    }
+
+    fn try_slot(
+        &self,
+        store: &UntrustedStore,
+        slot: u32,
+    ) -> Option<(u64, Vec<u8>)> {
+        let blob = store.read(slot)?;
+        let plain = open(&self.key.0, b"two-phase-continuity", blob).ok()?;
+        decode(plain).ok()
+    }
+
+    /// Recovers the freshest acceptable state: sequence `counter` or
+    /// `counter + 1` (write-ahead from an interrupted save, in which
+    /// case the counter is caught up so the superseded blob dies).
+    ///
+    /// # Errors
+    ///
+    /// [`ContinuityError::Stale`] only for genuinely rolled-back
+    /// storage; [`ContinuityError::NoState`] before the first save.
+    pub fn load(
+        &self,
+        platform: &mut Platform,
+        store: &UntrustedStore,
+    ) -> Result<Vec<u8>, ContinuityError> {
+        let expected = platform.counter(self.counter);
+        let candidates = [
+            self.try_slot(store, self.slot_a),
+            self.try_slot(store, self.slot_b),
+        ];
+        let mut best: Option<(u64, Vec<u8>)> = None;
+        let mut best_any = 0u64;
+        let mut saw_any = false;
+        for c in candidates.into_iter().flatten() {
+            saw_any = true;
+            best_any = best_any.max(c.0);
+            if c.0 == expected || c.0 == expected + 1 {
+                match &best {
+                    Some((seq, _)) if *seq >= c.0 => {}
+                    _ => best = Some(c),
+                }
+            }
+        }
+        match best {
+            Some((seq, state)) => {
+                if seq == expected + 1 {
+                    // The save was interrupted after the write: commit it
+                    // now so the older blob can never be replayed.
+                    platform.bump_counter(self.counter);
+                }
+                Ok(state)
+            }
+            None if saw_any => Err(ContinuityError::Stale {
+                found: best_any,
+                expected,
+            }),
+            None if expected == 0 => Err(ContinuityError::NoState),
+            None => Err(ContinuityError::Stale {
+                found: 0,
+                expected,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Platform, ModuleKey, UntrustedStore) {
+        let platform = Platform::new([5u8; 32]);
+        let key = ModuleKey([0xAB; 32]);
+        (platform, key, UntrustedStore::new())
+    }
+
+    #[test]
+    fn naive_roundtrip() {
+        let (_, key, mut store) = setup();
+        let mut scheme = NaiveContinuity::new(key, 0);
+        scheme.save(&mut store, b"tries=3");
+        assert_eq!(scheme.load(&store).unwrap(), b"tries=3");
+    }
+
+    #[test]
+    fn naive_is_rollback_vulnerable() {
+        let (_, key, mut store) = setup();
+        let mut scheme = NaiveContinuity::new(key, 0);
+        scheme.save(&mut store, b"tries=3");
+        let old = store.snapshot(); // attacker keeps the fresh state
+        scheme.save(&mut store, b"tries=1");
+        store.restore(old); // attacker rolls back
+        // The stale state is accepted: the attack works.
+        assert_eq!(scheme.load(&store).unwrap(), b"tries=3");
+    }
+
+    #[test]
+    fn naive_detects_tampering() {
+        let (_, key, mut store) = setup();
+        let mut scheme = NaiveContinuity::new(key, 0);
+        scheme.save(&mut store, b"state");
+        let mut blob = store.read(0).unwrap().to_vec();
+        blob[15] ^= 1;
+        store.write(0, &blob);
+        assert_eq!(scheme.load(&store), Err(ContinuityError::Corrupt));
+    }
+
+    #[test]
+    fn counter_scheme_blocks_rollback() {
+        let (mut platform, key, mut store) = setup();
+        let c = platform.alloc_counter();
+        let mut scheme = CounterContinuity::new(key, c, 0);
+        assert!(scheme.save(&mut platform, &mut store, b"tries=3", CrashPoint::None));
+        let old = store.snapshot();
+        assert!(scheme.save(&mut platform, &mut store, b"tries=1", CrashPoint::None));
+        store.restore(old);
+        assert!(matches!(
+            scheme.load(&platform, &store),
+            Err(ContinuityError::Stale { found: 1, expected: 2 })
+        ));
+    }
+
+    #[test]
+    fn counter_scheme_loses_liveness_on_crash() {
+        let (mut platform, key, mut store) = setup();
+        let c = platform.alloc_counter();
+        let mut scheme = CounterContinuity::new(key, c, 0);
+        assert!(scheme.save(&mut platform, &mut store, b"v1", CrashPoint::None));
+        // Crash after the counter bump, before the new blob is written:
+        assert!(!scheme.save(&mut platform, &mut store, b"v2", CrashPoint::AfterBump));
+        // Now NO blob matches the counter — the module is bricked.
+        assert!(matches!(
+            scheme.load(&platform, &store),
+            Err(ContinuityError::Stale { .. })
+        ));
+    }
+
+    #[test]
+    fn two_phase_roundtrip_and_rollback_protection() {
+        let (mut platform, key, mut store) = setup();
+        let c = platform.alloc_counter();
+        let mut scheme = TwoPhaseContinuity::new(key, c, 0, 1);
+        assert!(scheme.save(&mut platform, &mut store, b"tries=3", CrashPoint::None));
+        let old = store.snapshot();
+        assert!(scheme.save(&mut platform, &mut store, b"tries=1", CrashPoint::None));
+        assert_eq!(scheme.load(&mut platform, &store).unwrap(), b"tries=1");
+        store.restore(old);
+        assert!(matches!(
+            scheme.load(&mut platform, &store),
+            Err(ContinuityError::Stale { .. })
+        ));
+    }
+
+    #[test]
+    fn two_phase_survives_crash_after_store() {
+        let (mut platform, key, mut store) = setup();
+        let c = platform.alloc_counter();
+        let mut scheme = TwoPhaseContinuity::new(key, c, 0, 1);
+        assert!(scheme.save(&mut platform, &mut store, b"v1", CrashPoint::None));
+        // Crash after writing v2 but before the counter bump.
+        assert!(!scheme.save(&mut platform, &mut store, b"v2", CrashPoint::AfterStore));
+        // Recovery accepts the write-ahead blob and catches the counter up.
+        assert_eq!(scheme.load(&mut platform, &store).unwrap(), b"v2");
+        // The catch-up makes the old blob permanently unacceptable.
+        let stale_only = {
+            let mut s = UntrustedStore::new();
+            if let Some(b) = store.read(0) {
+                s.write(0, b);
+            }
+            s
+        };
+        let _ = stale_only;
+    }
+
+    #[test]
+    fn two_phase_survives_crash_before_store() {
+        let (mut platform, key, mut store) = setup();
+        let c = platform.alloc_counter();
+        let mut scheme = TwoPhaseContinuity::new(key, c, 0, 1);
+        assert!(scheme.save(&mut platform, &mut store, b"v1", CrashPoint::None));
+        assert!(!scheme.save(&mut platform, &mut store, b"v2", CrashPoint::BeforeStore));
+        // The old state remains recoverable: no liveness loss.
+        assert_eq!(scheme.load(&mut platform, &store).unwrap(), b"v1");
+    }
+
+    #[test]
+    fn two_phase_catch_up_invalidates_superseded_blob() {
+        let (mut platform, key, mut store) = setup();
+        let c = platform.alloc_counter();
+        let mut scheme = TwoPhaseContinuity::new(key, c, 0, 1);
+        assert!(scheme.save(&mut platform, &mut store, b"v1", CrashPoint::None));
+        let with_v1 = store.snapshot();
+        assert!(!scheme.save(&mut platform, &mut store, b"v2", CrashPoint::AfterStore));
+        // Recovery commits v2.
+        assert_eq!(scheme.load(&mut platform, &store).unwrap(), b"v2");
+        // Replaying the v1-only snapshot must now fail.
+        store.restore(with_v1);
+        assert!(matches!(
+            scheme.load(&mut platform, &store),
+            Err(ContinuityError::Stale { .. })
+        ));
+    }
+
+    #[test]
+    fn two_phase_no_state_initially() {
+        let (mut platform, key, store) = setup();
+        let c = platform.alloc_counter();
+        let scheme = TwoPhaseContinuity::new(key, c, 0, 1);
+        assert_eq!(
+            scheme.load(&mut platform, &store),
+            Err(ContinuityError::NoState)
+        );
+    }
+
+    #[test]
+    fn blobs_are_confidential() {
+        let (_, key, mut store) = setup();
+        let mut scheme = NaiveContinuity::new(key, 0);
+        scheme.save(&mut store, b"PIN=1234");
+        let blob = store.read(0).unwrap();
+        assert!(!blob
+            .windows(8)
+            .any(|w| w == b"PIN=1234"));
+    }
+
+    #[test]
+    fn wrong_key_cannot_open_blobs() {
+        let (_, key, mut store) = setup();
+        let mut scheme = NaiveContinuity::new(key, 0);
+        scheme.save(&mut store, b"secret");
+        let other = NaiveContinuity::new(ModuleKey([0xCD; 32]), 0);
+        assert_eq!(other.load(&store), Err(ContinuityError::Corrupt));
+    }
+}

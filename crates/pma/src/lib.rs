@@ -1,0 +1,58 @@
+//! # swsec-pma — Protected Module Architectures
+//!
+//! The §IV platform of Piessens & Verbauwhede (DATE 2016): isolate a
+//! security-critical module inside an untrusted process — and an
+//! untrusted OS — using a simple memory access-control model, then
+//! layer cryptographic identity on top:
+//!
+//! * [`module`] — module images and their protected regions (the
+//!   access-control *rules* live in `swsec_vm::policy`, enforced by the
+//!   CPU on every access);
+//! * [`platform`] — the trusted hardware: master key, code
+//!   measurement, module-key derivation, module loading, monotonic
+//!   counters;
+//! * [`attest`](mod@crate::attest) — remote attestation: a tampered-before-load module
+//!   derives the wrong key and cannot answer the verifier's challenge;
+//! * [`continuity`] — sealed storage with freshness: the rollback
+//!   attack against naive sealing, a monotonic-counter fix that loses
+//!   liveness under crashes, and a two-slot write-ahead scheme that is
+//!   both rollback- and crash-safe.
+//!
+//! ## Example: loading the paper's secret module under protection
+//!
+//! ```
+//! use swsec_minc::{compile, parse, CompileOptions};
+//! use swsec_pma::module::ModuleImage;
+//! use swsec_pma::platform::Platform;
+//! use swsec_vm::policy::ReentryPolicy;
+//! use swsec_vm::prelude::*;
+//!
+//! let unit = parse(
+//!     "static int secret = 666;\n\
+//!      int get_secret(int pin) { if (pin == 1234) return secret; return 0; }",
+//! )?;
+//! let mut opts = CompileOptions::default();
+//! opts.no_start = true;
+//! let image = ModuleImage::from_compiled(&compile(&unit, &opts)?);
+//!
+//! let mut platform = Platform::new([7u8; 32]);
+//! let mut machine = Machine::new();
+//! let loaded = platform.load_module(&mut machine, &image, ReentryPolicy::AllowReturns)?;
+//! assert!(loaded.export("get_secret").is_ok());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attest;
+pub mod continuity;
+pub mod module;
+pub mod platform;
+
+pub use attest::{attest, AttestationReport, Verifier};
+pub use continuity::{
+    ContinuityError, CounterContinuity, CrashPoint, NaiveContinuity, TwoPhaseContinuity,
+    UntrustedStore,
+};
+pub use module::ModuleImage;
+pub use platform::{LoadedModule, Measurement, ModuleKey, Platform, PlatformError};

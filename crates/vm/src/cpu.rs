@@ -1,0 +1,1151 @@
+//! The execution engine: register file, fetch/decode/execute loop,
+//! faults, system calls and the optional hardware protections.
+//!
+//! Two protections live here because they are properties of the
+//! *platform*, not of compiled code:
+//!
+//! * **shadow stack** — when enabled, `call` records the return address
+//!   in protected hardware state and `ret` verifies it, a hardware
+//!   control-flow-integrity mechanism that defeats return-address
+//!   smashing and ROP;
+//! * **protected-module access control** — when a
+//!   [`policy::ProtectionMap`](crate::policy::ProtectionMap) is installed, every
+//!   data access and control transfer is checked against the paper's
+//!   three PMA rules.
+//!
+//! Data Execution Prevention is a property of [`Memory`] (page
+//! permissions plus the enforcement switch).
+//!
+//! # Examples
+//!
+//! ```
+//! use swsec_vm::cpu::{Machine, RunOutcome};
+//! use swsec_vm::isa::{Instr, Reg};
+//! use swsec_vm::mem::Perm;
+//!
+//! let mut code = Vec::new();
+//! Instr::MovI { dst: Reg::R0, imm: 42 }.encode(&mut code);
+//! Instr::Sys(swsec_vm::isa::sys::EXIT).encode(&mut code);
+//!
+//! let mut m = Machine::new();
+//! m.mem_mut().map(0x1000, 0x1000, Perm::RX)?;
+//! m.mem_mut().poke_bytes(0x1000, &code)?;
+//! m.set_ip(0x1000);
+//! assert_eq!(m.run(100), RunOutcome::Halted(42));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+
+use crate::isa::{self, AluOp, Cond, DecodeError, Instr, Reg, NUM_REGS};
+use crate::io::IoBus;
+use crate::mem::{Access, MemError, Memory};
+use crate::policy::{PmaViolation, ProtectionMap, TransferKind};
+use crate::trace::{ExecStats, TraceEntry};
+
+/// Comparison flags set by `cmp`/`cmpi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Operands were equal.
+    pub zero: bool,
+    /// First operand was less than the second, signed.
+    pub lt: bool,
+    /// First operand was less than the second, unsigned.
+    pub ltu: bool,
+}
+
+impl Flags {
+    /// Evaluates a jump condition against these flags.
+    pub fn test(self, cond: Cond) -> bool {
+        match cond {
+            Cond::Z => self.zero,
+            Cond::Nz => !self.zero,
+            Cond::Lt => self.lt,
+            Cond::Ge => !self.lt,
+            Cond::Le => self.lt || self.zero,
+            Cond::Gt => !(self.lt || self.zero),
+            Cond::B => self.ltu,
+            Cond::Ae => !self.ltu,
+        }
+    }
+}
+
+/// A condition that stopped execution abnormally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// A memory access faulted (unmapped page or permission denial —
+    /// the latter is how DEP manifests).
+    Mem(MemError),
+    /// A protected-module access-control rule was violated.
+    Pma(PmaViolation),
+    /// The bytes at `addr` do not decode to an instruction.
+    Decode {
+        /// Address of the undecodable bytes.
+        addr: u32,
+        /// The decoder's complaint.
+        err: DecodeError,
+    },
+    /// Division or remainder by zero.
+    DivideByZero {
+        /// Address of the faulting instruction.
+        ip: u32,
+    },
+    /// A compiler-inserted defensive check fired (`trap` instruction);
+    /// see [`isa::trap`] for the conventional codes.
+    SoftwareTrap {
+        /// The trap code.
+        code: u8,
+        /// Address of the trap instruction.
+        ip: u32,
+    },
+    /// The hardware shadow stack observed a return address different
+    /// from the one recorded at call time.
+    ShadowStackMismatch {
+        /// What the shadow stack recorded.
+        expected: u32,
+        /// What the data stack produced.
+        got: u32,
+    },
+    /// `ret` executed with an empty shadow stack (return without call).
+    ShadowStackUnderflow {
+        /// Address of the `ret`.
+        ip: u32,
+    },
+    /// `sys` with an unknown call number.
+    UnknownSyscall {
+        /// The unrecognized number.
+        number: u8,
+        /// Address of the `sys` instruction.
+        ip: u32,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Mem(e) => write!(f, "memory fault: {e}"),
+            Fault::Pma(e) => write!(f, "protected-module violation: {e}"),
+            Fault::Decode { addr, err } => {
+                write!(f, "illegal instruction at {addr:#010x}: {err}")
+            }
+            Fault::DivideByZero { ip } => write!(f, "division by zero at {ip:#010x}"),
+            Fault::SoftwareTrap { code, ip } => {
+                write!(f, "software trap {code} at {ip:#010x}")
+            }
+            Fault::ShadowStackMismatch { expected, got } => write!(
+                f,
+                "shadow stack mismatch: return to {got:#010x}, expected {expected:#010x}"
+            ),
+            Fault::ShadowStackUnderflow { ip } => {
+                write!(f, "return without matching call at {ip:#010x}")
+            }
+            Fault::UnknownSyscall { number, ip } => {
+                write!(f, "unknown syscall {number} at {ip:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+impl From<MemError> for Fault {
+    fn from(e: MemError) -> Fault {
+        Fault::Mem(e)
+    }
+}
+
+impl From<PmaViolation> for Fault {
+    fn from(e: PmaViolation) -> Fault {
+        Fault::Pma(e)
+    }
+}
+
+/// Result of one [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// The instruction completed; execution may continue.
+    Continue,
+    /// The machine halted with the given exit code.
+    Halted(u32),
+    /// Execution stopped on a fault.
+    Fault(Fault),
+    /// A blocking `read` found no input; the instruction will retry
+    /// once input arrives (see [`Machine::set_blocking_reads`]).
+    Blocked {
+        /// The channel being waited on.
+        fd: u32,
+    },
+}
+
+/// Result of a bounded [`Machine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The program exited with this code.
+    Halted(u32),
+    /// Execution stopped on a fault.
+    Fault(Fault),
+    /// The fuel budget was exhausted before the program finished.
+    OutOfFuel,
+    /// A blocking `read` is waiting for input; feed the channel and run
+    /// again (interactive server sessions).
+    Blocked {
+        /// The channel being waited on.
+        fd: u32,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the program ran to a normal exit.
+    pub fn is_halted(self) -> bool {
+        matches!(self, RunOutcome::Halted(_))
+    }
+
+    /// The fault, if execution faulted.
+    pub fn fault(self) -> Option<Fault> {
+        match self {
+            RunOutcome::Fault(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Halted(code) => write!(f, "halted with exit code {code}"),
+            RunOutcome::Fault(fault) => write!(f, "faulted: {fault}"),
+            RunOutcome::OutOfFuel => write!(f, "out of fuel"),
+            RunOutcome::Blocked { fd } => write!(f, "blocked reading channel {fd}"),
+        }
+    }
+}
+
+/// The virtual machine: registers, memory, I/O and optional platform
+/// protections.
+pub struct Machine {
+    regs: [u32; NUM_REGS],
+    ip: u32,
+    flags: Flags,
+    mem: Memory,
+    io: IoBus,
+    pma: Option<ProtectionMap>,
+    shadow_stack: Option<Vec<u32>>,
+    halted: Option<u32>,
+    stats: ExecStats,
+    rng_state: u64,
+    prev_ip: u32,
+    pending_transfer: TransferKind,
+    trace: Option<Vec<TraceEntry>>,
+    blocking_reads: bool,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("ip", &format_args!("{:#010x}", self.ip))
+            .field("sp", &format_args!("{:#010x}", self.reg(Reg::Sp)))
+            .field("bp", &format_args!("{:#010x}", self.reg(Reg::Bp)))
+            .field("halted", &self.halted)
+            .field("instructions", &self.stats.instructions)
+            .finish()
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with empty memory, zeroed registers, permission
+    /// enforcement on and no platform protections.
+    pub fn new() -> Machine {
+        Machine {
+            regs: [0; NUM_REGS],
+            ip: 0,
+            flags: Flags::default(),
+            mem: Memory::new(),
+            io: IoBus::new(),
+            pma: None,
+            shadow_stack: None,
+            halted: None,
+            stats: ExecStats::default(),
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+            prev_ip: 0,
+            pending_transfer: TransferKind::Jump,
+            trace: None,
+            blocking_reads: false,
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs[r.index()] = value;
+    }
+
+    /// The instruction pointer.
+    pub fn ip(&self) -> u32 {
+        self.ip
+    }
+
+    /// Sets the instruction pointer (counts as a jump for the PMA entry
+    /// rule).
+    pub fn set_ip(&mut self, ip: u32) {
+        self.prev_ip = self.ip;
+        self.ip = ip;
+        self.pending_transfer = TransferKind::Jump;
+    }
+
+    /// The comparison flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Shared access to memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory (loader-level; no checks apply).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Shared access to the I/O bus.
+    pub fn io(&self) -> &IoBus {
+        &self.io
+    }
+
+    /// Mutable access to the I/O bus (to feed attacker input or inspect
+    /// output).
+    pub fn io_mut(&mut self) -> &mut IoBus {
+        &mut self.io
+    }
+
+    /// Installs (or removes) the protected-module access-control map.
+    pub fn set_protection(&mut self, pma: Option<ProtectionMap>) {
+        self.pma = pma;
+    }
+
+    /// The installed protection map, if any.
+    pub fn protection(&self) -> Option<&ProtectionMap> {
+        self.pma.as_ref()
+    }
+
+    /// Enables or disables the hardware shadow stack.
+    pub fn set_shadow_stack(&mut self, enabled: bool) {
+        self.shadow_stack = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Whether the hardware shadow stack is enabled.
+    pub fn shadow_stack_enabled(&self) -> bool {
+        self.shadow_stack.is_some()
+    }
+
+    /// Makes `read` block (retry) when no input is queued, instead of
+    /// returning 0 bytes — the behaviour of a server waiting on a
+    /// connection, needed for interactive multi-request sessions.
+    pub fn set_blocking_reads(&mut self, blocking: bool) {
+        self.blocking_reads = blocking;
+    }
+
+    /// Seeds the machine's deterministic RNG (the `sys rand` source).
+    pub fn seed_rng(&mut self, seed: u64) {
+        self.rng_state = seed | 1;
+    }
+
+    /// Execution statistics accumulated so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Enables instruction tracing; entries accumulate until
+    /// [`Machine::take_trace`].
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Removes and returns the accumulated instruction trace.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// The exit code, if the machine has halted.
+    pub fn exit_code(&self) -> Option<u32> {
+        self.halted
+    }
+
+    fn next_rand(&mut self) -> u32 {
+        // xorshift64* — deterministic and seedable so experiments can be
+        // reproduced bit-for-bit.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u32
+    }
+
+    fn check_pma_data(&self, addr: u32) -> Result<(), Fault> {
+        if let Some(pma) = &self.pma {
+            pma.check_data(self.ip, addr)?;
+        }
+        Ok(())
+    }
+
+    fn load_u32(&mut self, addr: u32) -> Result<u32, Fault> {
+        self.check_pma_data(addr)?;
+        self.stats.mem_reads += 1;
+        Ok(self.mem.read_u32(addr, Access::Read)?)
+    }
+
+    fn load_u8(&mut self, addr: u32) -> Result<u8, Fault> {
+        self.check_pma_data(addr)?;
+        self.stats.mem_reads += 1;
+        Ok(self.mem.read_u8(addr, Access::Read)?)
+    }
+
+    fn store_u32(&mut self, addr: u32, value: u32) -> Result<(), Fault> {
+        self.check_pma_data(addr)?;
+        self.stats.mem_writes += 1;
+        Ok(self.mem.write_u32(addr, value, Access::Write)?)
+    }
+
+    fn store_u8(&mut self, addr: u32, value: u8) -> Result<(), Fault> {
+        self.check_pma_data(addr)?;
+        self.stats.mem_writes += 1;
+        Ok(self.mem.write_u8(addr, value, Access::Write)?)
+    }
+
+    fn push(&mut self, value: u32) -> Result<(), Fault> {
+        let sp = self.reg(Reg::Sp).wrapping_sub(4);
+        self.set_reg(Reg::Sp, sp);
+        self.store_u32(sp, value)
+    }
+
+    fn pop(&mut self) -> Result<u32, Fault> {
+        let sp = self.reg(Reg::Sp);
+        let value = self.load_u32(sp)?;
+        self.set_reg(Reg::Sp, sp.wrapping_add(4));
+        Ok(value)
+    }
+
+    fn fetch(&self) -> Result<(Instr, usize), Fault> {
+        let first = self.mem.read_u8(self.ip, Access::Fetch)?;
+        let len = isa::instr_len(first).ok_or(Fault::Decode {
+            addr: self.ip,
+            err: DecodeError::UnknownOpcode(first),
+        })?;
+        let mut buf = [0u8; isa::MAX_INSTR_LEN];
+        for (i, slot) in buf.iter_mut().enumerate().take(len) {
+            *slot = self.mem.read_u8(self.ip.wrapping_add(i as u32), Access::Fetch)?;
+        }
+        Instr::decode(&buf[..len]).map_err(|err| Fault::Decode { addr: self.ip, err })
+    }
+
+    fn transfer(&mut self, target: u32, kind: TransferKind) {
+        self.prev_ip = self.ip;
+        self.ip = target;
+        self.pending_transfer = kind;
+    }
+
+    fn advance(&mut self, len: usize) {
+        self.prev_ip = self.ip;
+        self.ip = self.ip.wrapping_add(len as u32);
+        self.pending_transfer = TransferKind::Sequential;
+    }
+
+    fn syscall(&mut self, number: u8) -> Result<SysEffect, Fault> {
+        self.stats.syscalls += 1;
+        match number {
+            isa::sys::EXIT => Ok(SysEffect::Halt(self.reg(Reg::R0))),
+            isa::sys::READ => {
+                let fd = self.reg(Reg::R0);
+                let buf = self.reg(Reg::R1);
+                let len = self.reg(Reg::R2);
+                if self.blocking_reads && len > 0 && self.io.pending_input(fd) == 0 {
+                    return Ok(SysEffect::Block(fd));
+                }
+                let mut tmp = vec![0u8; len as usize];
+                let n = self.io.read(fd, &mut tmp);
+                for (i, &b) in tmp[..n].iter().enumerate() {
+                    self.store_u8(buf.wrapping_add(i as u32), b)?;
+                }
+                self.set_reg(Reg::R0, n as u32);
+                Ok(SysEffect::Continue)
+            }
+            isa::sys::WRITE => {
+                let fd = self.reg(Reg::R0);
+                let buf = self.reg(Reg::R1);
+                let len = self.reg(Reg::R2);
+                let mut out = Vec::with_capacity(len as usize);
+                for i in 0..len {
+                    out.push(self.load_u8(buf.wrapping_add(i))?);
+                }
+                self.io.write(fd, &out);
+                self.set_reg(Reg::R0, len);
+                Ok(SysEffect::Continue)
+            }
+            isa::sys::RAND => {
+                let r = self.next_rand();
+                self.set_reg(Reg::R0, r);
+                Ok(SysEffect::Continue)
+            }
+            _ => Err(Fault::UnknownSyscall {
+                number,
+                ip: self.ip,
+            }),
+        }
+    }
+
+    fn alu(&mut self, op: AluOp, dst: Reg, src: Reg) -> Result<(), Fault> {
+        let a = self.reg(dst);
+        let b = self.reg(src);
+        let result = match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::DivU => {
+                if b == 0 {
+                    return Err(Fault::DivideByZero { ip: self.ip });
+                }
+                a / b
+            }
+            AluOp::DivS => {
+                if b == 0 {
+                    return Err(Fault::DivideByZero { ip: self.ip });
+                }
+                (a as i32).wrapping_div(b as i32) as u32
+            }
+            AluOp::ModU => {
+                if b == 0 {
+                    return Err(Fault::DivideByZero { ip: self.ip });
+                }
+                a % b
+            }
+            AluOp::ModS => {
+                if b == 0 {
+                    return Err(Fault::DivideByZero { ip: self.ip });
+                }
+                (a as i32).wrapping_rem(b as i32) as u32
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b),
+            AluOp::Shr => a.wrapping_shr(b),
+            AluOp::Sar => ((a as i32).wrapping_shr(b)) as u32,
+        };
+        self.set_reg(dst, result);
+        Ok(())
+    }
+
+    fn set_cmp_flags(&mut self, a: u32, b: u32) {
+        self.flags = Flags {
+            zero: a == b,
+            lt: (a as i32) < (b as i32),
+            ltu: a < b,
+        };
+    }
+
+    /// Executes one instruction.
+    pub fn step(&mut self) -> StepResult {
+        if let Some(code) = self.halted {
+            return StepResult::Halted(code);
+        }
+        // PMA rule 2: entering a module's code requires an entry point.
+        if let Some(pma) = &self.pma {
+            if let Err(v) = pma.check_fetch(self.prev_ip, self.ip, self.pending_transfer) {
+                return StepResult::Fault(Fault::Pma(v));
+            }
+        }
+        let (instr, len) = match self.fetch() {
+            Ok(pair) => pair,
+            Err(f) => return StepResult::Fault(f),
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry { ip: self.ip, instr });
+        }
+        self.stats.instructions += 1;
+        match self.exec(instr, len) {
+            Ok(ExecOutcome::Continue) => StepResult::Continue,
+            Ok(ExecOutcome::Halt(code)) => {
+                self.halted = Some(code);
+                StepResult::Halted(code)
+            }
+            Ok(ExecOutcome::Blocked(fd)) => StepResult::Blocked { fd },
+            Err(f) => StepResult::Fault(f),
+        }
+    }
+
+    fn exec(&mut self, instr: Instr, len: usize) -> Result<ExecOutcome, Fault> {
+        match instr {
+            Instr::Nop => self.advance(len),
+            Instr::Halt => {
+                return Ok(ExecOutcome::Halt(0));
+            }
+            Instr::MovI { dst, imm } => {
+                self.set_reg(dst, imm);
+                self.advance(len);
+            }
+            Instr::Mov { dst, src } => {
+                let v = self.reg(src);
+                self.set_reg(dst, v);
+                self.advance(len);
+            }
+            Instr::Load { dst, base, disp } => {
+                let addr = self.reg(base).wrapping_add(disp as i32 as u32);
+                let v = self.load_u32(addr)?;
+                self.set_reg(dst, v);
+                self.advance(len);
+            }
+            Instr::Store { base, disp, src } => {
+                let addr = self.reg(base).wrapping_add(disp as i32 as u32);
+                let v = self.reg(src);
+                self.store_u32(addr, v)?;
+                self.advance(len);
+            }
+            Instr::LoadB { dst, base, disp } => {
+                let addr = self.reg(base).wrapping_add(disp as i32 as u32);
+                let v = self.load_u8(addr)?;
+                self.set_reg(dst, u32::from(v));
+                self.advance(len);
+            }
+            Instr::StoreB { base, disp, src } => {
+                let addr = self.reg(base).wrapping_add(disp as i32 as u32);
+                let v = self.reg(src) as u8;
+                self.store_u8(addr, v)?;
+                self.advance(len);
+            }
+            Instr::Push(r) => {
+                let v = self.reg(r);
+                self.push(v)?;
+                self.advance(len);
+            }
+            Instr::Pop(r) => {
+                let v = self.pop()?;
+                self.set_reg(r, v);
+                self.advance(len);
+            }
+            Instr::PushI(imm) => {
+                self.push(imm)?;
+                self.advance(len);
+            }
+            Instr::Alu { op, dst, src } => {
+                self.alu(op, dst, src)?;
+                self.advance(len);
+            }
+            Instr::AddI { dst, imm } => {
+                let v = self.reg(dst).wrapping_add(imm);
+                self.set_reg(dst, v);
+                self.advance(len);
+            }
+            Instr::Cmp { a, b } => {
+                let (x, y) = (self.reg(a), self.reg(b));
+                self.set_cmp_flags(x, y);
+                self.advance(len);
+            }
+            Instr::CmpI { a, imm } => {
+                let x = self.reg(a);
+                self.set_cmp_flags(x, imm);
+                self.advance(len);
+            }
+            Instr::Jmp(target) => self.transfer(target, TransferKind::Jump),
+            Instr::JCond { cond, target } => {
+                if self.flags.test(cond) {
+                    self.transfer(target, TransferKind::Jump);
+                } else {
+                    self.advance(len);
+                }
+            }
+            Instr::Call(target) => {
+                let ret = self.ip.wrapping_add(len as u32);
+                self.push(ret)?;
+                if let Some(shadow) = &mut self.shadow_stack {
+                    shadow.push(ret);
+                }
+                self.stats.calls += 1;
+                self.transfer(target, TransferKind::Call);
+            }
+            Instr::CallR(r) => {
+                let target = self.reg(r);
+                let ret = self.ip.wrapping_add(len as u32);
+                self.push(ret)?;
+                if let Some(shadow) = &mut self.shadow_stack {
+                    shadow.push(ret);
+                }
+                self.stats.calls += 1;
+                self.transfer(target, TransferKind::Call);
+            }
+            Instr::Ret => {
+                let target = self.pop()?;
+                if let Some(shadow) = &mut self.shadow_stack {
+                    match shadow.pop() {
+                        None => {
+                            return Err(Fault::ShadowStackUnderflow { ip: self.ip });
+                        }
+                        Some(expected) if expected != target => {
+                            return Err(Fault::ShadowStackMismatch {
+                                expected,
+                                got: target,
+                            });
+                        }
+                        Some(_) => {}
+                    }
+                }
+                self.stats.rets += 1;
+                self.transfer(target, TransferKind::Ret);
+            }
+            Instr::JmpR(r) => {
+                let target = self.reg(r);
+                self.transfer(target, TransferKind::Jump);
+            }
+            Instr::Enter(frame) => {
+                let bp = self.reg(Reg::Bp);
+                self.push(bp)?;
+                let sp = self.reg(Reg::Sp);
+                self.set_reg(Reg::Bp, sp);
+                self.set_reg(Reg::Sp, sp.wrapping_sub(frame));
+                self.advance(len);
+            }
+            Instr::Leave => {
+                let bp = self.reg(Reg::Bp);
+                self.set_reg(Reg::Sp, bp);
+                let saved = self.pop()?;
+                self.set_reg(Reg::Bp, saved);
+                self.advance(len);
+            }
+            Instr::Sys(number) => {
+                match self.syscall(number)? {
+                    SysEffect::Halt(code) => return Ok(ExecOutcome::Halt(code)),
+                    SysEffect::Block(fd) => {
+                        // Do not advance: the read retries on next step.
+                        return Ok(ExecOutcome::Blocked(fd));
+                    }
+                    SysEffect::Continue => self.advance(len),
+                }
+            }
+            Instr::Trap(code) => {
+                return Err(Fault::SoftwareTrap { code, ip: self.ip });
+            }
+            Instr::Lea { dst, base, disp } => {
+                let addr = self.reg(base).wrapping_add(disp as i32 as u32);
+                self.set_reg(dst, addr);
+                self.advance(len);
+            }
+        }
+        Ok(ExecOutcome::Continue)
+    }
+
+    /// Runs up to `fuel` instructions. With blocking reads enabled, the
+    /// run pauses (returning [`RunOutcome::Blocked`]) when input runs
+    /// dry; feed the channel and call `run` again to resume.
+    pub fn run(&mut self, fuel: u64) -> RunOutcome {
+        for _ in 0..fuel {
+            match self.step() {
+                StepResult::Continue => {}
+                StepResult::Halted(code) => return RunOutcome::Halted(code),
+                StepResult::Fault(f) => return RunOutcome::Fault(f),
+                StepResult::Blocked { fd } => return RunOutcome::Blocked { fd },
+            }
+        }
+        RunOutcome::OutOfFuel
+    }
+}
+
+enum SysEffect {
+    Continue,
+    Halt(u32),
+    Block(u32),
+}
+
+enum ExecOutcome {
+    Continue,
+    Halt(u32),
+    Blocked(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{sys, trap};
+    use crate::mem::{MemErrorKind, Perm};
+    use crate::policy::{ProtectedRegion, ReentryPolicy};
+
+    const TEXT: u32 = 0x1000;
+    const STACK_TOP: u32 = 0xbfff_f000;
+
+    fn assemble(instrs: &[Instr]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in instrs {
+            i.encode(&mut out);
+        }
+        out
+    }
+
+    fn machine_with(instrs: &[Instr]) -> Machine {
+        let mut m = Machine::new();
+        m.mem_mut().map(TEXT, 0x1000, Perm::RX).unwrap();
+        m.mem_mut()
+            .map(STACK_TOP - 0x4000, 0x4000, Perm::RW)
+            .unwrap();
+        m.mem_mut().poke_bytes(TEXT, &assemble(instrs)).unwrap();
+        m.set_reg(Reg::Sp, STACK_TOP);
+        m.set_ip(TEXT);
+        m
+    }
+
+    fn exit_with(r: Reg) -> Vec<Instr> {
+        vec![Instr::Mov { dst: Reg::R0, src: r }, Instr::Sys(sys::EXIT)]
+    }
+
+    #[test]
+    fn arithmetic_and_exit() {
+        let mut prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: 40 },
+            Instr::MovI { dst: Reg::R2, imm: 2 },
+            Instr::Alu { op: AluOp::Add, dst: Reg::R1, src: Reg::R2 },
+        ];
+        prog.extend(exit_with(Reg::R1));
+        assert_eq!(machine_with(&prog).run(100), RunOutcome::Halted(42));
+    }
+
+    #[test]
+    fn signed_division_truncates_toward_zero() {
+        let mut prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: (-7i32) as u32 },
+            Instr::MovI { dst: Reg::R2, imm: 2 },
+            Instr::Alu { op: AluOp::DivS, dst: Reg::R1, src: Reg::R2 },
+        ];
+        prog.extend(exit_with(Reg::R1));
+        assert_eq!(
+            machine_with(&prog).run(100),
+            RunOutcome::Halted((-3i32) as u32)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: 1 },
+            Instr::MovI { dst: Reg::R2, imm: 0 },
+            Instr::Alu { op: AluOp::DivU, dst: Reg::R1, src: Reg::R2 },
+        ];
+        let outcome = machine_with(&prog).run(100);
+        assert!(matches!(outcome, RunOutcome::Fault(Fault::DivideByZero { .. })));
+    }
+
+    #[test]
+    fn call_and_ret_roundtrip_through_stack() {
+        // call f; exit(r0)   f: movi r0, 7; ret
+        // Layout: call(5) mov(2) sys(2) -> f at TEXT+9
+        let prog = vec![
+            Instr::Call(TEXT + 9),
+            Instr::Mov { dst: Reg::R0, src: Reg::R0 },
+            Instr::Sys(sys::EXIT),
+            Instr::MovI { dst: Reg::R0, imm: 7 },
+            Instr::Ret,
+        ];
+        assert_eq!(machine_with(&prog).run(100), RunOutcome::Halted(7));
+    }
+
+    #[test]
+    fn enter_leave_maintain_frame_chain() {
+        let prog = vec![
+            Instr::Call(TEXT + 9),
+            Instr::Mov { dst: Reg::R0, src: Reg::R3 },
+            Instr::Sys(sys::EXIT),
+            // f:
+            Instr::Enter(0x18),
+            Instr::MovI { dst: Reg::R3, imm: 11 },
+            Instr::Store { base: Reg::Bp, disp: -4, src: Reg::R3 },
+            Instr::Load { dst: Reg::R3, base: Reg::Bp, disp: -4 },
+            Instr::Leave,
+            Instr::Ret,
+        ];
+        assert_eq!(machine_with(&prog).run(100), RunOutcome::Halted(11));
+    }
+
+    #[test]
+    fn conditional_jumps_follow_flags() {
+        // if (3 < 5) exit(1) else exit(0), signed
+        let prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: 3 },
+            Instr::CmpI { a: Reg::R1, imm: 5 },
+            Instr::JCond { cond: Cond::Lt, target: TEXT + 24 },
+            Instr::MovI { dst: Reg::R0, imm: 0 }, // offset 17
+            Instr::Sys(sys::EXIT),
+            Instr::MovI { dst: Reg::R0, imm: 1 }, // offset 24
+            Instr::Sys(sys::EXIT),
+        ];
+        assert_eq!(machine_with(&prog).run(100), RunOutcome::Halted(1));
+    }
+
+    #[test]
+    fn unsigned_vs_signed_comparison_differ() {
+        // -1 (0xffffffff) is above 5 unsigned, below 5 signed.
+        let prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: u32::MAX },
+            Instr::CmpI { a: Reg::R1, imm: 5 },
+            Instr::JCond { cond: Cond::B, target: TEXT + 24 },
+            Instr::MovI { dst: Reg::R0, imm: 2 }, // not below (unsigned)
+            Instr::Sys(sys::EXIT),
+            Instr::MovI { dst: Reg::R0, imm: 3 },
+            Instr::Sys(sys::EXIT),
+        ];
+        assert_eq!(machine_with(&prog).run(100), RunOutcome::Halted(2));
+    }
+
+    #[test]
+    fn read_and_write_syscalls_move_bytes() {
+        let buf = STACK_TOP - 0x100;
+        let prog = vec![
+            Instr::MovI { dst: Reg::R0, imm: 0 },   // fd 0
+            Instr::MovI { dst: Reg::R1, imm: buf },
+            Instr::MovI { dst: Reg::R2, imm: 16 },
+            Instr::Sys(sys::READ),
+            Instr::Mov { dst: Reg::R2, src: Reg::R0 }, // echo as many as read
+            Instr::MovI { dst: Reg::R0, imm: 1 },   // fd 1
+            Instr::Sys(sys::WRITE),
+            Instr::MovI { dst: Reg::R0, imm: 0 },
+            Instr::Sys(sys::EXIT),
+        ];
+        let mut m = machine_with(&prog);
+        m.io_mut().feed_input(0, b"hello");
+        assert_eq!(m.run(100), RunOutcome::Halted(0));
+        assert_eq!(m.io().output(1), b"hello");
+    }
+
+    #[test]
+    fn rand_syscall_is_deterministic_per_seed() {
+        let prog = vec![Instr::Sys(sys::RAND), Instr::Sys(sys::EXIT)];
+        let mut a = machine_with(&prog);
+        a.seed_rng(7);
+        let mut b = machine_with(&prog);
+        b.seed_rng(7);
+        assert_eq!(a.run(10), b.run(10));
+    }
+
+    #[test]
+    fn software_trap_reports_code() {
+        let prog = vec![Instr::Trap(trap::CANARY)];
+        let outcome = machine_with(&prog).run(10);
+        assert_eq!(
+            outcome,
+            RunOutcome::Fault(Fault::SoftwareTrap { code: trap::CANARY, ip: TEXT })
+        );
+    }
+
+    #[test]
+    fn executing_data_faults_under_dep() {
+        // Jump to the (RW) stack page: fetch denied when enforcement is on.
+        let prog = vec![Instr::Jmp(STACK_TOP - 0x100)];
+        let mut m = machine_with(&prog);
+        let outcome = m.run(10);
+        match outcome {
+            RunOutcome::Fault(Fault::Mem(e)) => {
+                assert_eq!(e.access, Access::Fetch);
+                assert!(matches!(e.kind, MemErrorKind::Denied { .. }));
+            }
+            other => panic!("expected DEP fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn executing_data_succeeds_without_dep() {
+        let data = STACK_TOP - 0x100;
+        let shellcode = assemble(&[Instr::MovI { dst: Reg::R0, imm: 99 }, Instr::Sys(sys::EXIT)]);
+        let prog = vec![Instr::Jmp(data)];
+        let mut m = machine_with(&prog);
+        m.mem_mut().poke_bytes(data, &shellcode).unwrap();
+        m.mem_mut().set_enforce(false);
+        assert_eq!(m.run(10), RunOutcome::Halted(99));
+    }
+
+    #[test]
+    fn shadow_stack_catches_overwritten_return_address() {
+        // main: call f; exit(0)
+        // f: overwrite own return address, then ret.
+        let prog = vec![
+            Instr::Call(TEXT + 12),                         // +0, 5 bytes
+            Instr::MovI { dst: Reg::R0, imm: 0 },           // +5
+            Instr::Sys(sys::EXIT),                          // +11? no: movi 6 bytes
+        ];
+        // Recompute: call is 5 bytes (ends at +5), movi 6 (ends at +11),
+        // sys 2 (ends at +13). Place f at +13.
+        let prog = {
+            let mut p = prog;
+            p[0] = Instr::Call(TEXT + 13);
+            p.push(Instr::MovI { dst: Reg::R1, imm: TEXT }); // f: forge target
+            p.push(Instr::Store { base: Reg::Sp, disp: 0, src: Reg::R1 });
+            p.push(Instr::Ret);
+            p
+        };
+        let mut m = machine_with(&prog);
+        m.set_shadow_stack(true);
+        let outcome = m.run(100);
+        assert!(
+            matches!(outcome, RunOutcome::Fault(Fault::ShadowStackMismatch { .. })),
+            "got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn shadow_stack_underflow_on_bare_ret() {
+        let prog = vec![Instr::PushI(TEXT), Instr::Ret];
+        let mut m = machine_with(&prog);
+        m.set_shadow_stack(true);
+        assert!(matches!(
+            m.run(10),
+            RunOutcome::Fault(Fault::ShadowStackUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn shadow_stack_allows_honest_calls() {
+        let prog = vec![
+            Instr::Call(TEXT + 13),
+            Instr::MovI { dst: Reg::R0, imm: 5 },
+            Instr::Sys(sys::EXIT),
+            Instr::Ret,
+        ];
+        let mut m = machine_with(&prog);
+        m.set_shadow_stack(true);
+        assert_eq!(m.run(100), RunOutcome::Halted(5));
+    }
+
+    #[test]
+    fn pma_blocks_outside_data_access() {
+        // Program (outside) loads from protected data.
+        let prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: 0x0060_0000 },
+            Instr::Load { dst: Reg::R0, base: Reg::R1, disp: 0 },
+        ];
+        let mut m = machine_with(&prog);
+        m.mem_mut().map(0x0050_0000, 0x2000, Perm::RWX).unwrap();
+        m.set_protection(Some(ProtectionMap::new(vec![ProtectedRegion::new(
+            0x0050_0000..0x0050_1000,
+            0x0060_0000..0x0060_1000,
+            vec![0x0050_0000],
+        )])));
+        m.mem_mut().map(0x0060_0000, 0x1000, Perm::RW).unwrap();
+        let outcome = m.run(10);
+        assert!(matches!(outcome, RunOutcome::Fault(Fault::Pma(_))), "{outcome:?}");
+    }
+
+    #[test]
+    fn pma_entry_point_gates_calls() {
+        // call into module at non-entry offset faults; at entry succeeds.
+        let module_code = 0x0050_0000;
+        let make = |target: u32| {
+            let prog = vec![Instr::Call(target)];
+            let mut m = machine_with(&prog);
+            m.mem_mut().map(module_code, 0x1000, Perm::RX).unwrap();
+            let body = assemble(&[
+                Instr::Nop,
+                Instr::MovI { dst: Reg::R0, imm: 1 },
+                Instr::Sys(sys::EXIT),
+            ]);
+            m.mem_mut().poke_bytes(module_code, &body).unwrap();
+            m.set_protection(Some(ProtectionMap::new(vec![ProtectedRegion::new(
+                module_code..module_code + 0x1000,
+                0x0060_0000..0x0060_1000,
+                vec![module_code],
+            )])));
+            m
+        };
+        assert_eq!(make(module_code).run(10), RunOutcome::Halted(1));
+        let outcome = make(module_code + 1).run(10);
+        assert!(matches!(outcome, RunOutcome::Fault(Fault::Pma(_))));
+    }
+
+    #[test]
+    fn pma_relaxed_reentry_permits_returns_into_module() {
+        // Module calls out; external code returns back into module body.
+        let module_code = 0x0050_0000;
+        let external = TEXT;
+        // external main: call module entry; (module then calls back out to
+        // `helper` which returns into the module's middle).
+        let helper = TEXT + 0x100;
+        let prog = vec![Instr::Call(module_code)];
+        let mut m = machine_with(&prog);
+        m.mem_mut().poke_bytes(helper, &assemble(&[Instr::Ret])).unwrap();
+        m.mem_mut().map(module_code, 0x1000, Perm::RX).unwrap();
+        let module_body = assemble(&[
+            Instr::MovI { dst: Reg::R1, imm: helper },
+            Instr::CallR(Reg::R1),
+            Instr::MovI { dst: Reg::R0, imm: 77 },
+            Instr::Sys(sys::EXIT),
+        ]);
+        m.mem_mut().poke_bytes(module_code, &module_body).unwrap();
+        let region = ProtectedRegion::new(
+            module_code..module_code + 0x1000,
+            0x0060_0000..0x0060_1000,
+            vec![module_code],
+        );
+        // Strict policy: the helper's return into the module faults.
+        m.set_protection(Some(ProtectionMap::new(vec![region.clone()])));
+        let strict_outcome = m.run(100);
+        assert!(matches!(strict_outcome, RunOutcome::Fault(Fault::Pma(_))));
+
+        // Relaxed policy: the return is tolerated.
+        let prog2 = vec![Instr::Call(module_code)];
+        let mut m2 = machine_with(&prog2);
+        m2.mem_mut().poke_bytes(helper, &assemble(&[Instr::Ret])).unwrap();
+        m2.mem_mut().map(module_code, 0x1000, Perm::RX).unwrap();
+        m2.mem_mut().poke_bytes(module_code, &module_body).unwrap();
+        m2.set_protection(Some(
+            ProtectionMap::new(vec![region]).with_reentry(ReentryPolicy::AllowReturns),
+        ));
+        assert_eq!(m2.run(100), RunOutcome::Halted(77));
+        let _ = external;
+    }
+
+    #[test]
+    fn stats_count_instructions_and_calls() {
+        let prog = vec![
+            Instr::Call(TEXT + 13),
+            Instr::MovI { dst: Reg::R0, imm: 0 },
+            Instr::Sys(sys::EXIT),
+            Instr::Ret,
+        ];
+        let mut m = machine_with(&prog);
+        m.run(100);
+        assert_eq!(m.stats().calls, 1);
+        assert_eq!(m.stats().rets, 1);
+        assert_eq!(m.stats().instructions, 4);
+    }
+
+    #[test]
+    fn trace_records_executed_instructions() {
+        let prog = vec![Instr::Nop, Instr::Halt];
+        let mut m = machine_with(&prog);
+        m.set_trace(true);
+        m.run(10);
+        let trace = m.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].instr, Instr::Nop);
+        assert_eq!(trace[1].instr, Instr::Halt);
+    }
+
+    #[test]
+    fn out_of_fuel_reported() {
+        let prog = vec![Instr::Jmp(TEXT)];
+        assert_eq!(machine_with(&prog).run(10), RunOutcome::OutOfFuel);
+    }
+
+    #[test]
+    fn halted_machine_stays_halted() {
+        let prog = vec![Instr::Halt];
+        let mut m = machine_with(&prog);
+        assert_eq!(m.run(10), RunOutcome::Halted(0));
+        assert_eq!(m.step(), StepResult::Halted(0));
+        assert_eq!(m.exit_code(), Some(0));
+    }
+}

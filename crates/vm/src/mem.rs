@@ -1,0 +1,616 @@
+//! Paged virtual memory with per-page read/write/execute permissions.
+//!
+//! The machine has a full 32-bit byte-addressable address space backed
+//! sparsely by 4 KiB pages. Each page carries a permission set; whether
+//! those permissions are *enforced* is a property of the executing
+//! machine (Data Execution Prevention can be switched off to model the
+//! pre-DEP era in which injected data was executable).
+//!
+//! All multi-byte accesses are little-endian, as in the paper's
+//! Figure 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use swsec_vm::mem::{Access, Memory, Perm};
+//!
+//! let mut mem = Memory::new();
+//! mem.map(0x1000, 0x1000, Perm::RW)?;
+//! mem.write_u32(0x1ffc, 0xdead_beef, Access::Write)?;
+//! assert_eq!(mem.read_u32(0x1ffc, Access::Read)?, 0xdead_beef);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+
+/// Size of one page in bytes.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// A permission set for a page: some combination of read, write and
+/// execute rights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perm(u8);
+
+impl Perm {
+    /// No access at all.
+    pub const NONE: Perm = Perm(0);
+    /// Read only.
+    pub const R: Perm = Perm(0b100);
+    /// Write only (rarely useful on its own).
+    pub const W: Perm = Perm(0b010);
+    /// Execute only.
+    pub const X: Perm = Perm(0b001);
+    /// Read + write: ordinary data pages under DEP.
+    pub const RW: Perm = Perm(0b110);
+    /// Read + execute: code pages under DEP.
+    pub const RX: Perm = Perm(0b101);
+    /// Read + write + execute: the pre-DEP flat memory model.
+    pub const RWX: Perm = Perm(0b111);
+
+    /// Returns `true` if every right in `other` is also in `self`.
+    pub fn allows(self, other: Perm) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The union of two permission sets.
+    pub fn union(self, other: Perm) -> Perm {
+        Perm(self.0 | other.0)
+    }
+
+    /// Whether reads are permitted.
+    pub fn can_read(self) -> bool {
+        self.allows(Perm::R)
+    }
+
+    /// Whether writes are permitted.
+    pub fn can_write(self) -> bool {
+        self.allows(Perm::W)
+    }
+
+    /// Whether instruction fetch is permitted.
+    pub fn can_exec(self) -> bool {
+        self.allows(Perm::X)
+    }
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.can_read() { 'r' } else { '-' },
+            if self.can_write() { 'w' } else { '-' },
+            if self.can_exec() { 'x' } else { '-' }
+        )
+    }
+}
+
+/// The kind of memory access being attempted, used both for permission
+/// checks and fault reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+impl Access {
+    /// The permission required to perform this access.
+    pub fn required(self) -> Perm {
+        match self {
+            Access::Read => Perm::R,
+            Access::Write => Perm::W,
+            Access::Fetch => Perm::X,
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Access::Read => "read",
+            Access::Write => "write",
+            Access::Fetch => "fetch",
+        })
+    }
+}
+
+/// Why a memory access failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field meanings are given in each variant's doc
+pub enum MemErrorKind {
+    /// The page is not mapped at all.
+    Unmapped,
+    /// The page is mapped but its permissions deny the access.
+    Denied { have: Perm },
+}
+
+/// A failed memory access: the address, what was attempted, and why it
+/// was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemError {
+    /// The faulting byte address.
+    pub addr: u32,
+    /// The attempted access.
+    pub access: Access,
+    /// The reason for refusal.
+    pub kind: MemErrorKind,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            MemErrorKind::Unmapped => {
+                write!(f, "{} of unmapped address {:#010x}", self.access, self.addr)
+            }
+            MemErrorKind::Denied { have } => write!(
+                f,
+                "{} denied at {:#010x} (page permissions {})",
+                self.access, self.addr, have
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Error returned by [`Memory::map`] when a region overlaps an existing
+/// mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapError {
+    /// Base address of the page that was already mapped.
+    pub page_base: u32,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page at {:#010x} is already mapped", self.page_base)
+    }
+}
+
+impl std::error::Error for MapError {}
+
+struct Page {
+    bytes: Box<[u8; PAGE_SIZE as usize]>,
+    perm: Perm,
+}
+
+impl Page {
+    fn new(perm: Perm) -> Page {
+        Page {
+            bytes: Box::new([0; PAGE_SIZE as usize]),
+            perm,
+        }
+    }
+}
+
+/// Sparse paged memory for one machine.
+///
+/// Pages are created by [`Memory::map`] and checked on every access when
+/// `enforce` is on (the default). Turning enforcement off with
+/// [`Memory::set_enforce`] models the flat pre-DEP memory in which any
+/// mapped byte is readable, writable and executable.
+pub struct Memory {
+    pages: BTreeMap<u32, Page>,
+    enforce: bool,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("pages", &self.pages.len())
+            .field("enforce", &self.enforce)
+            .finish()
+    }
+}
+
+impl Memory {
+    /// Creates an empty address space with permission enforcement on.
+    pub fn new() -> Memory {
+        Memory {
+            pages: BTreeMap::new(),
+            enforce: true,
+        }
+    }
+
+    /// Enables or disables page-permission enforcement.
+    ///
+    /// With enforcement off, any *mapped* byte may be read, written and
+    /// executed regardless of its page permissions — the memory model
+    /// against which classic direct code injection succeeds. Unmapped
+    /// addresses still fault.
+    pub fn set_enforce(&mut self, enforce: bool) {
+        self.enforce = enforce;
+    }
+
+    /// Whether page permissions are currently enforced.
+    pub fn enforce(&self) -> bool {
+        self.enforce
+    }
+
+    fn page_base(addr: u32) -> u32 {
+        addr & !(PAGE_SIZE - 1)
+    }
+
+    /// Maps all pages overlapping `[base, base + len)` with permission
+    /// `perm`, zero-filled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] if any page in the range is already mapped;
+    /// in that case no page is mapped.
+    pub fn map(&mut self, base: u32, len: u32, perm: Perm) -> Result<(), MapError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let first = Self::page_base(base);
+        let last = Self::page_base(base.wrapping_add(len - 1));
+        let mut page = first;
+        loop {
+            if self.pages.contains_key(&page) {
+                return Err(MapError { page_base: page });
+            }
+            if page == last {
+                break;
+            }
+            page = page.wrapping_add(PAGE_SIZE);
+        }
+        let mut page = first;
+        loop {
+            self.pages.insert(page, Page::new(perm));
+            if page == last {
+                break;
+            }
+            page = page.wrapping_add(PAGE_SIZE);
+        }
+        Ok(())
+    }
+
+    /// Changes the permission of every already-mapped page overlapping
+    /// `[base, base + len)`. Unmapped pages in the range are ignored.
+    pub fn set_perm(&mut self, base: u32, len: u32, perm: Perm) {
+        if len == 0 {
+            return;
+        }
+        let first = Self::page_base(base);
+        let last = Self::page_base(base.wrapping_add(len - 1));
+        let mut page = first;
+        loop {
+            if let Some(p) = self.pages.get_mut(&page) {
+                p.perm = perm;
+            }
+            if page == last {
+                break;
+            }
+            page = page.wrapping_add(PAGE_SIZE);
+        }
+    }
+
+    /// Whether `addr` lies in a mapped page.
+    pub fn is_mapped(&self, addr: u32) -> bool {
+        self.pages.contains_key(&Self::page_base(addr))
+    }
+
+    /// The permission of the page containing `addr`, if mapped.
+    pub fn perm_at(&self, addr: u32) -> Option<Perm> {
+        self.pages.get(&Self::page_base(addr)).map(|p| p.perm)
+    }
+
+    /// Iterates over the mapped regions as `(range, perm)` pairs, merging
+    /// adjacent pages with identical permissions. Used by memory-scraping
+    /// attacks and by diagnostics.
+    pub fn regions(&self) -> Vec<(Range<u32>, Perm)> {
+        let mut out: Vec<(Range<u32>, Perm)> = Vec::new();
+        for (&base, page) in &self.pages {
+            match out.last_mut() {
+                Some((range, perm))
+                    if range.end == base && *perm == page.perm =>
+                {
+                    range.end = base.wrapping_add(PAGE_SIZE);
+                }
+                _ => out.push((base..base.wrapping_add(PAGE_SIZE), page.perm)),
+            }
+        }
+        out
+    }
+
+    fn check(&self, addr: u32, access: Access) -> Result<(), MemError> {
+        match self.pages.get(&Self::page_base(addr)) {
+            None => Err(MemError {
+                addr,
+                access,
+                kind: MemErrorKind::Unmapped,
+            }),
+            Some(page) => {
+                if !self.enforce || page.perm.allows(access.required()) {
+                    Ok(())
+                } else {
+                    Err(MemError {
+                        addr,
+                        access,
+                        kind: MemErrorKind::Denied { have: page.perm },
+                    })
+                }
+            }
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the page is unmapped or the access is denied.
+    pub fn read_u8(&self, addr: u32, access: Access) -> Result<u8, MemError> {
+        self.check(addr, access)?;
+        let page = &self.pages[&Self::page_base(addr)];
+        Ok(page.bytes[(addr % PAGE_SIZE) as usize])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the page is unmapped or the access is denied.
+    pub fn write_u8(&mut self, addr: u32, value: u8, access: Access) -> Result<(), MemError> {
+        self.check(addr, access)?;
+        let page = self.pages.get_mut(&Self::page_base(addr)).expect("checked");
+        page.bytes[(addr % PAGE_SIZE) as usize] = value;
+        Ok(())
+    }
+
+    /// Reads a little-endian 32-bit word (no alignment requirement, as on
+    /// x86).
+    ///
+    /// # Errors
+    ///
+    /// Faults on the first inaccessible byte.
+    pub fn read_u32(&self, addr: u32, access: Access) -> Result<u32, MemError> {
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u32), access)?;
+        }
+        Ok(u32::from_le_bytes(bytes))
+    }
+
+    /// Writes a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Faults on the first inaccessible byte; earlier bytes may already
+    /// have been written (as on real hardware with a straddling store).
+    pub fn write_u32(&mut self, addr: u32, value: u32, access: Access) -> Result<(), MemError> {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b, access)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on the first inaccessible byte.
+    pub fn read_bytes(&self, addr: u32, buf: &mut [u8], access: Access) -> Result<(), MemError> {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u32), access)?;
+        }
+        Ok(())
+    }
+
+    /// Writes all of `bytes` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on the first inaccessible byte; earlier bytes stay written.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8], access: Access) -> Result<(), MemError> {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b, access)?;
+        }
+        Ok(())
+    }
+
+    /// Copies `bytes` into memory ignoring permissions (but not
+    /// mappedness). This models a *loader* or *platform* action, not a
+    /// program action: the OS writing a code segment, or a machine-code
+    /// attacker with kernel privileges.
+    ///
+    /// # Errors
+    ///
+    /// Faults only on unmapped pages.
+    pub fn poke_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemError> {
+        for (i, &b) in bytes.iter().enumerate() {
+            let a = addr.wrapping_add(i as u32);
+            let base = Self::page_base(a);
+            match self.pages.get_mut(&base) {
+                None => {
+                    return Err(MemError {
+                        addr: a,
+                        access: Access::Write,
+                        kind: MemErrorKind::Unmapped,
+                    })
+                }
+                Some(page) => page.bytes[(a % PAGE_SIZE) as usize] = b,
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads bytes ignoring permissions (but not mappedness); the
+    /// complement of [`Memory::poke_bytes`], used by platform-level
+    /// inspection such as attestation measurement and kernel-level
+    /// memory-scraping malware.
+    ///
+    /// # Errors
+    ///
+    /// Faults only on unmapped pages.
+    pub fn peek_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, MemError> {
+        let mut out = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            let a = addr.wrapping_add(i);
+            let base = Self::page_base(a);
+            match self.pages.get(&base) {
+                None => {
+                    return Err(MemError {
+                        addr: a,
+                        access: Access::Read,
+                        kind: MemErrorKind::Unmapped,
+                    })
+                }
+                Some(page) => out.push(page.bytes[(a % PAGE_SIZE) as usize]),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads a 32-bit word ignoring permissions.
+    ///
+    /// # Errors
+    ///
+    /// Faults only on unmapped pages.
+    pub fn peek_u32(&self, addr: u32) -> Result<u32, MemError> {
+        let bytes = self.peek_bytes(addr, 4)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_rw_roundtrip() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 0x2000, Perm::RW).unwrap();
+        mem.write_u32(0x1ffe, 0x1122_3344, Access::Write).unwrap();
+        assert_eq!(mem.read_u32(0x1ffe, Access::Read).unwrap(), 0x1122_3344);
+    }
+
+    #[test]
+    fn words_are_little_endian() {
+        let mut mem = Memory::new();
+        mem.map(0, PAGE_SIZE, Perm::RW).unwrap();
+        mem.write_u32(0, 0x0804_840a, Access::Write).unwrap();
+        assert_eq!(mem.read_u8(0, Access::Read).unwrap(), 0x0a);
+        assert_eq!(mem.read_u8(1, Access::Read).unwrap(), 0x84);
+        assert_eq!(mem.read_u8(2, Access::Read).unwrap(), 0x04);
+        assert_eq!(mem.read_u8(3, Access::Read).unwrap(), 0x08);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mem = Memory::new();
+        let err = mem.read_u8(0x5000, Access::Read).unwrap_err();
+        assert_eq!(err.kind, MemErrorKind::Unmapped);
+        assert_eq!(err.addr, 0x5000);
+    }
+
+    #[test]
+    fn permissions_are_enforced() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE, Perm::RX).unwrap();
+        assert!(mem.read_u8(0x1000, Access::Read).is_ok());
+        assert!(mem.read_u8(0x1000, Access::Fetch).is_ok());
+        let err = mem.write_u8(0x1000, 1, Access::Write).unwrap_err();
+        assert_eq!(err.kind, MemErrorKind::Denied { have: Perm::RX });
+    }
+
+    #[test]
+    fn disabling_enforcement_models_pre_dep_memory() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE, Perm::RW).unwrap();
+        assert!(mem.read_u8(0x1000, Access::Fetch).is_err());
+        mem.set_enforce(false);
+        assert!(mem.read_u8(0x1000, Access::Fetch).is_ok());
+        // Unmapped pages still fault.
+        assert!(mem.read_u8(0x9000, Access::Read).is_err());
+    }
+
+    #[test]
+    fn double_map_rejected_atomically() {
+        let mut mem = Memory::new();
+        mem.map(0x2000, PAGE_SIZE, Perm::RW).unwrap();
+        let err = mem.map(0x1000, 3 * PAGE_SIZE, Perm::RW).unwrap_err();
+        assert_eq!(err.page_base, 0x2000);
+        // The non-conflicting page must not have been mapped.
+        assert!(!mem.is_mapped(0x1000));
+        assert!(!mem.is_mapped(0x3000));
+    }
+
+    #[test]
+    fn map_rounds_to_page_boundaries() {
+        let mut mem = Memory::new();
+        mem.map(0x1ffe, 4, Perm::RW).unwrap();
+        // Both straddled pages mapped.
+        assert!(mem.is_mapped(0x1000));
+        assert!(mem.is_mapped(0x2000));
+        assert!(!mem.is_mapped(0x3000));
+    }
+
+    #[test]
+    fn straddling_word_access_crosses_pages() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 2 * PAGE_SIZE, Perm::RW).unwrap();
+        mem.write_u32(0x1fff, 0xaabb_ccdd, Access::Write).unwrap();
+        assert_eq!(mem.read_u32(0x1fff, Access::Read).unwrap(), 0xaabb_ccdd);
+    }
+
+    #[test]
+    fn regions_merge_contiguous_same_perm_pages() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 2 * PAGE_SIZE, Perm::RX).unwrap();
+        mem.map(0x3000, PAGE_SIZE, Perm::RW).unwrap();
+        mem.map(0x8000, PAGE_SIZE, Perm::RW).unwrap();
+        let regions = mem.regions();
+        assert_eq!(
+            regions,
+            vec![
+                (0x1000..0x3000, Perm::RX),
+                (0x3000..0x4000, Perm::RW),
+                (0x8000..0x9000, Perm::RW),
+            ]
+        );
+    }
+
+    #[test]
+    fn poke_and_peek_ignore_permissions() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE, Perm::NONE).unwrap();
+        mem.poke_bytes(0x1000, &[1, 2, 3]).unwrap();
+        assert_eq!(mem.peek_bytes(0x1000, 3).unwrap(), vec![1, 2, 3]);
+        assert!(mem.read_u8(0x1000, Access::Read).is_err());
+    }
+
+    #[test]
+    fn set_perm_changes_existing_pages_only() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE, Perm::RW).unwrap();
+        mem.set_perm(0x1000, 2 * PAGE_SIZE, Perm::R);
+        assert_eq!(mem.perm_at(0x1000), Some(Perm::R));
+        assert!(!mem.is_mapped(0x2000));
+    }
+
+    #[test]
+    fn perm_display() {
+        assert_eq!(Perm::RWX.to_string(), "rwx");
+        assert_eq!(Perm::RX.to_string(), "r-x");
+        assert_eq!(Perm::NONE.to_string(), "---");
+    }
+
+    #[test]
+    fn zero_length_map_is_noop() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 0, Perm::RW).unwrap();
+        assert!(!mem.is_mapped(0x1000));
+    }
+}

@@ -1,0 +1,74 @@
+//! Execution statistics and instruction tracing.
+//!
+//! Statistics are cheap and always collected; full instruction traces
+//! are opt-in via [`Machine::set_trace`](crate::cpu::Machine::set_trace)
+//! and are used by experiments that want to show *how* an attack
+//! redirected control flow.
+
+use std::fmt;
+
+use crate::isa::Instr;
+
+/// Counters accumulated over a machine's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// `call`/`callr` instructions executed.
+    pub calls: u64,
+    /// `ret` instructions executed.
+    pub rets: u64,
+    /// Data loads performed.
+    pub mem_reads: u64,
+    /// Data stores performed.
+    pub mem_writes: u64,
+    /// System calls performed.
+    pub syscalls: u64,
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instructions ({} calls, {} rets, {} loads, {} stores, {} syscalls)",
+            self.instructions, self.calls, self.rets, self.mem_reads, self.mem_writes,
+            self.syscalls
+        )
+    }
+}
+
+/// One executed instruction, as recorded by the tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Address the instruction was fetched from.
+    pub ip: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}: {}", self.ip, self.instr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, Reg};
+
+    #[test]
+    fn stats_display_is_nonempty() {
+        let stats = ExecStats::default();
+        assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn trace_entry_display_includes_address() {
+        let entry = TraceEntry {
+            ip: 0x0804_83f2,
+            instr: Instr::Push(Reg::Bp),
+        };
+        assert_eq!(entry.to_string(), "0x080483f2: push bp");
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates the full experiment tables of the reproduction: the
+//! E2 catalogue, the E3 attack × countermeasure matrix, the E4 ASLR
+//! sweep, the E5 overhead table and the E6 analysis table.
+//!
+//! ```text
+//! cargo run --release --example defense_matrix
+//! ```
+
+use swsec::experiments::{analysis, aslr, canary_oracle, catalogue, matrix, overhead};
+
+fn main() {
+    for table in catalogue::run(42).tables() {
+        println!("{table}");
+    }
+
+    println!("{}", matrix::run(42).table());
+
+    // Keep the sweep small outside --release; the bench harness runs
+    // the full version.
+    println!("{}", aslr::run(&[2, 4, 6], 5, 7).table());
+
+    println!("{}", overhead::run().table());
+
+    println!("{}", analysis::run().table());
+
+    // E14: the crash-oracle canary brute force against a forking server.
+    println!("{}", canary_oracle::run(31).table());
+}

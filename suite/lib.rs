@@ -1,0 +1,30 @@
+//! Umbrella library for the `swsec` workspace examples and integration
+//! tests.
+//!
+//! Re-exports every workspace crate under one roof so that examples and
+//! the cross-crate integration tests in `/tests` can address the whole
+//! system through a single dependency:
+//!
+//! ```
+//! use swsec_suite::prelude::*;
+//!
+//! let program = swsec_suite::swsec_minc::parse(
+//!     "void main() { write(1, \"hi\", 2); }",
+//! ).expect("valid MinC");
+//! # let _: MincProgram = program;
+//! ```
+
+pub use swsec;
+pub use swsec_asm;
+pub use swsec_attacks;
+pub use swsec_crypto;
+pub use swsec_defenses;
+pub use swsec_minc;
+pub use swsec_pma;
+pub use swsec_vm;
+
+/// Convenience prelude pulling in the names used by nearly every example.
+pub mod prelude {
+    pub use swsec::prelude::*;
+    pub use swsec_minc::Program as MincProgram;
+}

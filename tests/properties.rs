@@ -1,0 +1,322 @@
+//! Property-based tests over the core invariants of the workspace:
+//! encoder/decoder bijectivity, compiler/interpreter observational
+//! agreement on safe programs, canary completeness, sealing
+//! authenticity and continuity freshness.
+
+use proptest::prelude::*;
+
+use swsec::prelude::*;
+use swsec_minc::parse;
+use swsec_pma::platform::ModuleKey;
+use swsec_pma::{CrashPoint, NaiveContinuity, Platform, TwoPhaseContinuity, UntrustedStore};
+use swsec_vm::isa::{AluOp, Cond, Instr, Reg};
+
+// ---------------------------------------------------------------------
+// ISA roundtrip
+// ---------------------------------------------------------------------
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    prop::sample::select(swsec_vm::isa::ALL_REGS.to_vec())
+}
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    let alu = prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::DivU,
+        AluOp::DivS,
+        AluOp::ModU,
+        AluOp::ModS,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+    ]);
+    let cond = prop::sample::select(vec![
+        Cond::Z,
+        Cond::Nz,
+        Cond::Lt,
+        Cond::Ge,
+        Cond::Le,
+        Cond::Gt,
+        Cond::B,
+        Cond::Ae,
+    ]);
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Ret),
+        Just(Instr::Leave),
+        (reg_strategy(), any::<u32>()).prop_map(|(dst, imm)| Instr::MovI { dst, imm }),
+        (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
+        (reg_strategy(), reg_strategy(), any::<i16>())
+            .prop_map(|(dst, base, disp)| Instr::Load { dst, base, disp }),
+        (reg_strategy(), reg_strategy(), any::<i16>())
+            .prop_map(|(base, src, disp)| Instr::Store { base, disp, src }),
+        (reg_strategy(), reg_strategy(), any::<i16>())
+            .prop_map(|(dst, base, disp)| Instr::LoadB { dst, base, disp }),
+        (reg_strategy(), reg_strategy(), any::<i16>())
+            .prop_map(|(base, src, disp)| Instr::StoreB { base, disp, src }),
+        reg_strategy().prop_map(Instr::Push),
+        reg_strategy().prop_map(Instr::Pop),
+        any::<u32>().prop_map(Instr::PushI),
+        (alu, reg_strategy(), reg_strategy()).prop_map(|(op, dst, src)| Instr::Alu {
+            op,
+            dst,
+            src
+        }),
+        (reg_strategy(), any::<u32>()).prop_map(|(dst, imm)| Instr::AddI { dst, imm }),
+        (reg_strategy(), reg_strategy()).prop_map(|(a, b)| Instr::Cmp { a, b }),
+        (reg_strategy(), any::<u32>()).prop_map(|(a, imm)| Instr::CmpI { a, imm }),
+        any::<u32>().prop_map(Instr::Jmp),
+        (cond, any::<u32>()).prop_map(|(cond, target)| Instr::JCond { cond, target }),
+        any::<u32>().prop_map(Instr::Call),
+        reg_strategy().prop_map(Instr::CallR),
+        reg_strategy().prop_map(Instr::JmpR),
+        any::<u32>().prop_map(Instr::Enter),
+        any::<u8>().prop_map(Instr::Sys),
+        any::<u8>().prop_map(Instr::Trap),
+        (reg_strategy(), reg_strategy(), any::<i16>())
+            .prop_map(|(dst, base, disp)| Instr::Lea { dst, base, disp }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn instruction_stream_roundtrips(instrs in prop::collection::vec(instr_strategy(), 1..40)) {
+        let mut bytes = Vec::new();
+        for i in &instrs {
+            i.encode(&mut bytes);
+        }
+        let mut offset = 0usize;
+        let mut decoded = Vec::new();
+        while offset < bytes.len() {
+            let (instr, len) = Instr::decode(&bytes[offset..]).expect("valid stream");
+            decoded.push(instr);
+            offset += len;
+        }
+        prop_assert_eq!(decoded, instrs);
+    }
+
+    #[test]
+    fn disassembler_consumes_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Linear sweep must terminate and account for every byte.
+        let lines = swsec_asm::disassemble(&bytes, 0x1000);
+        let total: usize = lines.iter().map(|l| l.len).sum();
+        prop_assert_eq!(total, bytes.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiler vs interpreter on safe programs
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SafeExpr {
+    Lit(i8),
+    Add(Box<SafeExpr>, Box<SafeExpr>),
+    Sub(Box<SafeExpr>, Box<SafeExpr>),
+    Mul(Box<SafeExpr>, Box<SafeExpr>),
+    Xor(Box<SafeExpr>, Box<SafeExpr>),
+    Lt(Box<SafeExpr>, Box<SafeExpr>),
+    ShlK(Box<SafeExpr>, u8),
+}
+
+impl SafeExpr {
+    fn to_minc(&self) -> String {
+        match self {
+            SafeExpr::Lit(v) => format!("({v})"),
+            SafeExpr::Add(a, b) => format!("({} + {})", a.to_minc(), b.to_minc()),
+            SafeExpr::Sub(a, b) => format!("({} - {})", a.to_minc(), b.to_minc()),
+            SafeExpr::Mul(a, b) => format!("({} * {})", a.to_minc(), b.to_minc()),
+            SafeExpr::Xor(a, b) => format!("({} ^ {})", a.to_minc(), b.to_minc()),
+            SafeExpr::Lt(a, b) => format!("({} < {})", a.to_minc(), b.to_minc()),
+            SafeExpr::ShlK(a, k) => format!("({} << {k})", a.to_minc()),
+        }
+    }
+}
+
+fn safe_expr_strategy() -> impl Strategy<Value = SafeExpr> {
+    let leaf = any::<i8>().prop_map(SafeExpr::Lit);
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SafeExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SafeExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SafeExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SafeExpr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SafeExpr::Lt(Box::new(a), Box::new(b))),
+            (inner, 0u8..8).prop_map(|(a, k)| SafeExpr::ShlK(Box::new(a), k)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_arithmetic_matches_source_semantics(expr in safe_expr_strategy()) {
+        let src = format!("int main() {{ return ({}) & 0xff; }}", expr.to_minc());
+        let unit = parse(&src).expect("generated program parses");
+        let c = compare(&unit, &[], DefenseConfig::none(), 1, 5_000_000).expect("compiles");
+        prop_assert_eq!(c.verdict, Verdict::Equivalent, "src: {}", src);
+    }
+
+    #[test]
+    fn echo_programs_agree_for_arbitrary_inputs(
+        input in prop::collection::vec(any::<u8>(), 0..64),
+        buf_len in 1usize..64,
+    ) {
+        // A *correct* echo server (read length == buffer length) must be
+        // equivalent for every input.
+        let src = format!(
+            "void main() {{ char b[{buf_len}]; int n = read(0, b, {buf_len}); write(1, b, n); }}"
+        );
+        let unit = parse(&src).expect("parses");
+        let c = compare(&unit, &input, DefenseConfig::none(), 1, 5_000_000).expect("compiles");
+        prop_assert_eq!(c.verdict, Verdict::Equivalent);
+    }
+
+    #[test]
+    fn canary_plus_dep_denies_attacker_controlled_behaviour(
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Canaries detect the smash only at function return — *after*
+        // the function's own output — so the strict verdict can read
+        // "compromised" for the intermediate "OK". What canaries+DEP do
+        // guarantee, for every input, is that the attacker never gets
+        // control: the run ends in a clean exit 0 or a fault, and the
+        // only output ever produced is the program's own.
+        let src = "void main() { char b[16]; read(0, b, 64); write(1, \"OK\", 2); }";
+        let unit = parse(src).expect("parses");
+        let mut cfg = DefenseConfig::none();
+        cfg.canary = true;
+        cfg.dep = true;
+        let mut session = launch(&unit, cfg, 1).expect("compiles");
+        session.machine.io_mut().feed_input(0, &payload);
+        let outcome = session.run(5_000_000);
+        match outcome {
+            swsec_vm::cpu::RunOutcome::Halted(code) => prop_assert_eq!(code, 0),
+            swsec_vm::cpu::RunOutcome::Fault(_) => {}
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+        let out = session.machine.io().output(1);
+        prop_assert!(out == b"" || out == b"OK", "unexpected output {:?}", out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sealing and continuity
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sealed_blobs_roundtrip_and_reject_any_bitflip(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in prop::collection::vec(any::<u8>(), 0..16),
+        plaintext in prop::collection::vec(any::<u8>(), 0..64),
+        flip_byte in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let blob = swsec_crypto::seal::seal(&key, &nonce, &aad, &plaintext);
+        prop_assert_eq!(
+            swsec_crypto::seal::open(&key, &aad, &blob).expect("roundtrip"),
+            plaintext
+        );
+        let mut tampered = blob.clone();
+        let idx = flip_byte % tampered.len();
+        tampered[idx] ^= 1 << flip_bit;
+        prop_assert!(swsec_crypto::seal::open(&key, &aad, &tampered).is_err());
+    }
+
+    #[test]
+    fn naive_continuity_accepts_any_replay_but_twophase_never_regresses(
+        schedule in prop::collection::vec((0u8..3, any::<bool>()), 1..24),
+    ) {
+        // Random schedule of {save new version, rollback to a random
+        // snapshot, load}. The two-phase scheme must never return a
+        // version older than the last one it returned.
+        let key = ModuleKey([7; 32]);
+        let mut platform = Platform::new([1; 32]);
+        let counter = platform.alloc_counter();
+        let mut scheme = TwoPhaseContinuity::new(key, counter, 0, 1);
+        let mut naive = NaiveContinuity::new(key, 9);
+        let mut store = UntrustedStore::new();
+        let mut snapshots = Vec::new();
+        let mut version: u32 = 0;
+        let mut floor: u32 = 0;
+        let mut naive_regressed = false;
+
+        let encode = |v: u32| v.to_le_bytes().to_vec();
+        scheme.save(&mut platform, &mut store, &encode(0), CrashPoint::None);
+        naive.save(&mut store, &encode(0));
+        snapshots.push(store.snapshot());
+
+        for (op, flag) in schedule {
+            match op {
+                0 => {
+                    version += 1;
+                    scheme.save(&mut platform, &mut store, &encode(version), CrashPoint::None);
+                    naive.save(&mut store, &encode(version));
+                    if flag {
+                        snapshots.push(store.snapshot());
+                    }
+                    floor = floor.max(version);
+                }
+                1 => {
+                    let idx = (flag as usize * snapshots.len() / 2).min(snapshots.len() - 1);
+                    store.restore(snapshots[idx].clone());
+                }
+                _ => {
+                    if let Ok(bytes) = scheme.load(&mut platform, &store) {
+                        let v = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+                        prop_assert!(
+                            v >= floor,
+                            "two-phase regressed from {floor} to {v}"
+                        );
+                        floor = v;
+                    }
+                    if let Ok(bytes) = naive.load(&store) {
+                        let v = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+                        if v < floor {
+                            naive_regressed = true;
+                        }
+                    }
+                }
+            }
+        }
+        let _ = naive_regressed; // naive MAY regress; two-phase must not.
+    }
+}
+
+// ---------------------------------------------------------------------
+// PMA policy invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn pma_data_rule_invariant(ip in any::<u32>(), addr in any::<u32>()) {
+        use swsec_vm::policy::{ProtectedRegion, ProtectionMap};
+        let map = ProtectionMap::new(vec![ProtectedRegion::new(
+            0x2000..0x3000,
+            0x3000..0x4000,
+            vec![0x2000],
+        )]);
+        let addr_inside = (0x2000..0x4000).contains(&addr);
+        let ip_in_code = (0x2000..0x3000).contains(&ip);
+        let allowed = map.data_access_allowed(ip, addr);
+        // The rule, verbatim: access allowed iff the target is not in a
+        // module, or the IP executes that module's code.
+        prop_assert_eq!(allowed, !addr_inside || ip_in_code);
+    }
+}
