@@ -657,7 +657,7 @@ pub fn assemble(source: &str) -> Result<AsmOutput, AsmError> {
                 }
             }
             Stmt::Ascii(s) => bytes.extend_from_slice(s.as_bytes()),
-            Stmt::Space(n) => bytes.extend(std::iter::repeat(0u8).take(*n as usize)),
+            Stmt::Space(n) => bytes.extend(std::iter::repeat_n(0u8, *n as usize)),
             Stmt::Instr { mnemonic, operands } => {
                 let instr = encode_instr(mnemonic, operands, &resolver)?;
                 instr.encode(&mut bytes);

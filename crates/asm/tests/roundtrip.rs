@@ -2,6 +2,12 @@
 //! syntax that re-assembles to the identical encoding — so disassembly
 //! listings are always round-trippable, and the two syntax definitions
 //! (printer and parser) can never drift apart.
+//
+// Gated behind the non-default `proptest-tests` feature: the default
+// workspace must build with zero network access, and `proptest` is a
+// registry dependency. Enable with `--features proptest-tests` after
+// restoring `proptest` to [dev-dependencies].
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 

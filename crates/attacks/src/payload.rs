@@ -36,7 +36,7 @@ impl Payload {
 
     /// Appends `n` copies of `fill`.
     pub fn pad(mut self, n: usize, fill: u8) -> Payload {
-        self.bytes.extend(std::iter::repeat(fill).take(n));
+        self.bytes.extend(std::iter::repeat_n(fill, n));
         self
     }
 

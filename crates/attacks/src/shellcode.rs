@@ -32,7 +32,7 @@ pub fn write_shellcode(base: u32, fd: u32, message: &[u8], code: u32) -> Vec<u8>
             b'\\' => "\\\\".to_string(),
             b'\n' => "\\n".to_string(),
             0x20..=0x7e => (b as char).to_string(),
-            _ => format!("\\0"), // non-printables collapse; fine for markers
+            _ => "\\0".to_string(), // non-printables collapse; fine for markers
         })
         .collect();
     let src = format!(

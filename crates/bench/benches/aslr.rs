@@ -2,18 +2,19 @@
 //! brute-force campaign at 4 bits of entropy.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use swsec_rng::{stream, Xoshiro256pp};
 
+use swsec::cache::ProgramCache;
 use swsec::experiments::aslr;
 
 fn bench(c: &mut Criterion) {
-    let sweep = aslr::run(&[2, 4, 6, 8], 6, 7);
+    let cache = ProgramCache::new();
+    let sweep = aslr::compute(&[2, 4, 6, 8], 6, 7, &cache);
     swsec_bench::print_report("E4: ASLR sweep", &[sweep.table()]);
 
     c.bench_function("e4_brute_force_campaign_4bits", |b| {
-        let mut rng = StdRng::seed_from_u64(99);
-        b.iter(|| aslr::brute_force_once(4, &mut rng, 1_000))
+        let mut rng: Xoshiro256pp = stream(99, &[0]);
+        b.iter(|| aslr::brute_force_once(4, &mut rng, 1_000, &cache))
     });
 }
 

@@ -16,15 +16,17 @@
 
 use std::fmt;
 
+use std::sync::Arc;
+
 use swsec_attacks::{find_instr_addr, GadgetFinder, Payload, RopChain};
 use swsec_defenses::DefenseConfig;
-use swsec_minc::ast::Unit;
-use swsec_minc::{compile, parse, CompileError, CompileOptions, CompiledProgram};
+use swsec_minc::{CompileError, CompileOptions, CompiledProgram};
 use swsec_vm::cpu::{Fault, RunOutcome};
 use swsec_vm::isa::{trap, Instr, Reg};
 use swsec_vm::mem::{Access, MemErrorKind};
 
-use crate::loader::{self, frame_base_for, Session};
+use crate::cache::ProgramCache;
+use crate::loader::{frame_base_for, Session};
 
 /// The §III-B attack techniques.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -213,10 +215,16 @@ const FUEL: u64 = 2_000_000;
 
 /// The attacker's local copy: same sources, same compiler flags,
 /// default (unrandomized) layout.
-fn attacker_view(unit: &Unit, config: DefenseConfig) -> Result<CompiledProgram, CompileError> {
-    let mut opts = CompileOptions::default();
-    opts.harden = config.harden_options();
-    compile(unit, &opts)
+fn attacker_view(
+    cache: &ProgramCache,
+    source: &str,
+    config: DefenseConfig,
+) -> Result<Arc<CompiledProgram>, CompileError> {
+    let opts = CompileOptions {
+        harden: config.harden_options(),
+        ..CompileOptions::default()
+    };
+    cache.compile(source, &opts)
 }
 
 fn classify(
@@ -285,16 +293,14 @@ fn classify(
 }
 
 fn run_single_shot(
+    cache: &ProgramCache,
     source: &str,
     config: DefenseConfig,
     seed: u64,
     payload: &[u8],
     evidence: &[u8],
 ) -> Result<AttackResult, CompileError> {
-    let unit = parse(source).map_err(|e| CompileError {
-        message: e.to_string(),
-    })?;
-    let mut session = loader::launch(&unit, config, seed)?;
+    let mut session = cache.launch(source, config, seed)?;
     session.machine.io_mut().feed_input(0, payload);
     let outcome = session.run(FUEL);
     Ok(AttackResult {
@@ -318,22 +324,37 @@ pub fn run_technique(
     config: DefenseConfig,
     seed: u64,
 ) -> Result<AttackResult, CompileError> {
+    run_technique_cached(technique, config, seed, crate::cache::global())
+}
+
+/// Like [`run_technique`], compiling victim and local copy through
+/// `cache` so repeated trials (matrix cells, ASLR brute force, oracle
+/// queries) reuse images instead of recompiling.
+pub fn run_technique_cached(
+    technique: Technique,
+    config: DefenseConfig,
+    seed: u64,
+    cache: &ProgramCache,
+) -> Result<AttackResult, CompileError> {
     let mut result = match technique {
-        Technique::CodeInjection => attack_code_injection(config, seed)?,
-        Technique::CodePointerOverwrite => attack_code_pointer(config, seed)?,
-        Technique::CodeCorruption => attack_code_corruption(config, seed)?,
-        Technique::Ret2Libc => attack_ret2libc(config, seed)?,
-        Technique::Rop => attack_rop(config, seed)?,
-        Technique::DataOnly => attack_data_only(config, seed)?,
-        Technique::InfoLeak => attack_info_leak(config, seed)?,
+        Technique::CodeInjection => attack_code_injection(cache, config, seed)?,
+        Technique::CodePointerOverwrite => attack_code_pointer(cache, config, seed)?,
+        Technique::CodeCorruption => attack_code_corruption(cache, config, seed)?,
+        Technique::Ret2Libc => attack_ret2libc(cache, config, seed)?,
+        Technique::Rop => attack_rop(cache, config, seed)?,
+        Technique::DataOnly => attack_data_only(cache, config, seed)?,
+        Technique::InfoLeak => attack_info_leak(cache, config, seed)?,
     };
     result.technique = technique;
     Ok(result)
 }
 
-fn attack_code_injection(config: DefenseConfig, seed: u64) -> Result<AttackResult, CompileError> {
-    let unit = parse(VICTIM_SMASH).expect("victim parses");
-    let local = attacker_view(&unit, config)?;
+fn attack_code_injection(
+    cache: &ProgramCache,
+    config: DefenseConfig,
+    seed: u64,
+) -> Result<AttackResult, CompileError> {
+    let local = attacker_view(cache, VICTIM_SMASH, config)?;
     // The attacker computes the buffer address from the local copy.
     let bp = frame_base_for(&local, &[("main", 0), ("handle", 1)])?;
     let buf_off = local.frames["handle"]
@@ -348,12 +369,15 @@ fn attack_code_injection(config: DefenseConfig, seed: u64) -> Result<AttackResul
         Payload::smash_with_shellcode(&local.frames["handle"], "buf", buf_addr, &shellcode)
             .expect("shellcode fits")
             .build();
-    run_single_shot(VICTIM_SMASH, config, seed, &payload, b"PWNED")
+    run_single_shot(cache, VICTIM_SMASH, config, seed, &payload, b"PWNED")
 }
 
-fn attack_code_pointer(config: DefenseConfig, seed: u64) -> Result<AttackResult, CompileError> {
-    let unit = parse(VICTIM_FNPTR).expect("victim parses");
-    let local = attacker_view(&unit, config)?;
+fn attack_code_pointer(
+    cache: &ProgramCache,
+    config: DefenseConfig,
+    seed: u64,
+) -> Result<AttackResult, CompileError> {
+    let local = attacker_view(cache, VICTIM_FNPTR, config)?;
     let grant = local.function_addr("grant")?;
     // Fill the buffer exactly, then overwrite only the function pointer
     // sitting above it — the canary (above the pointer) stays intact.
@@ -372,12 +396,15 @@ fn attack_code_pointer(config: DefenseConfig, seed: u64) -> Result<AttackResult,
         .expect("action exists");
     let distance = (action_off - buf_off) as usize;
     let payload = Payload::new().pad(distance, b'A').word(grant).build();
-    run_single_shot(VICTIM_FNPTR, config, seed, &payload, b"SECRET")
+    run_single_shot(cache, VICTIM_FNPTR, config, seed, &payload, b"SECRET")
 }
 
-fn attack_code_corruption(config: DefenseConfig, seed: u64) -> Result<AttackResult, CompileError> {
-    let unit = parse(VICTIM_POKE).expect("victim parses");
-    let local = attacker_view(&unit, config)?;
+fn attack_code_corruption(
+    cache: &ProgramCache,
+    config: DefenseConfig,
+    seed: u64,
+) -> Result<AttackResult, CompileError> {
+    let local = attacker_view(cache, VICTIM_POKE, config)?;
     // Find the `movi r0, 12345` that materializes the comparison
     // constant, and compute its distance from `table`.
     let cmp_addr = find_instr_addr(&local.text, local.text_base, |i| {
@@ -396,22 +423,28 @@ fn attack_code_corruption(config: DefenseConfig, seed: u64) -> Result<AttackResu
             .bytes(&[0x00]) // value
             .pad(3, 0); // pad the 8-byte command
     }
-    run_single_shot(VICTIM_POKE, config, seed, &payload.build(), b"SECRET")
+    run_single_shot(cache, VICTIM_POKE, config, seed, &payload.build(), b"SECRET")
 }
 
-fn attack_ret2libc(config: DefenseConfig, seed: u64) -> Result<AttackResult, CompileError> {
-    let unit = parse(VICTIM_SMASH).expect("victim parses");
-    let local = attacker_view(&unit, config)?;
+fn attack_ret2libc(
+    cache: &ProgramCache,
+    config: DefenseConfig,
+    seed: u64,
+) -> Result<AttackResult, CompileError> {
+    let local = attacker_view(cache, VICTIM_SMASH, config)?;
     let grant = local.function_addr("grant")?;
     let payload = Payload::smash(&local.frames["handle"], "buf", grant)
         .expect("buf exists")
         .build();
-    run_single_shot(VICTIM_SMASH, config, seed, &payload, b"SECRET")
+    run_single_shot(cache, VICTIM_SMASH, config, seed, &payload, b"SECRET")
 }
 
-fn attack_rop(config: DefenseConfig, seed: u64) -> Result<AttackResult, CompileError> {
-    let unit = parse(VICTIM_SMASH).expect("victim parses");
-    let local = attacker_view(&unit, config)?;
+fn attack_rop(
+    cache: &ProgramCache,
+    config: DefenseConfig,
+    seed: u64,
+) -> Result<AttackResult, CompileError> {
+    let local = attacker_view(cache, VICTIM_SMASH, config)?;
     let finder = GadgetFinder::scan(&local.text, local.text_base, 3);
     let Some(pop_r0) = finder.pop_ret(Reg::R0) else {
         return Ok(AttackResult {
@@ -432,12 +465,15 @@ fn attack_rop(config: DefenseConfig, seed: u64) -> Result<AttackResult, CompileE
         .expect("buf exists");
     let mut payload = smash.build();
     payload.extend_from_slice(&chain.build()[4..]);
-    run_single_shot(VICTIM_SMASH, config, seed, &payload, b"")
+    run_single_shot(cache, VICTIM_SMASH, config, seed, &payload, b"")
 }
 
-fn attack_data_only(config: DefenseConfig, seed: u64) -> Result<AttackResult, CompileError> {
-    let unit = parse(VICTIM_ADMIN).expect("victim parses");
-    let local = attacker_view(&unit, config)?;
+fn attack_data_only(
+    cache: &ProgramCache,
+    config: DefenseConfig,
+    seed: u64,
+) -> Result<AttackResult, CompileError> {
+    let local = attacker_view(cache, VICTIM_ADMIN, config)?;
     let frame = &local.frames["handle"];
     let buf_off = frame
         .locals
@@ -453,13 +489,16 @@ fn attack_data_only(config: DefenseConfig, seed: u64) -> Result<AttackResult, Co
         .expect("is_admin exists");
     let distance = (admin_off - buf_off) as usize;
     let payload = Payload::new().pad(distance, b'A').word(1).build();
-    run_single_shot(VICTIM_ADMIN, config, seed, &payload, b"SECRET")
+    run_single_shot(cache, VICTIM_ADMIN, config, seed, &payload, b"SECRET")
 }
 
-fn attack_info_leak(config: DefenseConfig, seed: u64) -> Result<AttackResult, CompileError> {
-    let unit = parse(VICTIM_LEAK).expect("victim parses");
-    let local = attacker_view(&unit, config)?;
-    let mut session = loader::launch(&unit, config, seed)?;
+fn attack_info_leak(
+    cache: &ProgramCache,
+    config: DefenseConfig,
+    seed: u64,
+) -> Result<AttackResult, CompileError> {
+    let local = attacker_view(cache, VICTIM_LEAK, config)?;
+    let mut session = cache.launch(VICTIM_LEAK, config, seed)?;
     session.machine.set_blocking_reads(true);
 
     // Stage 1: benign-length request; harvest the over-read reply.

@@ -1,0 +1,222 @@
+//! Compilation memoization for campaign-scale workloads.
+//!
+//! Every experiment compiles MinC victims, often the *same* victim
+//! under the *same* options thousands of times — the E3 matrix reuses
+//! each victim across configurations, the E4 ASLR sweep relaunches one
+//! victim per brute-force attempt, and E14 fires thousands of oracle
+//! queries at a single program. [`ProgramCache`] makes every distinct
+//! `(source, CompileOptions)` pair compile exactly once; everything
+//! after the first compile is an `Arc` clone.
+//!
+//! The hardening configuration is part of [`CompileOptions`] and hence
+//! of the cache key, so a canary build and a bounds-checked build of
+//! the same source never alias. Likewise the (possibly ASLR-slid)
+//! layout: two launches that happen to draw the same slide share an
+//! image, two different slides do not.
+//!
+//! The cache is sharded by key hash and safe to share across the
+//! campaign worker pool by reference.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use swsec_defenses::DefenseConfig;
+use swsec_minc::{compile, CompileError, CompileOptions, CompiledProgram, Program};
+
+use crate::loader::{self, Session};
+
+const SHARDS: usize = 16;
+
+/// Cache counters (monotonic; never reset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to compile.
+    pub misses: u64,
+    /// Sources parsed (front-end cache misses).
+    pub parses: u64,
+}
+
+impl CacheStats {
+    /// Total compile requests observed.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+type ProgramKey = (String, CompileOptions);
+
+/// A concurrent memo table from `(source, options)` to compiled
+/// images, plus a front-end memo from source text to parsed [`Program`]s.
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    programs: [Mutex<HashMap<ProgramKey, Arc<CompiledProgram>>>; SHARDS],
+    units: Mutex<HashMap<String, Arc<Program>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    parses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    fn shard(key: &ProgramKey) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    /// The parsed AST for `source`, memoized.
+    ///
+    /// # Errors
+    ///
+    /// Returns the front-end error when `source` does not parse (the
+    /// failure itself is not cached).
+    pub fn unit(&self, source: &str) -> Result<Arc<Program>, CompileError> {
+        if let Some(unit) = self.units.lock().expect("cache lock").get(source) {
+            return Ok(Arc::clone(unit));
+        }
+        let unit = swsec_minc::parse(source).map_err(|e| CompileError {
+            message: format!("parse error: {e:?}"),
+        })?;
+        self.parses.fetch_add(1, Ordering::Relaxed);
+        let unit = Arc::new(unit);
+        self.units
+            .lock()
+            .expect("cache lock")
+            .entry(source.to_string())
+            .or_insert_with(|| Arc::clone(&unit));
+        Ok(unit)
+    }
+
+    /// The compiled image of `source` under `opts`, memoized.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] from the front end or the code
+    /// generator; failures are not cached.
+    pub fn compile(
+        &self,
+        source: &str,
+        opts: &CompileOptions,
+    ) -> Result<Arc<CompiledProgram>, CompileError> {
+        let key = (source.to_string(), opts.clone());
+        let shard = &self.programs[Self::shard(&key)];
+        if let Some(program) = shard.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(program));
+        }
+        // Compile outside the shard lock so a slow compile does not
+        // serialize the pool; a concurrent duplicate just loses the
+        // insert race (the counters still record it as a miss).
+        let unit = self.unit(source)?;
+        let program = Arc::new(compile(&unit, opts)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = shard.lock().expect("cache lock");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&program));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Compile-and-launch through the cache: the cached analogue of
+    /// [`loader::launch`], yielding a bit-identical [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] when compilation or loading fails.
+    pub fn launch(
+        &self,
+        source: &str,
+        config: DefenseConfig,
+        seed: u64,
+    ) -> Result<Session, CompileError> {
+        let opts = loader::plan_options(&config, seed);
+        let program = self.compile(source, &opts)?;
+        loader::launch_compiled(&program, config, seed)
+    }
+
+    /// Clears the memo tables (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.programs {
+            shard.lock().expect("cache lock").clear();
+        }
+        self.units.lock().expect("cache lock").clear();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            parses: self.parses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The process-wide cache behind the legacy seed-free entry points
+/// ([`crate::attacker::run_technique`] and the deprecated experiment
+/// `run()` wrappers). Compilation is pure, so sharing across callers is
+/// safe; campaign runs use their own per-campaign cache instead so the
+/// hit counters stay attributable.
+pub fn global() -> &'static ProgramCache {
+    static GLOBAL: std::sync::OnceLock<ProgramCache> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(ProgramCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ECHO: &str = "void main() { char buf[8]; int n = read(0, buf, 8); write(1, buf, n); }";
+
+    #[test]
+    fn identical_requests_compile_once() {
+        let cache = ProgramCache::new();
+        let opts = CompileOptions::default();
+        let a = cache.compile(ECHO, &opts).unwrap();
+        let b = cache.compile(ECHO, &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.parses), (1, 1, 1));
+    }
+
+    #[test]
+    fn hardening_is_part_of_the_key() {
+        let cache = ProgramCache::new();
+        let plain = CompileOptions::default();
+        let mut hardened = CompileOptions::default();
+        hardened.harden.stack_canary = true;
+        let a = cache.compile(ECHO, &plain).unwrap();
+        let b = cache.compile(ECHO, &hardened).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().misses, 2);
+        // …but the parse was shared.
+        assert_eq!(cache.stats().parses, 1);
+    }
+
+    #[test]
+    fn cached_launch_matches_uncached_launch() {
+        let cache = ProgramCache::new();
+        let mut config = DefenseConfig::none();
+        config.canary = true;
+        config.aslr_bits = Some(4);
+        let unit = swsec_minc::parse(ECHO).unwrap();
+        for seed in [1, 2, 99] {
+            let direct = loader::launch(&unit, config, seed).unwrap();
+            let cached = cache.launch(ECHO, config, seed).unwrap();
+            assert_eq!(direct.canary_value, cached.canary_value, "seed {seed}");
+            assert_eq!(direct.program.layout, cached.program.layout, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let cache = ProgramCache::new();
+        assert!(cache.compile("int main( {", &CompileOptions::default()).is_err());
+    }
+}

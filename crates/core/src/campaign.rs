@@ -1,0 +1,343 @@
+//! The campaign runner: every experiment, one pass, any number of
+//! workers, byte-identical output.
+//!
+//! A *campaign* executes a selected set of [`Experiment`]s — by default
+//! the full E1–E15 suite — by decomposing each into its independent
+//! cells (the E3 matrix runs one cell per technique × configuration
+//! pair, the E4 sweep one per brute-force campaign, …) and draining
+//! the cell pool on a work-stealing thread pool.
+//!
+//! Three properties make the result reproducible:
+//!
+//! * every random choice in a cell derives from
+//!   [`CampaignConfig::master_seed`] through the SplitMix64 path
+//!   `derive(master, [experiment, cell])` — a pure function of the
+//!   *indices*, never of scheduling order;
+//! * cell outputs land in pre-assigned slots and are assembled in
+//!   experiment/cell order;
+//! * [`CampaignReport::render`] is a pure function of the assembled
+//!   [`Report`]s — wall-clock timings, worker count and cache counters
+//!   are reported separately via [`CampaignReport::summary`].
+//!
+//! Hence `render()` is byte-identical for any worker count, which
+//! `tests/campaign.rs` asserts for 1, 4 and 8 workers.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use swsec_rng::derive;
+
+use crate::cache::{CacheStats, ProgramCache};
+use crate::experiments::{registry, Experiment};
+use crate::report::{ExperimentId, Report, Table};
+
+/// Everything a campaign run depends on. One master seed drives every
+/// stochastic driver in the suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// The root of every random choice made anywhere in the campaign.
+    pub master_seed: u64,
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Entropy levels the E4 ASLR sweep visits.
+    pub aslr_bits_levels: Vec<u8>,
+    /// Brute-force campaigns averaged per E4 entropy level.
+    pub aslr_trials: u32,
+    /// Oracle-query budget per E14 canary recovery.
+    pub oracle_budget: u32,
+    /// Experiments to run; empty means the full registry.
+    pub experiments: Vec<ExperimentId>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            master_seed: 0x2016_DA7E, // DATE 2016
+            workers: 0,
+            aslr_bits_levels: vec![2, 4, 6, 8],
+            aslr_trials: 6,
+            oracle_budget: 2048,
+            experiments: Vec::new(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A configuration sized for tests and smoke runs: fewer and
+    /// smaller E4 brute-force campaigns, everything else intact.
+    pub fn quick() -> CampaignConfig {
+        CampaignConfig {
+            aslr_bits_levels: vec![2, 4],
+            aslr_trials: 3,
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// The experiments this campaign will run, in presentation order.
+    pub fn selected(&self) -> Vec<&'static dyn Experiment> {
+        registry()
+            .iter()
+            .copied()
+            .filter(|e| self.experiments.is_empty() || self.experiments.contains(&e.id()))
+            .collect()
+    }
+
+    /// The seed for cell `cell` of experiment `id`: a pure function of
+    /// the indices, so results never depend on which worker ran what.
+    pub fn cell_seed(&self, id: ExperimentId, cell: usize) -> u64 {
+        derive(self.master_seed, &[id.seed_path(), cell as u64])
+    }
+}
+
+/// Shared per-campaign state handed to every cell: today the compile
+/// cache, so each distinct victim/options pair compiles exactly once
+/// per campaign no matter how many cells launch it.
+#[derive(Debug, Default)]
+pub struct CampaignCtx {
+    /// The campaign-wide program cache.
+    pub cache: ProgramCache,
+}
+
+impl CampaignCtx {
+    /// A fresh context with an empty cache.
+    pub fn new() -> CampaignCtx {
+        CampaignCtx::default()
+    }
+}
+
+/// Where one experiment's time went (worker-busy time, summed across
+/// its cells — not wall-clock, which overlaps under parallelism).
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentTiming {
+    /// The experiment.
+    pub id: ExperimentId,
+    /// Number of cells executed.
+    pub cells: usize,
+    /// Total busy time across all its cells.
+    pub busy: Duration,
+}
+
+/// The output of [`run_campaign`]: the assembled reports plus the
+/// non-deterministic run metadata, kept strictly apart.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// One report per selected experiment, in presentation order.
+    pub reports: Vec<Report>,
+    /// Per-experiment busy time (excluded from [`render`](Self::render)).
+    pub timings: Vec<ExperimentTiming>,
+    /// Compile-cache counters at the end of the run.
+    pub cache: CacheStats,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock for the whole campaign.
+    pub elapsed: Duration,
+}
+
+impl CampaignReport {
+    /// Renders every report, deterministically: a pure function of the
+    /// structured results, independent of worker count and timing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.reports {
+            out.push_str(&r.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The run-metadata table: busy time per experiment, cache
+    /// counters, worker count. Deliberately *not* part of
+    /// [`render`](Self::render) — it varies run to run.
+    pub fn summary(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "campaign: {} workers, {:.2}s wall, cache {} hits / {} misses / {} parses",
+                self.workers,
+                self.elapsed.as_secs_f64(),
+                self.cache.hits,
+                self.cache.misses,
+                self.cache.parses,
+            ),
+            &["experiment", "cells", "busy"],
+        );
+        for timing in &self.timings {
+            t.row(vec![
+                timing.id.to_string(),
+                timing.cells.to_string(),
+                format!("{:.1}ms", timing.busy.as_secs_f64() * 1e3),
+            ]);
+        }
+        t
+    }
+}
+
+/// One schedulable unit: cell `cell` of `exps[exp]`, writing `slot`.
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    exp: usize,
+    cell: usize,
+    slot: usize,
+}
+
+/// Runs the selected experiments across a work-stealing pool and
+/// assembles their reports.
+///
+/// The cell pool is distributed round-robin over per-worker deques;
+/// each worker pops its own deque from the front and steals from the
+/// back of the others when it runs dry. Stealing only changes *who*
+/// runs a cell, never its seed or its output slot, so the assembled
+/// reports — and hence [`CampaignReport::render`] — are identical for
+/// every worker count.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let started = Instant::now();
+    let exps = cfg.selected();
+    let ctx = CampaignCtx::new();
+
+    // Lay out one result slot per cell, experiment-major.
+    let cell_counts: Vec<usize> = exps.iter().map(|e| e.cells(cfg).max(1)).collect();
+    let mut tasks = Vec::new();
+    let mut slot = 0usize;
+    for (exp, &cells) in cell_counts.iter().enumerate() {
+        for cell in 0..cells {
+            tasks.push(Task { exp, cell, slot });
+            slot += 1;
+        }
+    }
+    let total_slots = slot;
+
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        cfg.workers
+    };
+    let workers = workers.clamp(1, total_slots.max(1));
+
+    let queues: Vec<Mutex<VecDeque<Task>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, task) in tasks.into_iter().enumerate() {
+        queues[i % workers].lock().expect("queue lock").push_back(task);
+    }
+
+    let slots: Vec<Mutex<Option<Vec<Table>>>> =
+        (0..total_slots).map(|_| Mutex::new(None)).collect();
+    let busy_nanos: Vec<AtomicU64> = (0..exps.len()).map(|_| AtomicU64::new(0)).collect();
+
+    let ctx = &ctx;
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let busy_nanos = &busy_nanos;
+            let exps = &exps;
+            scope.spawn(move || loop {
+                // Own deque first (front), then steal (back) — the
+                // classic discipline keeps stolen work coarse.
+                let task = queues[me]
+                    .lock()
+                    .expect("queue lock")
+                    .pop_front()
+                    .or_else(|| {
+                        (1..workers).find_map(|d| {
+                            queues[(me + d) % workers]
+                                .lock()
+                                .expect("queue lock")
+                                .pop_back()
+                        })
+                    });
+                let Some(task) = task else { break };
+                let cell_started = Instant::now();
+                let out = exps[task.exp].run_cell(cfg, ctx, task.cell);
+                busy_nanos[task.exp]
+                    .fetch_add(cell_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                *slots[task.slot].lock().expect("slot lock") = Some(out);
+            });
+        }
+    });
+
+    // Assemble in experiment order from the slot layout.
+    let mut reports = Vec::with_capacity(exps.len());
+    let mut timings = Vec::with_capacity(exps.len());
+    let mut base = 0usize;
+    for (exp, &cells) in cell_counts.iter().enumerate() {
+        let outputs: Vec<Vec<Table>> = (0..cells)
+            .map(|cell| {
+                slots[base + cell]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("every cell ran")
+            })
+            .collect();
+        base += cells;
+        reports.push(exps[exp].assemble(cfg, outputs));
+        timings.push(ExperimentTiming {
+            id: exps[exp].id(),
+            cells,
+            busy: Duration::from_nanos(busy_nanos[exp].load(Ordering::Relaxed)),
+        });
+    }
+
+    CampaignReport {
+        reports,
+        timings,
+        cache: ctx.cache.stats(),
+        workers,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CampaignConfig {
+        // E10 + E12 are fast, deterministic, and exercise two cells'
+        // worth of scheduling.
+        CampaignConfig {
+            experiments: vec![ExperimentId::new(10), ExperimentId::new(12)],
+            ..CampaignConfig::quick()
+        }
+    }
+
+    #[test]
+    fn reports_come_back_in_presentation_order() {
+        let mut cfg = tiny();
+        // Selection order in the config must not matter.
+        cfg.experiments.reverse();
+        let r = run_campaign(&cfg);
+        assert_eq!(r.reports.len(), 2);
+        assert_eq!(r.reports[0].id, ExperimentId::new(10));
+        assert_eq!(r.reports[1].id, ExperimentId::new(12));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_render() {
+        let mut cfg = tiny();
+        cfg.workers = 1;
+        let one = run_campaign(&cfg).render();
+        cfg.workers = 3;
+        let three = run_campaign(&cfg).render();
+        assert_eq!(one, three);
+    }
+
+    #[test]
+    fn cell_seeds_are_per_experiment_and_per_cell() {
+        let cfg = CampaignConfig::default();
+        let a = cfg.cell_seed(ExperimentId::new(3), 0);
+        let b = cfg.cell_seed(ExperimentId::new(3), 1);
+        let c = cfg.cell_seed(ExperimentId::new(4), 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, cfg.cell_seed(ExperimentId::new(3), 0));
+    }
+
+    #[test]
+    fn empty_selection_means_everything() {
+        let cfg = CampaignConfig::default();
+        assert_eq!(cfg.selected().len(), registry().len());
+    }
+}

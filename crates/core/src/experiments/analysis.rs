@@ -167,7 +167,7 @@ impl AnalysisReport {
 }
 
 /// Runs the E6 measurement.
-pub fn run() -> AnalysisReport {
+pub fn compute() -> AnalysisReport {
     let corpus = corpus();
     let buggy_count = corpus.iter().filter(|c| c.buggy).count();
     let clean_count = corpus.len() - buggy_count;
@@ -220,9 +220,48 @@ pub fn run() -> AnalysisReport {
     }
 }
 
+
+/// Legacy sequential entry point.
+#[deprecated(note = "use `AnalysisExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run() -> AnalysisReport {
+    compute()
+}
+
+/// E6 under the campaign API.
+pub struct AnalysisExperiment;
+
+impl crate::experiments::Experiment for AnalysisExperiment {
+    fn id(&self) -> crate::report::ExperimentId {
+        crate::report::ExperimentId::new(6)
+    }
+
+    fn title(&self) -> &'static str {
+        "Static analysis and run-time checking"
+    }
+
+    fn run_cell(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        _ctx: &crate::campaign::CampaignCtx,
+        _cell: usize,
+    ) -> Vec<crate::report::Table> {
+        let report = compute();
+        vec![report.table()]
+    }
+
+    fn assemble(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        cells: Vec<Vec<crate::report::Table>>,
+    ) -> crate::report::Report {
+        crate::experiments::single_cell_report(self.id(), self.title(), cells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::*;
+    
+    use super::compute as run;
 
     #[test]
     fn corpus_is_balanced() {

@@ -7,13 +7,15 @@
 //! paper's caveat (\[5\]): one information leak collapses the search to
 //! a single attempt.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use swsec_rng::{derive, stream, Rng};
 
 use swsec_defenses::{AslrConfig, DefenseConfig};
 
-use crate::attacker::{run_technique, Technique};
-use crate::report::Table;
+use crate::attacker::{run_technique_cached, Technique};
+use crate::cache::ProgramCache;
+use crate::campaign::{CampaignConfig, CampaignCtx};
+use crate::experiments::Experiment;
+use crate::report::{ExperimentId, Report, Table};
 
 /// Result for one entropy level.
 #[derive(Debug, Clone, Copy)]
@@ -63,15 +65,26 @@ impl AslrSweep {
     }
 }
 
+/// The cap keeping an unlucky campaign from running forever.
+fn attempt_cap(bits: u8) -> u64 {
+    (AslrConfig::bits(bits).expected_attempts() as u64) * 20 + 16
+}
+
 /// One brute-force campaign: fresh launches (fresh randomization each
 /// time, like restarting a crashed server) until the fixed-guess attack
-/// succeeds. Returns the number of attempts.
-pub fn brute_force_once(bits: u8, rng: &mut StdRng, cap: u64) -> u64 {
+/// succeeds. Returns the number of attempts, compiling through `cache`
+/// (every attempt at the same slide reuses the image).
+pub fn brute_force_once<R: Rng>(
+    bits: u8,
+    rng: &mut R,
+    cap: u64,
+    cache: &ProgramCache,
+) -> u64 {
     let mut config = DefenseConfig::none();
     config.aslr_bits = Some(bits);
     for attempt in 1..=cap {
-        let seed: u64 = rng.gen();
-        let result = run_technique(Technique::Ret2Libc, config, seed)
+        let seed = rng.next_u64();
+        let result = run_technique_cached(Technique::Ret2Libc, config, seed, cache)
             .expect("victim compiles");
         if result.outcome.succeeded() {
             return attempt;
@@ -80,41 +93,140 @@ pub fn brute_force_once(bits: u8, rng: &mut StdRng, cap: u64) -> u64 {
     cap
 }
 
-/// Runs the sweep. `trials_for` maps entropy bits to the number of
-/// campaigns to average (fewer for high entropies to bound run time).
-pub fn run(bits_levels: &[u8], base_trials: u32, master_seed: u64) -> AslrSweep {
-    let mut rng = StdRng::seed_from_u64(master_seed);
-    let mut rows = Vec::new();
-    for &bits in bits_levels {
-        let aslr = AslrConfig::bits(bits);
-        let expected = aslr.expected_attempts();
-        // Cap campaigns so the experiment terminates even when unlucky.
-        let cap = (expected as u64) * 20 + 16;
-        let trials = base_trials.max(1);
-        let mut total = 0u64;
-        for _ in 0..trials {
-            total += brute_force_once(bits, &mut rng, cap);
-        }
-        // The leak-assisted attacker reads the randomized addresses out
-        // of the leak: first attempt lands.
-        let mut config = DefenseConfig::none();
-        config.aslr_bits = Some(bits);
-        let leak = run_technique(Technique::InfoLeak, config, rng.gen())
-            .expect("victim compiles");
-        rows.push(AslrTrial {
-            bits,
-            trials,
-            mean_attempts: total as f64 / f64::from(trials),
-            expected,
-            leak_attempts: if leak.outcome.succeeded() { 1 } else { u32::MAX },
-        });
+/// Whether the leak-assisted attacker lands on the first launch with
+/// `seed` (it reads the randomized addresses out of the leak).
+fn leak_first_attempt(bits: u8, seed: u64, cache: &ProgramCache) -> u32 {
+    let mut config = DefenseConfig::none();
+    config.aslr_bits = Some(bits);
+    let leak = run_technique_cached(Technique::InfoLeak, config, seed, cache)
+        .expect("victim compiles");
+    if leak.outcome.succeeded() {
+        1
+    } else {
+        u32::MAX
     }
+}
+
+/// Runs the sweep sequentially. Each (level, trial) pair draws its
+/// attempt seeds from its own derived stream, so the result matches a
+/// campaign run cell for cell.
+pub fn compute(
+    bits_levels: &[u8],
+    base_trials: u32,
+    master_seed: u64,
+    cache: &ProgramCache,
+) -> AslrSweep {
+    let trials = base_trials.max(1);
+    let rows = bits_levels
+        .iter()
+        .map(|&bits| {
+            let cap = attempt_cap(bits);
+            let total: u64 = (0..trials)
+                .map(|trial| {
+                    let mut rng =
+                        stream(master_seed, &[u64::from(bits), u64::from(trial)]);
+                    brute_force_once(bits, &mut rng, cap, cache)
+                })
+                .sum();
+            let leak_seed = derive(master_seed, &[u64::from(bits), u64::from(trials)]);
+            AslrTrial {
+                bits,
+                trials,
+                mean_attempts: total as f64 / f64::from(trials),
+                expected: AslrConfig::bits(bits).expected_attempts(),
+                leak_attempts: leak_first_attempt(bits, leak_seed, cache),
+            }
+        })
+        .collect();
     AslrSweep { rows }
+}
+
+/// Legacy sequential entry point.
+#[deprecated(note = "use `AslrExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run(bits_levels: &[u8], base_trials: u32, master_seed: u64) -> AslrSweep {
+    compute(bits_levels, base_trials, master_seed, crate::cache::global())
+}
+
+/// E4 under the campaign API: one cell per (entropy level, campaign)
+/// pair plus one leak-probe cell per level, so the expensive
+/// high-entropy brute forces spread across workers.
+pub struct AslrExperiment;
+
+impl AslrExperiment {
+    fn trials(cfg: &CampaignConfig) -> u32 {
+        cfg.aslr_trials.max(1)
+    }
+
+    /// Cells per level: the brute-force trials plus the leak probe.
+    fn stride(cfg: &CampaignConfig) -> usize {
+        Self::trials(cfg) as usize + 1
+    }
+}
+
+impl Experiment for AslrExperiment {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::new(4)
+    }
+
+    fn title(&self) -> &'static str {
+        "ASLR brute-force sweep"
+    }
+
+    fn cells(&self, cfg: &CampaignConfig) -> usize {
+        cfg.aslr_bits_levels.len().max(1) * Self::stride(cfg)
+    }
+
+    fn run_cell(&self, cfg: &CampaignConfig, ctx: &CampaignCtx, cell: usize) -> Vec<Table> {
+        let stride = Self::stride(cfg);
+        let bits = cfg.aslr_bits_levels[cell / stride];
+        let k = cell % stride;
+        let seed = cfg.cell_seed(self.id(), cell);
+        let mut carrier = Table::new("cell", &["value"]);
+        if k < Self::trials(cfg) as usize {
+            let mut rng = stream(seed, &[0]);
+            let attempts = brute_force_once(bits, &mut rng, attempt_cap(bits), &ctx.cache);
+            carrier.row(vec![attempts.to_string()]);
+        } else {
+            carrier.row(vec![leak_first_attempt(bits, seed, &ctx.cache).to_string()]);
+        }
+        vec![carrier]
+    }
+
+    fn assemble(&self, cfg: &CampaignConfig, cells: Vec<Vec<Table>>) -> Report {
+        let stride = Self::stride(cfg);
+        let trials = Self::trials(cfg);
+        let rows = cfg
+            .aslr_bits_levels
+            .iter()
+            .enumerate()
+            .map(|(level, &bits)| {
+                let base = level * stride;
+                let value = |i: usize| -> u64 {
+                    cells[base + i][0].rows[0][0].parse().expect("numeric carrier")
+                };
+                let total: u64 = (0..trials as usize).map(&value).sum();
+                AslrTrial {
+                    bits,
+                    trials,
+                    mean_attempts: total as f64 / f64::from(trials),
+                    expected: AslrConfig::bits(bits).expected_attempts(),
+                    leak_attempts: value(trials as usize) as u32,
+                }
+            })
+            .collect();
+        let mut report = Report::new(self.id(), self.title());
+        report.tables.push(AslrSweep { rows }.table());
+        report
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(bits_levels: &[u8], base_trials: u32, master_seed: u64) -> AslrSweep {
+        compute(bits_levels, base_trials, master_seed, &ProgramCache::new())
+    }
 
     #[test]
     fn attempts_scale_with_entropy() {
@@ -151,5 +263,18 @@ mod tests {
     fn table_renders() {
         let sweep = run(&[2], 2, 5);
         assert!(sweep.table().to_string().contains("entropy bits"));
+    }
+
+    #[test]
+    fn campaign_cells_reproduce_the_sequential_sweep_shape() {
+        let cfg = CampaignConfig {
+            aslr_bits_levels: vec![2],
+            aslr_trials: 2,
+            ..CampaignConfig::quick()
+        };
+        let report = AslrExperiment.run(&cfg);
+        assert_eq!(report.tables.len(), 1);
+        assert_eq!(report.tables[0].rows.len(), 1);
+        assert_eq!(report.tables[0].rows[0][4], "1", "leak lands first try");
     }
 }

@@ -54,7 +54,7 @@ impl AttestReport {
 }
 
 /// Runs the E10 experiment.
-pub fn run() -> AttestReport {
+pub fn compute() -> AttestReport {
     let image = secret_module_image();
     let platform = Platform::new([0x77; 32]);
     let expected_measurement = Measurement::of(&image);
@@ -127,9 +127,48 @@ pub fn run() -> AttestReport {
     AttestReport { trials }
 }
 
+
+/// Legacy sequential entry point.
+#[deprecated(note = "use `AttestExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run() -> AttestReport {
+    compute()
+}
+
+/// E10 under the campaign API.
+pub struct AttestExperiment;
+
+impl crate::experiments::Experiment for AttestExperiment {
+    fn id(&self) -> crate::report::ExperimentId {
+        crate::report::ExperimentId::new(10)
+    }
+
+    fn title(&self) -> &'static str {
+        "Remote attestation"
+    }
+
+    fn run_cell(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        _ctx: &crate::campaign::CampaignCtx,
+        _cell: usize,
+    ) -> Vec<crate::report::Table> {
+        let report = compute();
+        vec![report.table()]
+    }
+
+    fn assemble(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        cells: Vec<Vec<crate::report::Table>>,
+    ) -> crate::report::Report {
+        crate::experiments::single_cell_report(self.id(), self.title(), cells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::*;
+    
+    use super::compute as run;
 
     #[test]
     fn all_attestation_outcomes_match_the_paper() {

@@ -18,13 +18,14 @@
 //!   oracle tells the attacker nothing durable; recovery fails.
 
 use swsec_defenses::DefenseConfig;
-use swsec_minc::parse;
 use swsec_vm::cpu::{Fault, RunOutcome};
 use swsec_vm::isa::trap;
 
 use crate::attacker::VICTIM_SMASH;
-use crate::loader;
-use crate::report::Table;
+use crate::cache::ProgramCache;
+use crate::campaign::{CampaignConfig, CampaignCtx};
+use crate::experiments::Experiment;
+use crate::report::{ExperimentId, Report, Table};
 
 /// Result of a byte-by-byte canary recovery campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,19 +42,25 @@ pub struct OracleResult {
 
 const FILLER: usize = 52; // buf[48] + the x local, up to the canary slot
 
-fn oracle_query(seed: u64, payload: &[u8]) -> RunOutcome {
-    let unit = parse(VICTIM_SMASH).expect("victim parses");
+fn oracle_query(cache: &ProgramCache, seed: u64, payload: &[u8]) -> RunOutcome {
     let mut cfg = DefenseConfig::none();
     cfg.canary = true;
-    let mut session = loader::launch(&unit, cfg, seed).expect("compiles");
+    let mut session = cache.launch(VICTIM_SMASH, cfg, seed).expect("compiles");
     session.machine.io_mut().feed_input(0, payload);
     session.run(1_000_000)
 }
 
 /// Runs the byte-by-byte recovery. `fork_semantics` keeps the canary
 /// fixed across attempts (forking server); otherwise every attempt
-/// sees a fresh canary (re-executed server).
-pub fn brute_force_canary(base_seed: u64, fork_semantics: bool, budget: u32) -> OracleResult {
+/// sees a fresh canary (re-executed server). Every oracle query
+/// launches through `cache`: the forking server in particular runs
+/// hundreds of children off one compiled image.
+pub fn brute_force_canary_cached(
+    cache: &ProgramCache,
+    base_seed: u64,
+    fork_semantics: bool,
+    budget: u32,
+) -> OracleResult {
     let mut known: Vec<u8> = Vec::new();
     let mut attempts = 0u32;
     'bytes: for _pos in 0..4 {
@@ -70,7 +77,7 @@ pub fn brute_force_canary(base_seed: u64, fork_semantics: bool, budget: u32) -> 
             let mut payload = vec![b'A'; FILLER];
             payload.extend_from_slice(&known);
             payload.push(guess as u8);
-            let outcome = oracle_query(seed, &payload);
+            let outcome = oracle_query(cache, seed, &payload);
             let crashed_on_canary = matches!(
                 outcome,
                 RunOutcome::Fault(Fault::SoftwareTrap { code, .. }) if code == trap::CANARY
@@ -95,10 +102,9 @@ pub fn brute_force_canary(base_seed: u64, fork_semantics: bool, budget: u32) -> 
     // return into `grant`.
     let mut smash_succeeded = false;
     if recovered {
-        let unit = parse(VICTIM_SMASH).expect("victim parses");
         let mut cfg = DefenseConfig::none();
         cfg.canary = true;
-        let mut session = loader::launch(&unit, cfg, base_seed).expect("compiles");
+        let mut session = cache.launch(VICTIM_SMASH, cfg, base_seed).expect("compiles");
         let grant = session.program.function_addr("grant").expect("exists");
         let mut payload = vec![b'A'; FILLER];
         payload.extend_from_slice(&canary.to_le_bytes());
@@ -119,6 +125,12 @@ pub fn brute_force_canary(base_seed: u64, fork_semantics: bool, budget: u32) -> 
         attempts,
         smash_succeeded,
     }
+}
+
+/// Legacy recovery entry point (process-wide cache).
+#[deprecated(note = "use `brute_force_canary_cached`")]
+pub fn brute_force_canary(base_seed: u64, fork_semantics: bool, budget: u32) -> OracleResult {
+    brute_force_canary_cached(crate::cache::global(), base_seed, fork_semantics, budget)
 }
 
 /// Full E14 results.
@@ -162,25 +174,103 @@ impl CanaryOracleReport {
     }
 }
 
-/// Runs the E14 experiment.
-pub fn run(seed: u64) -> CanaryOracleReport {
-    let unit = parse(VICTIM_SMASH).expect("victim parses");
+/// How one server model renders in the E14 table.
+fn oracle_row(name: &str, r: OracleResult) -> Vec<String> {
+    vec![
+        name.to_string(),
+        if r.recovered {
+            format!("yes ({:#010x})", r.canary)
+        } else {
+            "no".to_string()
+        },
+        r.attempts.to_string(),
+        if r.smash_succeeded {
+            "COMPROMISED"
+        } else {
+            "blocked"
+        }
+        .to_string(),
+    ]
+}
+
+/// Runs the E14 experiment with an oracle budget per server model.
+pub fn compute(seed: u64, budget: u32, cache: &ProgramCache) -> CanaryOracleReport {
     let mut cfg = DefenseConfig::none();
     cfg.canary = true;
-    let actual_canary = loader::launch(&unit, cfg, seed)
+    let actual_canary = cache
+        .launch(VICTIM_SMASH, cfg, seed)
         .expect("compiles")
         .canary_value
         .expect("canary installed");
     CanaryOracleReport {
-        forking: brute_force_canary(seed, true, 2048),
-        fresh: brute_force_canary(seed, false, 2048),
+        forking: brute_force_canary_cached(cache, seed, true, budget),
+        fresh: brute_force_canary_cached(cache, seed, false, budget),
         actual_canary,
+    }
+}
+
+/// Legacy sequential entry point.
+#[deprecated(note = "use `CanaryOracleExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run(seed: u64) -> CanaryOracleReport {
+    compute(seed, 2048, crate::cache::global())
+}
+
+/// E14 under the campaign API: one cell per server model, so the two
+/// oracle campaigns run concurrently.
+pub struct CanaryOracleExperiment;
+
+impl Experiment for CanaryOracleExperiment {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::new(14)
+    }
+
+    fn title(&self) -> &'static str {
+        "Byte-by-byte canary brute force"
+    }
+
+    fn cells(&self, _cfg: &CampaignConfig) -> usize {
+        2
+    }
+
+    fn run_cell(&self, cfg: &CampaignConfig, ctx: &CampaignCtx, cell: usize) -> Vec<Table> {
+        let fork_semantics = cell == 0;
+        let result = brute_force_canary_cached(
+            &ctx.cache,
+            cfg.cell_seed(self.id(), cell),
+            fork_semantics,
+            cfg.oracle_budget,
+        );
+        let name = if fork_semantics {
+            "forking (canary survives fork)"
+        } else {
+            "re-executing (fresh canary)"
+        };
+        let mut carrier = Table::new("cell", &["model", "recovered", "queries", "smash"]);
+        carrier.row(oracle_row(name, result));
+        vec![carrier]
+    }
+
+    fn assemble(&self, _cfg: &CampaignConfig, cells: Vec<Vec<Table>>) -> Report {
+        let mut t = Table::new(
+            "E14: byte-by-byte canary brute force via a crash oracle",
+            &["server model", "canary recovered", "oracle queries", "smash"],
+        );
+        for cell in &cells {
+            t.rows.push(cell[0].rows[0].clone());
+        }
+        let mut report = Report::new(self.id(), self.title());
+        report.tables.push(t);
+        report
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(seed: u64) -> CanaryOracleReport {
+        compute(seed, 2048, &ProgramCache::new())
+    }
 
     #[test]
     fn forking_server_leaks_its_canary_byte_by_byte() {

@@ -13,8 +13,11 @@ use swsec_defenses::DefenseConfig;
 use swsec_minc::interp::{self, InterpOutcome};
 use swsec_minc::parse;
 
-use crate::attacker::{run_technique, Technique};
-use crate::report::Table;
+use crate::attacker::{run_technique_cached, Technique};
+use crate::cache::ProgramCache;
+use crate::campaign::{CampaignConfig, CampaignCtx};
+use crate::experiments::{single_cell_report, Experiment};
+use crate::report::{ExperimentId, Report, Table};
 
 /// A demonstrated vulnerability class.
 #[derive(Debug, Clone)]
@@ -73,8 +76,8 @@ fn source_trap(src: &str, input: &[u8]) -> (bool, String) {
     }
 }
 
-/// Runs the catalogue.
-pub fn run(seed: u64) -> Catalogue {
+/// Runs the catalogue, compiling victims through `cache`.
+pub fn compute(seed: u64, cache: &ProgramCache) -> Catalogue {
     let spatial = source_trap(
         // The Figure 1 bug: the read length says 32 but the buffer is 16.
         "void get_request(int fd, char buf[]) { read(fd, buf, 32); }\n\
@@ -116,7 +119,7 @@ pub fn run(seed: u64) -> Catalogue {
     let attacks = Technique::ALL
         .iter()
         .map(|&t| {
-            let result = run_technique(t, DefenseConfig::none(), seed)
+            let result = run_technique_cached(t, DefenseConfig::none(), seed, cache)
                 .expect("built-in victims compile");
             let ok = result.outcome.succeeded();
             let detail = match &result.outcome {
@@ -133,9 +136,40 @@ pub fn run(seed: u64) -> Catalogue {
     }
 }
 
+/// Legacy sequential entry point.
+#[deprecated(note = "use `CatalogueExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run(seed: u64) -> Catalogue {
+    compute(seed, crate::cache::global())
+}
+
+/// E2 under the campaign API.
+pub struct CatalogueExperiment;
+
+impl Experiment for CatalogueExperiment {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::new(2)
+    }
+
+    fn title(&self) -> &'static str {
+        "Vulnerability and attack catalogue"
+    }
+
+    fn run_cell(&self, cfg: &CampaignConfig, ctx: &CampaignCtx, cell: usize) -> Vec<Table> {
+        compute(cfg.cell_seed(self.id(), cell), &ctx.cache).tables()
+    }
+
+    fn assemble(&self, _cfg: &CampaignConfig, cells: Vec<Vec<Table>>) -> Report {
+        single_cell_report(self.id(), self.title(), cells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(seed: u64) -> Catalogue {
+        compute(seed, &ProgramCache::new())
+    }
 
     #[test]
     fn all_vulnerability_classes_trap_at_source_level() {

@@ -306,7 +306,7 @@ impl ContinuityReport {
 }
 
 /// Runs the E11 experiment.
-pub fn run() -> ContinuityReport {
+pub fn compute() -> ContinuityReport {
     let pin = 73;
     let space = 100;
     let rollback = Scheme::ALL
@@ -317,9 +317,48 @@ pub fn run() -> ContinuityReport {
     ContinuityReport { rollback, liveness }
 }
 
+
+/// Legacy sequential entry point.
+#[deprecated(note = "use `ContinuityExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run() -> ContinuityReport {
+    compute()
+}
+
+/// E11 under the campaign API.
+pub struct ContinuityExperiment;
+
+impl crate::experiments::Experiment for ContinuityExperiment {
+    fn id(&self) -> crate::report::ExperimentId {
+        crate::report::ExperimentId::new(11)
+    }
+
+    fn title(&self) -> &'static str {
+        "State continuity and rollback"
+    }
+
+    fn run_cell(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        _ctx: &crate::campaign::CampaignCtx,
+        _cell: usize,
+    ) -> Vec<crate::report::Table> {
+        let report = compute();
+        report.tables()
+    }
+
+    fn assemble(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        cells: Vec<Vec<crate::report::Table>>,
+    ) -> crate::report::Report {
+        crate::experiments::single_cell_report(self.id(), self.title(), cells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use super::compute as run;
 
     #[test]
     fn vault_roundtrips() {

@@ -9,11 +9,13 @@
 //! buffer contents.
 
 use swsec_defenses::DefenseConfig;
-use swsec_minc::parse;
 use swsec_vm::cpu::StepResult;
 
+use crate::cache::ProgramCache;
+use crate::campaign::{CampaignConfig, CampaignCtx};
+use crate::experiments::{single_cell_report, Experiment};
 use crate::loader;
-use crate::report::Table;
+use crate::report::{text_panel, ExperimentId, Report, Table};
 
 /// The paper's Figure 1(a) source, verbatim in MinC.
 pub const FIG1_SOURCE: &str = "\
@@ -60,16 +62,16 @@ pub struct Fig1Facts {
 }
 
 /// Compiles and runs the Figure 1 program, stopping at the entry of
-/// `get_request()` to photograph the machine state.
+/// `get_request()` to photograph the machine state. The program runs
+/// undefended, so every seed photographs the same state.
 ///
 /// # Panics
 ///
 /// Panics only if the built-in program fails to compile — a bug, not an
 /// input condition.
-pub fn run() -> Fig1Report {
-    let unit = parse(FIG1_SOURCE).expect("figure 1 source parses");
+pub fn compute(cache: &ProgramCache, seed: u64) -> Fig1Report {
     let mut session =
-        loader::launch(&unit, DefenseConfig::none(), 1).expect("figure 1 compiles");
+        cache.launch(FIG1_SOURCE, DefenseConfig::none(), seed).expect("figure 1 compiles");
     // The figure's buffer holds "ABCDEFGHIJKLMNO\0"; feed it on fd 1 (the
     // figure passes fd = 1).
     session.machine.io_mut().feed_input(1, b"ABCDEFGHIJKLMNO\0");
@@ -179,9 +181,45 @@ pub fn run() -> Fig1Report {
     }
 }
 
+/// Legacy sequential entry point.
+#[deprecated(note = "use `Fig1Experiment` via the `Experiment` trait, or `compute`")]
+pub fn run() -> Fig1Report {
+    compute(crate::cache::global(), 1)
+}
+
+/// E1 under the campaign API.
+pub struct Fig1Experiment;
+
+impl Experiment for Fig1Experiment {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::new(1)
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 1: source, machine code and run-time state"
+    }
+
+    fn run_cell(&self, cfg: &CampaignConfig, ctx: &CampaignCtx, cell: usize) -> Vec<Table> {
+        let r = compute(&ctx.cache, cfg.cell_seed(self.id(), cell));
+        vec![
+            text_panel("Figure 1(a): source code", &r.source),
+            text_panel("Figure 1(b): machine code of process()", &r.listing),
+            r.snapshot,
+        ]
+    }
+
+    fn assemble(&self, _cfg: &CampaignConfig, cells: Vec<Vec<Table>>) -> Report {
+        single_cell_report(self.id(), self.title(), cells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run() -> Fig1Report {
+        compute(&ProgramCache::new(), 1)
+    }
 
     #[test]
     fn snapshot_matches_paper_layout() {

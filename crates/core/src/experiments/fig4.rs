@@ -82,11 +82,13 @@ pub fn build_module(pin: u32, secure: bool) -> Fig4Module {
 
 fn build_module_with(pin: u32, harden: HardenOptions) -> Fig4Module {
     let unit = parse(&fig4_module_source(pin)).expect("module parses");
-    let mut opts = CompileOptions::default();
-    opts.no_start = true;
+    let mut opts = CompileOptions {
+        no_start: true,
+        harden,
+        ..CompileOptions::default()
+    };
     opts.layout.0.text_base = MODULE_CODE_BASE;
     opts.layout.0.data_base = MODULE_DATA_BASE;
-    opts.harden = harden;
     let program = compile(&unit, &opts).expect("module compiles");
     let entry = program.function_addr("get_secret").expect("exported");
     let reset_gadget = find_instr_addr(&program.text, program.text_base, |i| {
@@ -365,7 +367,7 @@ impl Fig4Report {
 }
 
 /// Runs the E9 experiment with a small PIN space.
-pub fn run() -> Fig4Report {
+pub fn compute() -> Fig4Report {
     let pin = 57;
     let space = 100;
     let naive = build_module(pin, false);
@@ -399,9 +401,48 @@ pub fn run() -> Fig4Report {
     }
 }
 
+
+/// Legacy sequential entry point.
+#[deprecated(note = "use `Fig4Experiment` via the `Experiment` trait, or `compute`")]
+pub fn run() -> Fig4Report {
+    compute()
+}
+
+/// E9 under the campaign API.
+pub struct Fig4Experiment;
+
+impl crate::experiments::Experiment for Fig4Experiment {
+    fn id(&self) -> crate::report::ExperimentId {
+        crate::report::ExperimentId::new(9)
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 4: secure compilation"
+    }
+
+    fn run_cell(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        _ctx: &crate::campaign::CampaignCtx,
+        _cell: usize,
+    ) -> Vec<crate::report::Table> {
+        let report = compute();
+        report.tables()
+    }
+
+    fn assemble(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        cells: Vec<Vec<crate::report::Table>>,
+    ) -> crate::report::Report {
+        crate::experiments::single_cell_report(self.id(), self.title(), cells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use super::compute as run;
 
     #[test]
     fn legitimate_calls_work_on_both_compilations() {

@@ -87,10 +87,12 @@ impl UafReport {
 
 fn run_victim(quarantine: bool, input: &[u8]) -> String {
     let unit = parse(VICTIM_UAF).expect("victim parses");
-    let mut opts = CompileOptions::default();
-    opts.harden = HardenOptions {
-        heap_quarantine: quarantine,
-        ..HardenOptions::none()
+    let opts = CompileOptions {
+        harden: HardenOptions {
+            heap_quarantine: quarantine,
+            ..HardenOptions::none()
+        },
+        ..CompileOptions::default()
     };
     let prog = compile(&unit, &opts).expect("victim compiles");
     let mut m = Machine::new();
@@ -101,7 +103,7 @@ fn run_victim(quarantine: bool, input: &[u8]) -> String {
 }
 
 /// Runs the E15 experiment.
-pub fn run() -> UafReport {
+pub fn compute() -> UafReport {
     let benign = vec![0u8; 16];
     let attack = vec![0xFFu8; 16];
     let mut trials = Vec::new();
@@ -129,9 +131,48 @@ pub fn run() -> UafReport {
     }
 }
 
+
+/// Legacy sequential entry point.
+#[deprecated(note = "use `HeapUafExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run() -> UafReport {
+    compute()
+}
+
+/// E15 under the campaign API.
+pub struct HeapUafExperiment;
+
+impl crate::experiments::Experiment for HeapUafExperiment {
+    fn id(&self) -> crate::report::ExperimentId {
+        crate::report::ExperimentId::new(15)
+    }
+
+    fn title(&self) -> &'static str {
+        "Use-after-free and heap quarantine"
+    }
+
+    fn run_cell(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        _ctx: &crate::campaign::CampaignCtx,
+        _cell: usize,
+    ) -> Vec<crate::report::Table> {
+        let report = compute();
+        vec![report.table()]
+    }
+
+    fn assemble(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        cells: Vec<Vec<crate::report::Table>>,
+    ) -> crate::report::Report {
+        crate::experiments::single_cell_report(self.id(), self.title(), cells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::*;
+    
+    use super::compute as run;
 
     #[test]
     fn classic_allocator_is_exploitable() {

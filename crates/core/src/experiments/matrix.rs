@@ -9,8 +9,26 @@
 
 use swsec_defenses::DefenseConfig;
 
-use crate::attacker::{run_technique, AttackOutcome, Technique};
-use crate::report::Table;
+use crate::attacker::{run_technique_cached, AttackOutcome, Technique};
+use crate::cache::ProgramCache;
+use crate::campaign::{CampaignConfig, CampaignCtx};
+use crate::experiments::Experiment;
+use crate::report::{ExperimentId, Report, Table};
+
+const TITLE: &str = "E3: attack techniques × deployed countermeasures";
+
+/// How one matrix cell renders.
+pub(crate) fn outcome_cell(o: &AttackOutcome) -> String {
+    if o.succeeded() {
+        "COMPROMISED".to_string()
+    } else {
+        match o {
+            AttackOutcome::Blocked { by } => format!("✗ {by}"),
+            AttackOutcome::Failed { .. } => "✗ failed".to_string(),
+            AttackOutcome::Success { .. } => unreachable!("handled above"),
+        }
+    }
+}
 
 /// The standard configurations of the experiment, in escalation order.
 pub fn standard_configs() -> Vec<DefenseConfig> {
@@ -77,31 +95,22 @@ impl Matrix {
         let mut headers = vec!["technique".to_string()];
         headers.extend(self.configs.iter().map(|c| c.label()));
         let mut table = Table {
-            title: "E3: attack techniques × deployed countermeasures".into(),
+            title: TITLE.into(),
             headers,
             rows: Vec::new(),
         };
         for (t, outcomes) in &self.rows {
             let mut row = vec![t.label().to_string()];
-            row.extend(outcomes.iter().map(|o| {
-                if o.succeeded() {
-                    "COMPROMISED".to_string()
-                } else {
-                    match o {
-                        AttackOutcome::Blocked { by } => format!("✗ {by}"),
-                        AttackOutcome::Failed { .. } => "✗ failed".to_string(),
-                        AttackOutcome::Success { .. } => unreachable!("handled above"),
-                    }
-                }
-            }));
+            row.extend(outcomes.iter().map(outcome_cell));
             table.rows.push(row);
         }
         table
     }
 }
 
-/// Runs the full matrix with the given victim-launch seed.
-pub fn run(seed: u64) -> Matrix {
+/// Runs the full matrix with the given victim-launch seed, compiling
+/// each victim/configuration pair through `cache` exactly once.
+pub fn compute(seed: u64, cache: &ProgramCache) -> Matrix {
     let configs = standard_configs();
     let rows = Technique::ALL
         .iter()
@@ -109,7 +118,7 @@ pub fn run(seed: u64) -> Matrix {
             let outcomes = configs
                 .iter()
                 .map(|&c| {
-                    run_technique(t, c, seed)
+                    run_technique_cached(t, c, seed, cache)
                         .expect("built-in victims compile")
                         .outcome
                 })
@@ -120,9 +129,74 @@ pub fn run(seed: u64) -> Matrix {
     Matrix { configs, rows }
 }
 
+/// Legacy sequential entry point.
+#[deprecated(note = "use `MatrixExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run(seed: u64) -> Matrix {
+    compute(seed, crate::cache::global())
+}
+
+/// E3 under the campaign API: one cell per technique × configuration
+/// pair (7 × 8 = 56), so the matrix fans out across the campaign pool.
+pub struct MatrixExperiment;
+
+impl Experiment for MatrixExperiment {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::new(3)
+    }
+
+    fn title(&self) -> &'static str {
+        "Attack × countermeasure matrix"
+    }
+
+    fn cells(&self, _cfg: &CampaignConfig) -> usize {
+        Technique::ALL.len() * standard_configs().len()
+    }
+
+    fn run_cell(&self, cfg: &CampaignConfig, ctx: &CampaignCtx, cell: usize) -> Vec<Table> {
+        let configs = standard_configs();
+        let technique = Technique::ALL[cell / configs.len()];
+        let config = configs[cell % configs.len()];
+        let result = run_technique_cached(
+            technique,
+            config,
+            cfg.cell_seed(self.id(), cell),
+            &ctx.cache,
+        )
+        .expect("built-in victims compile");
+        let mut carrier = Table::new("cell", &["outcome"]);
+        carrier.row(vec![outcome_cell(&result.outcome)]);
+        vec![carrier]
+    }
+
+    fn assemble(&self, _cfg: &CampaignConfig, cells: Vec<Vec<Table>>) -> Report {
+        let configs = standard_configs();
+        let mut headers = vec!["technique".to_string()];
+        headers.extend(configs.iter().map(|c| c.label()));
+        let mut table = Table {
+            title: TITLE.into(),
+            headers,
+            rows: Vec::new(),
+        };
+        for (ti, t) in Technique::ALL.iter().enumerate() {
+            let mut row = vec![t.label().to_string()];
+            for ci in 0..configs.len() {
+                row.push(cells[ti * configs.len() + ci][0].rows[0][0].clone());
+            }
+            table.rows.push(row);
+        }
+        let mut report = Report::new(self.id(), self.title());
+        report.tables.push(table);
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run(seed: u64) -> Matrix {
+        compute(seed, &ProgramCache::new())
+    }
 
     #[test]
     fn matrix_shape_matches_the_papers_claims() {

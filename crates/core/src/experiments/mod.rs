@@ -19,6 +19,93 @@
 //! | [`canary_oracle`] | E14 — byte-by-byte canary brute force |
 //! | [`heap_uaf`] | E15 — use-after-free and heap quarantine |
 
+use crate::campaign::{CampaignConfig, CampaignCtx};
+use crate::report::{ExperimentId, Report, Table};
+
+/// The uniform interface every experiment driver implements.
+///
+/// An experiment decomposes into `cells()` independent units of work;
+/// [`run_cell`](Experiment::run_cell) executes one — depending only on
+/// the configuration, the shared context and the cell index, never on
+/// execution order — and [`assemble`](Experiment::assemble) folds the
+/// outputs (in cell order) into the final [`Report`]. Single-shot
+/// experiments have one cell; grids like the E3 matrix expose one cell
+/// per grid point so the campaign runner can spread them across
+/// workers.
+///
+/// Cell outputs travel as `Vec<Table>`: either the finished tables
+/// (single-cell experiments) or small carrier tables `assemble`
+/// pivots into the final shape.
+pub trait Experiment: Sync {
+    /// Which experiment this is.
+    fn id(&self) -> ExperimentId;
+
+    /// Human-readable title, used as the report heading.
+    fn title(&self) -> &'static str;
+
+    /// Number of independent cells under `cfg` (at least 1).
+    fn cells(&self, _cfg: &CampaignConfig) -> usize {
+        1
+    }
+
+    /// Runs cell `cell`. Must be a pure function of
+    /// `(cfg, cell)` plus the derived seed
+    /// [`CampaignConfig::cell_seed`]`(self.id(), cell)`.
+    fn run_cell(&self, cfg: &CampaignConfig, ctx: &CampaignCtx, cell: usize) -> Vec<Table>;
+
+    /// Folds the cell outputs (cell order) into the report.
+    fn assemble(&self, cfg: &CampaignConfig, cells: Vec<Vec<Table>>) -> Report;
+
+    /// Runs the whole experiment sequentially: the uniform entry point
+    /// for callers that do not need the campaign pool.
+    fn run(&self, cfg: &CampaignConfig) -> Report {
+        self.run_with(cfg, &CampaignCtx::new())
+    }
+
+    /// Like [`run`](Experiment::run), sharing the caller's context
+    /// (and hence compile cache).
+    fn run_with(&self, cfg: &CampaignConfig, ctx: &CampaignCtx) -> Report {
+        let cells = (0..self.cells(cfg))
+            .map(|cell| self.run_cell(cfg, ctx, cell))
+            .collect();
+        self.assemble(cfg, cells)
+    }
+}
+
+/// Every experiment, in presentation order E1–E15.
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    static REGISTRY: [&dyn Experiment; 15] = [
+        &fig1::Fig1Experiment,
+        &catalogue::CatalogueExperiment,
+        &matrix::MatrixExperiment,
+        &aslr::AslrExperiment,
+        &overhead::OverheadExperiment,
+        &analysis::AnalysisExperiment,
+        &scraping::ScrapingExperiment,
+        &pma_rules::PmaRulesExperiment,
+        &fig4::Fig4Experiment,
+        &attest::AttestExperiment,
+        &continuity::ContinuityExperiment,
+        &pma_cost::PmaCostExperiment,
+        &strict_reentry::StrictReentryExperiment,
+        &canary_oracle::CanaryOracleExperiment,
+        &heap_uaf::HeapUafExperiment,
+    ];
+    &REGISTRY
+}
+
+/// Shorthand: wraps already-final tables from a single-cell experiment
+/// into its report.
+fn single_cell_report(
+    id: ExperimentId,
+    title: &str,
+    mut cells: Vec<Vec<Table>>,
+) -> Report {
+    let mut report = Report::new(id, title);
+    report.tables = cells.swap_remove(0);
+    report
+}
+
 pub mod analysis;
 pub mod aslr;
 pub mod attest;

@@ -9,7 +9,9 @@
 use swsec_defenses::runtime_check::measure_overhead;
 use swsec_minc::{parse, HardenOptions};
 
-use crate::report::Table;
+use crate::campaign::{CampaignConfig, CampaignCtx};
+use crate::experiments::Experiment;
+use crate::report::{ExperimentId, Report, Table};
 
 /// The benchmark workloads: compute-heavy MinC programs exercising
 /// calls, array traffic and byte scanning.
@@ -103,8 +105,8 @@ impl OverheadReport {
     }
 }
 
-/// Runs the overhead sweep.
-pub fn run() -> OverheadReport {
+/// Measures one workload under all three hardening mixes.
+fn measure_workload(name: &'static str, src: &str) -> OverheadRow {
     let mut canary_only = HardenOptions::none();
     canary_only.stack_canary = true;
     let mut bounds_only = HardenOptions::none();
@@ -113,30 +115,75 @@ pub fn run() -> OverheadReport {
     both.stack_canary = true;
     both.bounds_checks = true;
 
+    let unit = parse(src).expect("workload parses");
+    let c = measure_overhead(&unit, canary_only, &[], 50_000_000).expect("clean runs");
+    let b = measure_overhead(&unit, bounds_only, &[], 50_000_000).expect("clean runs");
+    let cb = measure_overhead(&unit, both, &[], 50_000_000).expect("clean runs");
+    OverheadRow {
+        workload: name,
+        baseline: c.baseline,
+        canary: c.relative(),
+        bounds: b.relative(),
+        both: cb.relative(),
+    }
+}
+
+/// Runs the overhead sweep.
+pub fn compute() -> OverheadReport {
     let rows = workloads()
         .into_iter()
-        .map(|(name, src)| {
-            let unit = parse(&src).expect("workload parses");
-            let c = measure_overhead(&unit, canary_only, &[], 50_000_000)
-                .expect("clean runs");
-            let b = measure_overhead(&unit, bounds_only, &[], 50_000_000)
-                .expect("clean runs");
-            let cb = measure_overhead(&unit, both, &[], 50_000_000).expect("clean runs");
-            OverheadRow {
-                workload: name,
-                baseline: c.baseline,
-                canary: c.relative(),
-                bounds: b.relative(),
-                both: cb.relative(),
-            }
-        })
+        .map(|(name, src)| measure_workload(name, &src))
         .collect();
     OverheadReport { rows }
 }
 
+/// Legacy sequential entry point.
+#[deprecated(note = "use `OverheadExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run() -> OverheadReport {
+    compute()
+}
+
+/// E5 under the campaign API: one cell per benchmark workload.
+pub struct OverheadExperiment;
+
+impl Experiment for OverheadExperiment {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::new(5)
+    }
+
+    fn title(&self) -> &'static str {
+        "Countermeasure instruction overhead"
+    }
+
+    fn cells(&self, _cfg: &CampaignConfig) -> usize {
+        workloads().len()
+    }
+
+    fn run_cell(&self, _cfg: &CampaignConfig, _ctx: &CampaignCtx, cell: usize) -> Vec<Table> {
+        let (name, src) = workloads().swap_remove(cell);
+        let report = OverheadReport {
+            rows: vec![measure_workload(name, &src)],
+        };
+        vec![report.table()]
+    }
+
+    fn assemble(&self, _cfg: &CampaignConfig, cells: Vec<Vec<Table>>) -> Report {
+        // Each cell rendered a one-row copy of the final table; fold
+        // the rows back together.
+        let mut table = cells[0][0].clone();
+        for cell in &cells[1..] {
+            table.rows.extend(cell[0].rows.iter().cloned());
+        }
+        let mut report = Report::new(self.id(), self.title());
+        report.tables.push(table);
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::*;
+    
+    use super::compute as run;
 
     #[test]
     fn bounds_cost_dominates_canary_cost_on_data_heavy_code() {

@@ -73,7 +73,7 @@ fn instructions_for(secure: bool) -> u64 {
 }
 
 /// Runs the E12 measurement.
-pub fn run() -> PmaCostReport {
+pub fn compute() -> PmaCostReport {
     PmaCostReport {
         cost: CallCost {
             naive_instructions: instructions_for(false),
@@ -82,9 +82,48 @@ pub fn run() -> PmaCostReport {
     }
 }
 
+
+/// Legacy sequential entry point.
+#[deprecated(note = "use `PmaCostExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run() -> PmaCostReport {
+    compute()
+}
+
+/// E12 under the campaign API.
+pub struct PmaCostExperiment;
+
+impl crate::experiments::Experiment for PmaCostExperiment {
+    fn id(&self) -> crate::report::ExperimentId {
+        crate::report::ExperimentId::new(12)
+    }
+
+    fn title(&self) -> &'static str {
+        "Isolation cost"
+    }
+
+    fn run_cell(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        _ctx: &crate::campaign::CampaignCtx,
+        _cell: usize,
+    ) -> Vec<crate::report::Table> {
+        let report = compute();
+        vec![report.table()]
+    }
+
+    fn assemble(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        cells: Vec<Vec<crate::report::Table>>,
+    ) -> crate::report::Report {
+        crate::experiments::single_cell_report(self.id(), self.title(), cells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::*;
+    
+    use super::compute as run;
 
     #[test]
     fn secure_compilation_costs_a_bounded_premium() {

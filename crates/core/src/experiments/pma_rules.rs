@@ -72,7 +72,7 @@ fn policy() -> ProtectionMap {
 }
 
 /// Runs the policy-level grid plus VM demonstrations.
-pub fn run() -> RulesReport {
+pub fn compute() -> RulesReport {
     let map = policy();
     let mut checks = Vec::new();
     let mut check = |ip_location, access, allowed: bool, expected: bool| {
@@ -266,9 +266,48 @@ pub fn run() -> RulesReport {
     RulesReport { checks, vm_demos }
 }
 
+
+/// Legacy sequential entry point.
+#[deprecated(note = "use `PmaRulesExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run() -> RulesReport {
+    compute()
+}
+
+/// E8 under the campaign API.
+pub struct PmaRulesExperiment;
+
+impl crate::experiments::Experiment for PmaRulesExperiment {
+    fn id(&self) -> crate::report::ExperimentId {
+        crate::report::ExperimentId::new(8)
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 3: the access-control rules"
+    }
+
+    fn run_cell(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        _ctx: &crate::campaign::CampaignCtx,
+        _cell: usize,
+    ) -> Vec<crate::report::Table> {
+        let report = compute();
+        vec![report.table()]
+    }
+
+    fn assemble(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        cells: Vec<Vec<crate::report::Table>>,
+    ) -> crate::report::Report {
+        crate::experiments::single_cell_report(self.id(), self.title(), cells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::*;
+    
+    use super::compute as run;
 
     #[test]
     fn every_rule_matches_the_paper() {

@@ -40,8 +40,10 @@ pub const MODULE_DATA_BASE: u32 = 0x0a10_0000;
 /// Compiles the Figure 2 module as a loadable image.
 pub fn secret_module_image() -> ModuleImage {
     let unit = parse(SECRET_MODULE).expect("module parses");
-    let mut opts = CompileOptions::default();
-    opts.no_start = true;
+    let mut opts = CompileOptions {
+        no_start: true,
+        ..CompileOptions::default()
+    };
     opts.layout.0.text_base = MODULE_CODE_BASE;
     opts.layout.0.data_base = MODULE_DATA_BASE;
     ModuleImage::from_compiled(&compile(&unit, &opts).expect("module compiles"))
@@ -120,7 +122,7 @@ fn machine_with_protected_module(image: &ModuleImage) -> Machine {
 }
 
 /// Runs the E7 experiment.
-pub fn run() -> ScrapeReport {
+pub fn compute() -> ScrapeReport {
     let image = secret_module_image();
     let mut trials = Vec::new();
     for protected in [false, true] {
@@ -166,9 +168,48 @@ pub fn run() -> ScrapeReport {
     }
 }
 
+
+/// Legacy sequential entry point.
+#[deprecated(note = "use `ScrapingExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run() -> ScrapeReport {
+    compute()
+}
+
+/// E7 under the campaign API.
+pub struct ScrapingExperiment;
+
+impl crate::experiments::Experiment for ScrapingExperiment {
+    fn id(&self) -> crate::report::ExperimentId {
+        crate::report::ExperimentId::new(7)
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 2: memory scraping vs PMA"
+    }
+
+    fn run_cell(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        _ctx: &crate::campaign::CampaignCtx,
+        _cell: usize,
+    ) -> Vec<crate::report::Table> {
+        let report = compute();
+        vec![report.table()]
+    }
+
+    fn assemble(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        cells: Vec<Vec<crate::report::Table>>,
+    ) -> crate::report::Report {
+        crate::experiments::single_cell_report(self.id(), self.title(), cells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use super::compute as run;
 
     #[test]
     fn unprotected_module_is_scraped_by_everyone() {

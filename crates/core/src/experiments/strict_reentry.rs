@@ -72,7 +72,7 @@ impl StrictReport {
 }
 
 /// Runs the E13 experiment.
-pub fn run() -> StrictReport {
+pub fn compute() -> StrictReport {
     let pin = 57;
     let mut scenarios = Vec::new();
 
@@ -181,9 +181,48 @@ pub fn run() -> StrictReport {
     StrictReport { scenarios }
 }
 
+
+/// Legacy sequential entry point.
+#[deprecated(note = "use `StrictReentryExperiment` via the `Experiment` trait, or `compute`")]
+pub fn run() -> StrictReport {
+    compute()
+}
+
+/// E13 under the campaign API.
+pub struct StrictReentryExperiment;
+
+impl crate::experiments::Experiment for StrictReentryExperiment {
+    fn id(&self) -> crate::report::ExperimentId {
+        crate::report::ExperimentId::new(13)
+    }
+
+    fn title(&self) -> &'static str {
+        "Strict-policy secure compilation"
+    }
+
+    fn run_cell(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        _ctx: &crate::campaign::CampaignCtx,
+        _cell: usize,
+    ) -> Vec<crate::report::Table> {
+        let report = compute();
+        vec![report.table()]
+    }
+
+    fn assemble(
+        &self,
+        _cfg: &crate::campaign::CampaignConfig,
+        cells: Vec<Vec<crate::report::Table>>,
+    ) -> crate::report::Report {
+        crate::experiments::single_cell_report(self.id(), self.title(), cells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use super::compute as run;
 
     #[test]
     fn all_strict_scenarios_hold() {

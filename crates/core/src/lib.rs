@@ -10,8 +10,13 @@
 //!   check: compiled behaviour vs the source semantics;
 //! * [`attacker`] — the §III-B attack techniques as runnable
 //!   procedures with canonical victims;
-//! * [`experiments`] — the E1..E12 drivers reproducing every figure
-//!   and claim (see `DESIGN.md` and `EXPERIMENTS.md`);
+//! * [`experiments`] — the E1..E15 drivers reproducing every figure
+//!   and claim (see `DESIGN.md` and `EXPERIMENTS.md`), each behind the
+//!   uniform [`experiments::Experiment`] trait;
+//! * [`campaign`] — the parallel campaign runner: the full suite on a
+//!   work-stealing pool, byte-identical output at any worker count;
+//! * [`cache`] — compile-once memoization across a campaign's
+//!   thousands of victim launches;
 //! * [`report`] — plain-text tables the drivers emit.
 //!
 //! ## Quick start
@@ -33,6 +38,8 @@
 #![warn(missing_docs)]
 
 pub mod attacker;
+pub mod cache;
+pub mod campaign;
 pub mod equiv;
 pub mod experiments;
 pub mod loader;
@@ -41,8 +48,11 @@ pub mod report;
 /// The names nearly every user of the laboratory needs.
 pub mod prelude {
     pub use crate::attacker::{run_technique, AttackOutcome, AttackResult, Technique};
+    pub use crate::cache::ProgramCache;
+    pub use crate::campaign::{run_campaign, CampaignConfig, CampaignReport};
     pub use crate::equiv::{compare, Comparison, Verdict};
+    pub use crate::experiments::{registry, Experiment};
     pub use crate::loader::{launch, Session};
-    pub use crate::report::Table;
+    pub use crate::report::{ExperimentId, Report, Table};
     pub use swsec_defenses::DefenseConfig;
 }

@@ -15,8 +15,7 @@
 //! ([`Session::frame_base`]): given a call path, where a frame's base
 //! pointer will be — exact without ASLR, a guess with it.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use swsec_rng::{stream, Rng};
 
 use swsec_defenses::DefenseConfig;
 use swsec_minc::ast::Unit;
@@ -102,6 +101,72 @@ pub fn frame_base_for(
     Ok(bp)
 }
 
+/// Independent sub-streams of one launch seed, so the compile plan and
+/// the load-time randomness can be reproduced separately (the compile
+/// half is what the [`crate::cache::ProgramCache`] memoizes).
+mod draw {
+    /// ASLR segment slides.
+    pub const ASLR: u64 = 0;
+    /// The canary value installed at launch.
+    pub const CANARY: u64 = 1;
+}
+
+/// The compile options `config` implies for a launch with `seed`:
+/// hardening switches, plus the ASLR-slid layout when ASLR is on.
+///
+/// This is the pure "compile plan" half of [`launch`]; feeding it to
+/// [`swsec_minc::compile`] — or to a [`crate::cache::ProgramCache`],
+/// which memoizes on exactly these options — and then loading the
+/// result with [`launch_compiled`] reproduces `launch` bit for bit.
+pub fn plan_options(config: &DefenseConfig, seed: u64) -> CompileOptions {
+    let mut opts = CompileOptions {
+        harden: config.harden_options(),
+        ..CompileOptions::default()
+    };
+    if let Some(aslr) = config.aslr() {
+        let mut rng = stream(seed, &[draw::ASLR]);
+        opts.layout.0 = aslr.randomize(opts.layout.0, &mut rng);
+    }
+    opts
+}
+
+/// Loads an already-compiled `program` and applies the run-time halves
+/// of `config` (DEP, shadow stack, canary installation).
+///
+/// The program must have been compiled from the options
+/// [`plan_options`] yields for the same `(config, seed)` pair —
+/// otherwise the layout in the image and the advertised configuration
+/// disagree.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] when loading or canary installation
+/// fails.
+pub fn launch_compiled(
+    program: &CompiledProgram,
+    config: DefenseConfig,
+    seed: u64,
+) -> Result<Session, CompileError> {
+    let mut machine = Machine::new();
+    program.load(&mut machine)?;
+    machine.mem_mut().set_enforce(config.dep);
+    machine.set_shadow_stack(config.shadow_stack);
+    machine.seed_rng(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let canary_value = if config.canary {
+        let value = stream(seed, &[draw::CANARY]).next_u32();
+        program.install_canary(&mut machine, value)?;
+        Some(value)
+    } else {
+        None
+    };
+    Ok(Session {
+        machine,
+        program: program.clone(),
+        config,
+        canary_value,
+    })
+}
+
 /// Compiles `unit` under `config` and launches it.
 ///
 /// `seed` drives every random choice (ASLR slides, canary value), so a
@@ -112,31 +177,9 @@ pub fn frame_base_for(
 ///
 /// Returns a [`CompileError`] when compilation or loading fails.
 pub fn launch(unit: &Unit, config: DefenseConfig, seed: u64) -> Result<Session, CompileError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut opts = CompileOptions::default();
-    opts.harden = config.harden_options();
-    if let Some(aslr) = config.aslr() {
-        opts.layout.0 = aslr.randomize(opts.layout.0, &mut rng);
-    }
+    let opts = plan_options(&config, seed);
     let program = compile(unit, &opts)?;
-    let mut machine = Machine::new();
-    program.load(&mut machine)?;
-    machine.mem_mut().set_enforce(config.dep);
-    machine.set_shadow_stack(config.shadow_stack);
-    machine.seed_rng(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
-    let canary_value = if config.canary {
-        let value: u32 = rng.gen();
-        program.install_canary(&mut machine, value)?;
-        Some(value)
-    } else {
-        None
-    };
-    Ok(Session {
-        machine,
-        program,
-        config,
-        canary_value,
-    })
+    launch_compiled(&program, config, seed)
 }
 
 #[cfg(test)]

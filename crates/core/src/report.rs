@@ -2,6 +2,11 @@
 //!
 //! Every experiment driver returns one or more [`Table`]s; examples and
 //! the benchmark harness print them, and `EXPERIMENTS.md` quotes them.
+//!
+//! The campaign API adds two uniform types on top: [`ExperimentId`]
+//! names a driver (E1–E15), and [`Report`] is the structured output
+//! every [`crate::experiments::Experiment`] returns — an id, a title
+//! and tables of structured rows, never a bespoke struct.
 
 use std::fmt;
 
@@ -82,9 +87,141 @@ impl fmt::Display for Table {
     }
 }
 
+/// Identifies one of the fifteen experiment drivers (`E1`–`E15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExperimentId(u8);
+
+impl ExperimentId {
+    /// All experiment ids, in presentation order.
+    pub const ALL: [ExperimentId; 15] = {
+        let mut ids = [ExperimentId(0); 15];
+        let mut i = 0;
+        while i < 15 {
+            ids[i] = ExperimentId(i as u8 + 1);
+            i += 1;
+        }
+        ids
+    };
+
+    /// The id for experiment number `n` (1–15).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is outside `1..=15`.
+    pub fn new(n: u8) -> ExperimentId {
+        assert!((1..=15).contains(&n), "experiment number {n} out of range");
+        ExperimentId(n)
+    }
+
+    /// The experiment number (1–15).
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Zero-based position in presentation order.
+    pub fn index(self) -> usize {
+        usize::from(self.0) - 1
+    }
+
+    /// The number as a seed-derivation path element.
+    pub fn seed_path(self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+/// Uniform experiment output: id, title, and structured tables.
+///
+/// `Report` is the entire boundary between an experiment and the
+/// campaign runner — equality (and hence campaign determinism checks)
+/// compare the full structured contents, and [`Report::render`] is a
+/// pure function of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Which experiment produced this.
+    pub id: ExperimentId,
+    /// Human-readable experiment title.
+    pub title: String,
+    /// The structured results.
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    /// A report with no tables yet.
+    pub fn new(id: ExperimentId, title: impl Into<String>) -> Report {
+        Report {
+            id,
+            title: title.into(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Renders the full report deterministically.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {} — {}", self.id, self.title)?;
+        for t in &self.tables {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Wraps preformatted text (a source listing, a disassembly) as a
+/// single-column table so it can travel inside a [`Report`].
+pub fn text_panel(title: impl Into<String>, text: &str) -> Table {
+    let mut t = Table::new(title, &["text"]);
+    for line in text.lines() {
+        t.row(vec![line.to_string()]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn experiment_ids_enumerate_e1_to_e15() {
+        assert_eq!(ExperimentId::ALL.len(), 15);
+        assert_eq!(ExperimentId::ALL[0].to_string(), "E1");
+        assert_eq!(ExperimentId::ALL[14].to_string(), "E15");
+        assert_eq!(ExperimentId::new(3).index(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn experiment_id_rejects_zero() {
+        ExperimentId::new(0);
+    }
+
+    #[test]
+    fn report_renders_title_and_tables() {
+        let mut r = Report::new(ExperimentId::new(2), "demo");
+        let mut t = Table::new("inner", &["a"]);
+        t.row(vec!["x"]);
+        r.tables.push(t);
+        let s = r.render();
+        assert!(s.contains("# E2 — demo"));
+        assert!(s.contains("## inner"));
+    }
+
+    #[test]
+    fn text_panels_preserve_lines() {
+        let t = text_panel("listing", "one\ntwo");
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[1][0], "two");
+    }
 
     #[test]
     fn renders_aligned_columns() {

@@ -6,7 +6,7 @@
 //! arithmetic of defeating it by brute force, which experiment E4
 //! validates empirically against the real loader.
 
-use rand::Rng;
+use swsec_rng::Rng;
 
 use swsec_minc::LayoutConfig;
 
@@ -63,10 +63,10 @@ impl AslrConfig {
             // *relative* offsets would survive a single image slide).
             // The data window starts past the text window's end so the
             // segments can never collide.
-            let text_slide = (rng.gen::<u32>() & mask) * page;
+            let text_slide = (rng.next_u32() & mask) * page;
             out.text_base = base.text_base.wrapping_add(text_slide);
             let gap = (self.layouts() as u32) * page;
-            let data_slide = (rng.gen::<u32>() & mask) * page;
+            let data_slide = (rng.next_u32() & mask) * page;
             out.data_base = base
                 .data_base
                 .wrapping_add(gap)
@@ -81,7 +81,7 @@ impl AslrConfig {
         if self.stack {
             // Slide the stack *down* so it cannot collide with the data
             // segment above.
-            let slide = (rng.gen::<u32>() & mask) * page;
+            let slide = (rng.next_u32() & mask) * page;
             out.stack_top = base.stack_top.wrapping_sub(slide);
         }
         out
@@ -91,8 +91,7 @@ impl AslrConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use swsec_rng::Xoshiro256pp;
 
     #[test]
     fn entropy_arithmetic() {
@@ -106,7 +105,7 @@ mod tests {
     fn randomize_slides_are_page_aligned_and_bounded() {
         let aslr = AslrConfig::bits(8);
         let base = LayoutConfig::default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         for _ in 0..100 {
             let l = aslr.randomize(base, &mut rng);
             let slide = l.text_base.wrapping_sub(base.text_base);
@@ -121,7 +120,7 @@ mod tests {
     fn zero_bits_means_no_randomization() {
         let aslr = AslrConfig::bits(0);
         let base = LayoutConfig::default();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let l = aslr.randomize(base, &mut rng);
         assert_eq!(l, base);
     }
@@ -130,7 +129,7 @@ mod tests {
     fn layouts_vary_across_draws() {
         let aslr = AslrConfig::bits(12);
         let base = LayoutConfig::default();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let a = aslr.randomize(base, &mut rng);
         let b = aslr.randomize(base, &mut rng);
         assert_ne!(a, b);
@@ -144,7 +143,7 @@ mod tests {
             code: false,
         };
         let base = LayoutConfig::default();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         let l = aslr.randomize(base, &mut rng);
         assert_eq!(l.text_base, base.text_base);
         assert_eq!(l.data_base, base.data_base);

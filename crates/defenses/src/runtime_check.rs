@@ -138,8 +138,10 @@ pub fn measure_overhead(
     fuel: u64,
 ) -> Result<Overhead, CompileError> {
     let plain_opts = CompileOptions::default();
-    let mut hard_opts = CompileOptions::default();
-    hard_opts.harden = harden;
+    let hard_opts = CompileOptions {
+        harden,
+        ..CompileOptions::default()
+    };
     let (plain_outcome, baseline) = run_one(unit, &plain_opts, input, fuel)?;
     let (hard_outcome, instrumented) = run_one(unit, &hard_opts, input, fuel)?;
     if !plain_outcome.is_halted() || !hard_outcome.is_halted() {
@@ -254,6 +256,6 @@ mod tests {
         let mut harden = HardenOptions::none();
         harden.bounds_checks = true;
         // The hardened build traps -> measurement refuses.
-        assert!(measure_overhead(&unit, harden, &vec![b'A'; 8], 1_000_000).is_err());
+        assert!(measure_overhead(&unit, harden, &[b'A'; 8], 1_000_000).is_err());
     }
 }

@@ -41,7 +41,7 @@ use crate::ast::{BinOp, Expr, Function, GlobalInit, Stmt, Type, UnaryOp, Unit};
 use crate::sema;
 
 /// Where the program's segments are placed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LayoutConfig {
     /// Base of the text (code) segment.
     pub text_base: u32,
@@ -72,7 +72,7 @@ impl Default for LayoutConfig {
 }
 
 /// Compiler hardening switches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct HardenOptions {
     /// Emit stack canaries (StackGuard, §III-C1).
     pub stack_canary: bool,
@@ -125,7 +125,10 @@ impl HardenOptions {
 }
 
 /// Options controlling one compilation.
-#[derive(Debug, Clone, Default)]
+///
+/// Cheap to clone and hashable end to end, so compilation results can
+/// be memoized keyed on `(source, options)` — see `swsec::cache`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct CompileOptions {
     /// Segment placement.
     pub layout: LayoutOpt,
@@ -140,14 +143,10 @@ pub struct CompileOptions {
 }
 
 /// Wrapper so `CompileOptions::default()` gets the default layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
 pub struct LayoutOpt(pub LayoutConfig);
 
-impl Default for LayoutOpt {
-    fn default() -> Self {
-        LayoutOpt(LayoutConfig::default())
-    }
-}
 
 /// A compile-time error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -1852,8 +1851,10 @@ mod tests {
     fn extern_functions_resolve_to_given_addresses() {
         // Compile a callee at one base, then a caller linking to it.
         let callee_unit = parse("int answer() { return 42; }").unwrap();
-        let mut callee_opts = CompileOptions::default();
-        callee_opts.no_start = true;
+        let mut callee_opts = CompileOptions {
+            no_start: true,
+            ..CompileOptions::default()
+        };
         callee_opts.layout.0.text_base = 0x0900_0000;
         callee_opts.layout.0.data_base = 0x0910_0000;
         let callee = compile(&callee_unit, &callee_opts).unwrap();
@@ -1889,8 +1890,10 @@ mod tests {
              int get_secret(int pin) { if (pin == 1234) return secret; return 0; }",
         )
         .unwrap();
-        let mut opts = CompileOptions::default();
-        opts.no_start = true;
+        let opts = CompileOptions {
+            no_start: true,
+            ..CompileOptions::default()
+        };
         let prog = compile(&unit, &opts).unwrap();
         assert!(prog.entry.is_none());
         assert_eq!(prog.exports, vec!["get_secret".to_string()]);
@@ -1904,8 +1907,10 @@ mod tests {
              int api() { return helper(); }",
         )
         .unwrap();
-        let mut opts = CompileOptions::default();
-        opts.no_start = true;
+        let opts = CompileOptions {
+            no_start: true,
+            ..CompileOptions::default()
+        };
         let prog = compile(&unit, &opts).unwrap();
         assert_eq!(prog.exports, vec!["api".to_string()]);
     }

@@ -363,9 +363,7 @@ impl Parser {
                 self.expect(&Token::Semi)?;
                 Ok(Stmt::Continue)
             }
-            Some(t) if matches!(t, Token::KwInt | Token::KwChar | Token::KwVoid) => {
-                self.parse_decl_stmt()
-            }
+            Some(Token::KwInt | Token::KwChar | Token::KwVoid) => self.parse_decl_stmt(),
             Some(Token::Semi) => {
                 self.bump();
                 Ok(Stmt::Block(Vec::new()))

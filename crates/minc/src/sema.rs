@@ -117,12 +117,10 @@ struct Checker<'a> {
 
 impl Checker<'_> {
     fn is_lvalue(&self, e: &Expr) -> bool {
-        match e {
-            Expr::Var(_) => true,
-            Expr::Index { .. } => true,
-            Expr::Unary { op: UnaryOp::Deref, .. } => true,
-            _ => false,
-        }
+        matches!(
+            e,
+            Expr::Var(_) | Expr::Index { .. } | Expr::Unary { op: UnaryOp::Deref, .. }
+        )
     }
 
     fn type_of_var(&self, name: &str) -> Result<Type, SemaError> {

@@ -276,7 +276,7 @@ impl TwoPhaseContinuity {
     }
 
     fn slot_for(&self, seq: u64) -> u32 {
-        if seq % 2 == 0 {
+        if seq.is_multiple_of(2) {
             self.slot_a
         } else {
             self.slot_b

@@ -153,8 +153,10 @@ mod tests {
              }",
         )
         .unwrap();
-        let mut opts = CompileOptions::default();
-        opts.no_start = true;
+        let mut opts = CompileOptions {
+            no_start: true,
+            ..CompileOptions::default()
+        };
         opts.layout.0.text_base = 0x0a00_0000;
         opts.layout.0.data_base = 0x0a10_0000;
         ModuleImage::from_compiled(&compile(&unit, &opts).unwrap())

@@ -1,6 +1,12 @@
 //! Property tests of the machine itself: ALU semantics against Rust's
 //! reference arithmetic, stack discipline, flag/branch coherence and
 //! memory roundtrips.
+//
+// Gated behind the non-default `proptest-tests` feature: the default
+// workspace must build with zero network access, and `proptest` is a
+// registry dependency. Enable with `--features proptest-tests` after
+// restoring `proptest` to [dev-dependencies].
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 

@@ -1,0 +1,50 @@
+//! Runs the full E1–E15 suite through the parallel campaign runner.
+//!
+//! ```sh
+//! cargo run --release --example campaign -- [--workers N] [--seed S] [--quick]
+//! ```
+//!
+//! Prints every experiment's report (byte-identical for any worker
+//! count) followed by the run summary: per-experiment busy time, the
+//! compile-cache counters, and the wall clock.
+
+use swsec::campaign::{run_campaign, CampaignConfig};
+
+fn main() {
+    let mut cfg = CampaignConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                cfg.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers takes a number");
+            }
+            "--seed" => {
+                cfg.master_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes a number");
+            }
+            "--quick" => {
+                let workers = cfg.workers;
+                let master_seed = cfg.master_seed;
+                cfg = CampaignConfig {
+                    workers,
+                    master_seed,
+                    ..CampaignConfig::quick()
+                };
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: campaign [--workers N] [--seed S] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_campaign(&cfg);
+    print!("{}", report.render());
+    println!("{}", report.summary());
+}

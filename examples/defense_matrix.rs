@@ -6,6 +6,10 @@
 //! cargo run --release --example defense_matrix
 //! ```
 
+// Exercises the legacy per-experiment entry points, kept as
+// deprecated wrappers around the campaign API.
+#![allow(deprecated)]
+
 use swsec::experiments::{analysis, aslr, canary_oracle, catalogue, matrix, overhead};
 
 fn main() {

