@@ -28,6 +28,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use swsec_rng::derive;
+use swsec_vm::counters::{self, VmCounters};
 
 use crate::cache::{CacheStats, ProgramCache};
 use crate::experiments::{registry, Experiment};
@@ -129,6 +130,11 @@ pub struct CampaignReport {
     pub timings: Vec<ExperimentTiming>,
     /// Compile-cache counters at the end of the run.
     pub cache: CacheStats,
+    /// VM hot-path counters (instructions, icache, TLB) accumulated by
+    /// every machine the campaign's cells dropped. Process-global
+    /// deltas: concurrent VM activity outside the campaign leaks in,
+    /// so this is run metadata, never part of [`render`](Self::render).
+    pub vm: VmCounters,
     /// Worker threads actually used.
     pub workers: usize,
     /// Wall-clock for the whole campaign.
@@ -151,14 +157,22 @@ impl CampaignReport {
     /// counters, worker count. Deliberately *not* part of
     /// [`render`](Self::render) — it varies run to run.
     pub fn summary(&self) -> Table {
+        let pct = |r: Option<f64>| match r {
+            Some(r) => format!("{:.1}%", r * 100.0),
+            None => "n/a".to_string(),
+        };
         let mut t = Table::new(
             format!(
-                "campaign: {} workers, {:.2}s wall, cache {} hits / {} misses / {} parses",
+                "campaign: {} workers, {:.2}s wall, cache {} hits / {} misses / {} parses, \
+                 vm {} instr, icache {} hit, tlb {} hit",
                 self.workers,
                 self.elapsed.as_secs_f64(),
                 self.cache.hits,
                 self.cache.misses,
                 self.cache.parses,
+                self.vm.instructions,
+                pct(self.vm.icache_hit_rate()),
+                pct(self.vm.tlb_hit_rate()),
             ),
             &["experiment", "cells", "busy"],
         );
@@ -192,6 +206,7 @@ struct Task {
 /// every worker count.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let started = Instant::now();
+    let vm_before = counters::snapshot();
     let exps = cfg.selected();
     let ctx = CampaignCtx::new();
 
@@ -285,6 +300,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         reports,
         timings,
         cache: ctx.cache.stats(),
+        vm: counters::snapshot().since(vm_before),
         workers,
         elapsed: started.elapsed(),
     }

@@ -1,0 +1,132 @@
+//! Process-wide VM counters, for fleet-level observability.
+//!
+//! Every [`Machine`](crate::cpu::Machine) folds its final
+//! [`ExecStats`](crate::trace::ExecStats) into these atomics when it is
+//! dropped. Callers that drive many machines — the campaign runner,
+//! the benchmark harness — take a [`snapshot`] before and after a run
+//! and report the difference, e.g. aggregate icache and TLB hit rates
+//! across every machine any experiment launched.
+//!
+//! The totals are monotone and process-global (tests running in
+//! parallel all contribute), so only *deltas* between snapshots are
+//! meaningful, and they belong in run *metadata* (the campaign
+//! summary), never in deterministic report bodies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::trace::ExecStats;
+
+static INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+static ICACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static ICACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static TLB_HITS: AtomicU64 = AtomicU64::new(0);
+static TLB_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the process-wide VM counters.
+///
+/// Subtract two snapshots (see [`VmCounters::since`]) to measure one
+/// run's contribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmCounters {
+    /// Instructions executed by machines dropped so far.
+    pub instructions: u64,
+    /// Decoded-instruction-cache hits.
+    pub icache_hits: u64,
+    /// Decoded-instruction-cache misses.
+    pub icache_misses: u64,
+    /// One-entry-TLB hits.
+    pub tlb_hits: u64,
+    /// One-entry-TLB misses.
+    pub tlb_misses: u64,
+}
+
+impl VmCounters {
+    /// The counter increments between `earlier` and `self` (saturating,
+    /// so a stale snapshot never underflows).
+    pub fn since(self, earlier: VmCounters) -> VmCounters {
+        VmCounters {
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            icache_hits: self.icache_hits.saturating_sub(earlier.icache_hits),
+            icache_misses: self.icache_misses.saturating_sub(earlier.icache_misses),
+            tlb_hits: self.tlb_hits.saturating_sub(earlier.tlb_hits),
+            tlb_misses: self.tlb_misses.saturating_sub(earlier.tlb_misses),
+        }
+    }
+
+    /// Hit fraction of the decoded-instruction cache, in `[0, 1]`;
+    /// `None` when no fetch was counted.
+    pub fn icache_hit_rate(self) -> Option<f64> {
+        rate(self.icache_hits, self.icache_misses)
+    }
+
+    /// Hit fraction of the TLBs, in `[0, 1]`; `None` when no access
+    /// was counted.
+    pub fn tlb_hit_rate(self) -> Option<f64> {
+        rate(self.tlb_hits, self.tlb_misses)
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> Option<f64> {
+    let total = hits + misses;
+    (total > 0).then(|| hits as f64 / total as f64)
+}
+
+/// Reads the current process-wide totals.
+pub fn snapshot() -> VmCounters {
+    VmCounters {
+        instructions: INSTRUCTIONS.load(Ordering::Relaxed),
+        icache_hits: ICACHE_HITS.load(Ordering::Relaxed),
+        icache_misses: ICACHE_MISSES.load(Ordering::Relaxed),
+        tlb_hits: TLB_HITS.load(Ordering::Relaxed),
+        tlb_misses: TLB_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Folds one machine's lifetime stats into the global totals. Called
+/// from `Machine::drop`; cheap (five relaxed adds per machine, not per
+/// instruction).
+pub(crate) fn absorb(stats: &ExecStats) {
+    INSTRUCTIONS.fetch_add(stats.instructions, Ordering::Relaxed);
+    ICACHE_HITS.fetch_add(stats.icache_hits, Ordering::Relaxed);
+    ICACHE_MISSES.fetch_add(stats.icache_misses, Ordering::Relaxed);
+    TLB_HITS.fetch_add(stats.tlb_hits, Ordering::Relaxed);
+    TLB_MISSES.fetch_add(stats.tlb_misses, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_and_rates() {
+        let a = VmCounters {
+            instructions: 100,
+            icache_hits: 90,
+            icache_misses: 10,
+            tlb_hits: 0,
+            tlb_misses: 0,
+        };
+        let d = a.since(VmCounters::default());
+        assert_eq!(d, a);
+        assert_eq!(d.icache_hit_rate(), Some(0.9));
+        assert_eq!(d.tlb_hit_rate(), None);
+        // Stale (larger) snapshots saturate instead of underflowing.
+        assert_eq!(VmCounters::default().since(a).instructions, 0);
+    }
+
+    #[test]
+    fn absorb_moves_the_snapshot() {
+        let before = snapshot();
+        absorb(&ExecStats {
+            instructions: 5,
+            icache_hits: 3,
+            tlb_misses: 2,
+            ..ExecStats::default()
+        });
+        let delta = snapshot().since(before);
+        // Parallel tests may add more, never less.
+        assert!(delta.instructions >= 5);
+        assert!(delta.icache_hits >= 3);
+        assert!(delta.tlb_misses >= 2);
+    }
+}

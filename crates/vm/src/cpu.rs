@@ -16,6 +16,14 @@
 //! Data Execution Prevention is a property of [`Memory`] (page
 //! permissions plus the enforcement switch).
 //!
+//! The fetch/decode/execute loop is accelerated by a direct-mapped
+//! **decoded-instruction cache** keyed on `ip` and validated against
+//! the memory's code generation (see [`mem`](crate::mem) and
+//! `DESIGN.md` §"VM performance model"); it is semantically invisible
+//! and can be switched off per machine ([`Machine::set_fast_path`])
+//! or process-wide ([`set_default_fast_path`]) for baseline
+//! measurements.
+//!
 //! # Examples
 //!
 //! ```
@@ -36,12 +44,59 @@
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::isa::{self, AluOp, Cond, DecodeError, Instr, Reg, NUM_REGS};
 use crate::io::IoBus;
-use crate::mem::{Access, MemError, Memory};
+use crate::mem::{Access, MemError, Memory, PAGE_SIZE};
 use crate::policy::{PmaViolation, ProtectionMap, TransferKind};
 use crate::trace::{ExecStats, TraceEntry};
+
+/// Number of direct-mapped slots in the decoded-instruction cache.
+/// A power of two so indexing is a mask of the low `ip` bits.
+const ICACHE_SLOTS: usize = 1024;
+
+/// One decoded-instruction-cache line: the instruction decoded at `ip`
+/// while the memory's code generation was `gen`. Any change to
+/// fetchable bytes bumps the generation and thereby invalidates every
+/// line at once — self-modifying code (the classic code-corruption
+/// attack) always sees its new bytes on the very next fetch.
+#[derive(Clone, Copy)]
+struct ICacheEntry {
+    ip: u32,
+    gen: u64,
+    instr: Instr,
+    len: u8,
+    /// Whether the encoding crosses a page boundary (the second page's
+    /// fetch permission is then re-validated on every hit too).
+    straddles: bool,
+}
+
+/// A line that can never hit (code generations start at 1).
+const ICACHE_EMPTY: ICacheEntry = ICacheEntry {
+    ip: 0,
+    gen: 0,
+    instr: Instr::Nop,
+    len: 1,
+    straddles: false,
+};
+
+static DEFAULT_FAST_PATH: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide default for the interpreter fast path
+/// (decoded-instruction cache + memory TLBs) that every subsequently
+/// created [`Machine`] inherits. The fast path is semantically
+/// invisible; this switch exists so benchmark baselines and
+/// determinism tests can run whole campaigns with the caches off.
+pub fn set_default_fast_path(on: bool) {
+    DEFAULT_FAST_PATH.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide fast-path default (see
+/// [`set_default_fast_path`]).
+pub fn default_fast_path() -> bool {
+    DEFAULT_FAST_PATH.load(Ordering::Relaxed)
+}
 
 /// Comparison flags set by `cmp`/`cmpi`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -237,6 +292,8 @@ pub struct Machine {
     pending_transfer: TransferKind,
     trace: Option<Vec<TraceEntry>>,
     blocking_reads: bool,
+    icache: Box<[ICacheEntry]>,
+    fast_path: bool,
 }
 
 impl fmt::Debug for Machine {
@@ -261,11 +318,14 @@ impl Machine {
     /// Creates a machine with empty memory, zeroed registers, permission
     /// enforcement on and no platform protections.
     pub fn new() -> Machine {
+        let fast_path = default_fast_path();
+        let mut mem = Memory::new();
+        mem.set_fast_path(fast_path);
         Machine {
             regs: [0; NUM_REGS],
             ip: 0,
             flags: Flags::default(),
-            mem: Memory::new(),
+            mem,
             io: IoBus::new(),
             pma: None,
             shadow_stack: None,
@@ -276,7 +336,27 @@ impl Machine {
             pending_transfer: TransferKind::Jump,
             trace: None,
             blocking_reads: false,
+            icache: vec![ICACHE_EMPTY; ICACHE_SLOTS].into_boxed_slice(),
+            fast_path,
         }
+    }
+
+    /// Enables or disables the interpreter fast path for this machine:
+    /// the decoded-instruction cache and the memory TLBs. On by
+    /// default (subject to [`set_default_fast_path`]); switching it
+    /// off forces every fetch to decode from memory and every access
+    /// through the page-table lookup. Program-visible behaviour is
+    /// bit-for-bit identical either way — the switch exists for
+    /// benchmark baselines and determinism audits.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+        self.mem.set_fast_path(on);
+        self.icache.fill(ICACHE_EMPTY);
+    }
+
+    /// Whether the interpreter fast path is on.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
     }
 
     /// Reads a register.
@@ -360,9 +440,14 @@ impl Machine {
         self.rng_state = seed | 1;
     }
 
-    /// Execution statistics accumulated so far.
-    pub fn stats(&self) -> &ExecStats {
-        &self.stats
+    /// Execution statistics accumulated so far, including the cache
+    /// observability counters (icache from the CPU, TLB from memory).
+    pub fn stats(&self) -> ExecStats {
+        let mut s = self.stats;
+        let tlb = self.mem.tlb_stats();
+        s.tlb_hits = tlb.hits;
+        s.tlb_misses = tlb.misses;
+        s
     }
 
     /// Enables instruction tracing; entries accumulate until
@@ -436,15 +521,54 @@ impl Machine {
         Ok(value)
     }
 
-    fn fetch(&self) -> Result<(Instr, usize), Fault> {
+    /// Fetches the instruction at `ip`, consulting the decoded-
+    /// instruction cache first. A line hits only while the memory's
+    /// code generation is unchanged since it was filled, so any write
+    /// that could alter fetchable bytes — self-modifying code, loader
+    /// pokes, permission or mapping changes — forces a fresh decode.
+    /// The page fetch permission (DEP) is re-validated on every hit.
+    fn fetch(&mut self) -> Result<(Instr, usize), Fault> {
+        if !self.fast_path {
+            return self.fetch_decode();
+        }
+        let gen = self.mem.code_generation();
+        let idx = (self.ip as usize) & (ICACHE_SLOTS - 1);
+        let e = self.icache[idx];
+        if e.gen == gen && e.ip == self.ip {
+            self.mem.check_access(self.ip, Access::Fetch)?;
+            if e.straddles {
+                self.mem
+                    .check_access(self.ip.wrapping_add(u32::from(e.len) - 1), Access::Fetch)?;
+            }
+            self.stats.icache_hits += 1;
+            return Ok((e.instr, usize::from(e.len)));
+        }
+        self.stats.icache_misses += 1;
+        let (instr, len) = self.fetch_decode()?;
+        let last = self.ip.wrapping_add(len as u32 - 1);
+        self.icache[idx] = ICacheEntry {
+            ip: self.ip,
+            gen,
+            instr,
+            len: len as u8,
+            straddles: (self.ip ^ last) >= PAGE_SIZE,
+        };
+        Ok((instr, len))
+    }
+
+    /// The uncached fetch path: read the encoding (one page resolution
+    /// per page touched) and decode it.
+    fn fetch_decode(&self) -> Result<(Instr, usize), Fault> {
         let first = self.mem.read_u8(self.ip, Access::Fetch)?;
         let len = isa::instr_len(first).ok_or(Fault::Decode {
             addr: self.ip,
             err: DecodeError::UnknownOpcode(first),
         })?;
         let mut buf = [0u8; isa::MAX_INSTR_LEN];
-        for (i, slot) in buf.iter_mut().enumerate().take(len) {
-            *slot = self.mem.read_u8(self.ip.wrapping_add(i as u32), Access::Fetch)?;
+        buf[0] = first;
+        if len > 1 {
+            self.mem
+                .read_bytes(self.ip.wrapping_add(1), &mut buf[1..len], Access::Fetch)?;
         }
         Instr::decode(&buf[..len]).map_err(|err| Fault::Decode { addr: self.ip, err })
     }
@@ -756,6 +880,15 @@ impl Machine {
             }
         }
         RunOutcome::OutOfFuel
+    }
+}
+
+impl Drop for Machine {
+    /// Folds this machine's lifetime stats into the process-wide
+    /// [`counters`](crate::counters), so campaign-scale drivers can
+    /// report aggregate icache/TLB hit rates across every machine.
+    fn drop(&mut self) {
+        crate::counters::absorb(&self.stats());
     }
 }
 
@@ -1132,6 +1265,86 @@ mod tests {
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[0].instr, Instr::Nop);
         assert_eq!(trace[1].instr, Instr::Halt);
+    }
+
+    #[test]
+    fn icache_serves_loops_and_is_observable() {
+        // r1 = 3; loop: addi r1, -1; cmpi r1, 0; jnz loop; exit(r1)
+        let prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: 3 },
+            Instr::AddI { dst: Reg::R1, imm: (-1i32) as u32 }, // TEXT+6
+            Instr::CmpI { a: Reg::R1, imm: 0 },
+            Instr::JCond { cond: Cond::Nz, target: TEXT + 6 },
+            Instr::Mov { dst: Reg::R0, src: Reg::R1 },
+            Instr::Sys(sys::EXIT),
+        ];
+        let mut m = machine_with(&prog);
+        assert!(m.fast_path());
+        assert_eq!(m.run(1000), RunOutcome::Halted(0));
+        let stats = m.stats();
+        // Three trips round the loop: the second and third fetch every
+        // loop instruction from the icache.
+        assert!(stats.icache_hits >= 6, "{stats:?}");
+        assert!(stats.icache_misses >= 6, "{stats:?}");
+        assert!(stats.tlb_hits > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn fast_path_off_is_bit_identical_and_uncounted() {
+        let prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: 3 },
+            Instr::AddI { dst: Reg::R1, imm: (-1i32) as u32 },
+            Instr::CmpI { a: Reg::R1, imm: 0 },
+            Instr::JCond { cond: Cond::Nz, target: TEXT + 6 },
+            Instr::Mov { dst: Reg::R0, src: Reg::R1 },
+            Instr::Sys(sys::EXIT),
+        ];
+        let mut fast = machine_with(&prog);
+        let mut slow = machine_with(&prog);
+        slow.set_fast_path(false);
+        assert_eq!(fast.run(1000), slow.run(1000));
+        let (f, s) = (fast.stats(), slow.stats());
+        assert_eq!(f.instructions, s.instructions);
+        assert_eq!(s.icache_hits + s.icache_misses, 0);
+        assert_eq!(s.tlb_hits + s.tlb_misses, 0);
+    }
+
+    #[test]
+    fn self_modifying_code_defeats_stale_decodes() {
+        // A two-trip loop whose body instruction `movi r0, 1` is
+        // executed (and icached) on the first trip, then overwritten
+        // by the program itself: the store to the RWX text page must
+        // invalidate the cached decode, so the second trip loads the
+        // patched immediate. The exit code says which decode ran.
+        //
+        // Layout (bytes): movi r3(6) | loop@+6: movi r0(6) |
+        // movi r1(6) | movi r2(6) | storeb(4) | addi(6) | cmpi(6) |
+        // jnz(5) | sys(2).  MovI's immediate starts at offset 2, so
+        // the patched byte is loop+2 = TEXT+8.
+        let prog = vec![
+            Instr::MovI { dst: Reg::R3, imm: 2 },
+            Instr::MovI { dst: Reg::R0, imm: 1 }, // TEXT+6, the target
+            Instr::MovI { dst: Reg::R1, imm: TEXT + 8 },
+            Instr::MovI { dst: Reg::R2, imm: 42 },
+            Instr::StoreB { base: Reg::R1, disp: 0, src: Reg::R2 },
+            Instr::AddI { dst: Reg::R3, imm: (-1i32) as u32 },
+            Instr::CmpI { a: Reg::R3, imm: 0 },
+            Instr::JCond { cond: Cond::Nz, target: TEXT + 6 },
+            Instr::Sys(sys::EXIT),
+        ];
+        let mut m = Machine::new();
+        m.mem_mut().map(TEXT, 0x1000, Perm::RWX).unwrap();
+        m.mem_mut()
+            .map(STACK_TOP - 0x4000, 0x4000, Perm::RW)
+            .unwrap();
+        m.mem_mut().poke_bytes(TEXT, &assemble(&prog)).unwrap();
+        m.set_reg(Reg::Sp, STACK_TOP);
+        m.set_ip(TEXT);
+        assert_eq!(m.run(100), RunOutcome::Halted(42));
+        // Every store to the executable page bumps the code
+        // generation, so this loop runs almost entirely on fresh
+        // decodes — correctness beats caching for SMC.
+        assert!(m.stats().icache_misses > m.stats().icache_hits);
     }
 
     #[test]

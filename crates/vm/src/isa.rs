@@ -359,6 +359,7 @@ pub mod opcode {
 /// Lengths are fixed per opcode, which lets the fetch unit read exactly
 /// the bytes it needs (important when an instruction sits at the end of
 /// the last mapped page).
+#[inline]
 pub fn instr_len(op: u8) -> Option<usize> {
     use opcode::*;
     Some(match op {

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod cpu;
 pub mod io;
 pub mod isa;

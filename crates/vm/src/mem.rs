@@ -9,6 +9,24 @@
 //! All multi-byte accesses are little-endian, as in the paper's
 //! Figure 1.
 //!
+//! # Performance model
+//!
+//! Pages live in a flat slot vector; a `BTreeMap` maps page bases to
+//! slots only on the *slow* path. Every access resolves its page
+//! **once** (not once per byte) and a pair of one-entry TLBs — one for
+//! data, one for instruction fetch — memoize the last translation so
+//! the common case is a couple of compares. Two generation counters
+//! make the caching invisible:
+//!
+//! * the **layout generation** bumps on [`map`](Memory::map) /
+//!   [`unmap`](Memory::unmap) / [`set_perm`](Memory::set_perm) /
+//!   [`set_enforce`](Memory::set_enforce) and invalidates the TLBs;
+//! * the **code generation** additionally bumps on any write that
+//!   could change *fetchable* bytes, and is what the CPU's decoded-
+//!   instruction cache keys on (see `cpu`).
+//!
+//! See `DESIGN.md` §"VM performance model" for the invalidation rules.
+//!
 //! # Examples
 //!
 //! ```
@@ -21,6 +39,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
@@ -50,6 +69,7 @@ impl Perm {
     pub const RWX: Perm = Perm(0b111);
 
     /// Returns `true` if every right in `other` is also in `self`.
+    #[inline]
     pub fn allows(self, other: Perm) -> bool {
         self.0 & other.0 == other.0
     }
@@ -70,6 +90,7 @@ impl Perm {
     }
 
     /// Whether instruction fetch is permitted.
+    #[inline]
     pub fn can_exec(self) -> bool {
         self.allows(Perm::X)
     }
@@ -101,6 +122,7 @@ pub enum Access {
 
 impl Access {
     /// The permission required to perform this access.
+    #[inline]
     pub fn required(self) -> Perm {
         match self {
             Access::Read => Perm::R,
@@ -189,6 +211,37 @@ impl Page {
     }
 }
 
+/// One memoized translation: the last page resolved for a given access
+/// class. Valid only while `gen` matches the memory's layout
+/// generation, so mapping or permission changes invalidate it wholesale.
+#[derive(Clone, Copy)]
+struct TlbEntry {
+    base: u32,
+    slot: u32,
+    perm: Perm,
+    gen: u64,
+}
+
+impl TlbEntry {
+    /// An entry that can never hit (layout generations start at 1).
+    const INVALID: TlbEntry = TlbEntry {
+        base: 0,
+        slot: 0,
+        perm: Perm::NONE,
+        gen: 0,
+    };
+}
+
+/// Translation-cache hit/miss counters, exposed for observability (the
+/// campaign summary) — they never influence program-visible behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Accesses served by a one-entry TLB.
+    pub hits: u64,
+    /// Accesses that fell back to the page-table lookup.
+    pub misses: u64,
+}
+
 /// Sparse paged memory for one machine.
 ///
 /// Pages are created by [`Memory::map`] and checked on every access when
@@ -196,8 +249,24 @@ impl Page {
 /// [`Memory::set_enforce`] models the flat pre-DEP memory in which any
 /// mapped byte is readable, writable and executable.
 pub struct Memory {
-    pages: BTreeMap<u32, Page>,
+    /// Page base → slot index. Touched only on TLB misses.
+    table: BTreeMap<u32, u32>,
+    /// Page storage; slots are recycled through `free` on unmap.
+    slots: Vec<Page>,
+    free: Vec<u32>,
     enforce: bool,
+    /// When off, every access takes the page-table path (the
+    /// benchmark baseline); behaviour is identical either way.
+    fast_path: bool,
+    /// Bumped whenever a translation or permission could change.
+    layout_gen: u64,
+    /// Bumped whenever *fetchable* bytes could change; the CPU's
+    /// decoded-instruction cache keys on this.
+    code_gen: u64,
+    tlb_data: Cell<TlbEntry>,
+    tlb_fetch: Cell<TlbEntry>,
+    tlb_hits: Cell<u64>,
+    tlb_misses: Cell<u64>,
 }
 
 impl Default for Memory {
@@ -209,8 +278,9 @@ impl Default for Memory {
 impl fmt::Debug for Memory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Memory")
-            .field("pages", &self.pages.len())
+            .field("pages", &self.table.len())
             .field("enforce", &self.enforce)
+            .field("code_gen", &self.code_gen)
             .finish()
     }
 }
@@ -219,8 +289,17 @@ impl Memory {
     /// Creates an empty address space with permission enforcement on.
     pub fn new() -> Memory {
         Memory {
-            pages: BTreeMap::new(),
+            table: BTreeMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             enforce: true,
+            fast_path: true,
+            layout_gen: 1,
+            code_gen: 1,
+            tlb_data: Cell::new(TlbEntry::INVALID),
+            tlb_fetch: Cell::new(TlbEntry::INVALID),
+            tlb_hits: Cell::new(0),
+            tlb_misses: Cell::new(0),
         }
     }
 
@@ -232,6 +311,7 @@ impl Memory {
     /// addresses still fault.
     pub fn set_enforce(&mut self, enforce: bool) {
         self.enforce = enforce;
+        self.invalidate_layout();
     }
 
     /// Whether page permissions are currently enforced.
@@ -239,8 +319,136 @@ impl Memory {
         self.enforce
     }
 
+    /// Enables or disables the translation fast path (the one-entry
+    /// TLBs). Defaults to on; switching it off forces every access
+    /// through the page-table lookup, which the benchmark suite uses as
+    /// its baseline. Program-visible behaviour is identical either way.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+        self.tlb_data.set(TlbEntry::INVALID);
+        self.tlb_fetch.set(TlbEntry::INVALID);
+    }
+
+    /// Whether the translation fast path is on.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    /// The current code generation. It changes whenever the bytes an
+    /// instruction fetch could observe may have changed — on mapping or
+    /// permission changes, on loader pokes, and on program writes to
+    /// pages that are currently fetchable. Decoded-instruction caches
+    /// key their entries on this value.
+    #[inline]
+    pub fn code_generation(&self) -> u64 {
+        self.code_gen
+    }
+
+    /// Translation-cache counters accumulated so far.
+    pub fn tlb_stats(&self) -> TlbStats {
+        TlbStats {
+            hits: self.tlb_hits.get(),
+            misses: self.tlb_misses.get(),
+        }
+    }
+
+    #[inline]
     fn page_base(addr: u32) -> u32 {
         addr & !(PAGE_SIZE - 1)
+    }
+
+    fn invalidate_layout(&mut self) {
+        self.layout_gen += 1;
+        self.code_gen += 1;
+        self.tlb_data.set(TlbEntry::INVALID);
+        self.tlb_fetch.set(TlbEntry::INVALID);
+    }
+
+    /// Records a write to a page with permission `perm`: bumps the code
+    /// generation iff the written bytes are currently fetchable (any
+    /// mapped byte is, with enforcement off). Writes to plain data
+    /// pages under DEP leave cached decodes valid — they could never
+    /// have been fetched.
+    #[inline]
+    fn note_write(&mut self, perm: Perm) {
+        if !self.enforce || perm.can_exec() {
+            self.code_gen += 1;
+        }
+    }
+
+    /// Resolves the page containing `addr` for `access`: **one** lookup
+    /// per access, TLB-memoized. Returns the slot index.
+    #[inline]
+    fn resolve(&self, addr: u32, access: Access) -> Result<usize, MemError> {
+        let base = Self::page_base(addr);
+        let tlb = match access {
+            Access::Fetch => &self.tlb_fetch,
+            _ => &self.tlb_data,
+        };
+        if self.fast_path {
+            let e = tlb.get();
+            if e.base == base && e.gen == self.layout_gen {
+                self.tlb_hits.set(self.tlb_hits.get() + 1);
+                return if !self.enforce || e.perm.allows(access.required()) {
+                    Ok(e.slot as usize)
+                } else {
+                    Err(MemError {
+                        addr,
+                        access,
+                        kind: MemErrorKind::Denied { have: e.perm },
+                    })
+                };
+            }
+            self.tlb_misses.set(self.tlb_misses.get() + 1);
+        }
+        match self.table.get(&base) {
+            None => Err(MemError {
+                addr,
+                access,
+                kind: MemErrorKind::Unmapped,
+            }),
+            Some(&slot) => {
+                let perm = self.slots[slot as usize].perm;
+                if self.fast_path {
+                    tlb.set(TlbEntry {
+                        base,
+                        slot,
+                        perm,
+                        gen: self.layout_gen,
+                    });
+                }
+                if !self.enforce || perm.allows(access.required()) {
+                    Ok(slot as usize)
+                } else {
+                    Err(MemError {
+                        addr,
+                        access,
+                        kind: MemErrorKind::Denied { have: perm },
+                    })
+                }
+            }
+        }
+    }
+
+    /// Resolves ignoring permissions (but not mappedness) — the
+    /// platform-level path used by peek/poke.
+    fn resolve_raw(&self, addr: u32, access: Access) -> Result<usize, MemError> {
+        match self.table.get(&Self::page_base(addr)) {
+            None => Err(MemError {
+                addr,
+                access,
+                kind: MemErrorKind::Unmapped,
+            }),
+            Some(&slot) => Ok(slot as usize),
+        }
+    }
+
+    /// Checks that `access` at `addr` would be permitted, without
+    /// transferring any data. Used by the CPU to re-validate fetch
+    /// permission on decoded-instruction-cache hits.
+    #[inline]
+    pub fn check_access(&self, addr: u32, access: Access) -> Result<(), MemError> {
+        self.resolve(addr, access).map(|_| ())
     }
 
     /// Maps all pages overlapping `[base, base + len)` with permission
@@ -258,7 +466,7 @@ impl Memory {
         let last = Self::page_base(base.wrapping_add(len - 1));
         let mut page = first;
         loop {
-            if self.pages.contains_key(&page) {
+            if self.table.contains_key(&page) {
                 return Err(MapError { page_base: page });
             }
             if page == last {
@@ -268,13 +476,50 @@ impl Memory {
         }
         let mut page = first;
         loop {
-            self.pages.insert(page, Page::new(perm));
+            let slot = match self.free.pop() {
+                Some(slot) => {
+                    // Recycled slots must look freshly mapped.
+                    let p = &mut self.slots[slot as usize];
+                    p.bytes.fill(0);
+                    p.perm = perm;
+                    slot
+                }
+                None => {
+                    self.slots.push(Page::new(perm));
+                    (self.slots.len() - 1) as u32
+                }
+            };
+            self.table.insert(page, slot);
             if page == last {
                 break;
             }
             page = page.wrapping_add(PAGE_SIZE);
         }
+        self.invalidate_layout();
         Ok(())
+    }
+
+    /// Unmaps every mapped page overlapping `[base, base + len)`;
+    /// unmapped pages in the range are ignored. Subsequent accesses to
+    /// the range fault as [`MemErrorKind::Unmapped`], and any cached
+    /// translation or decoded instruction covering it is invalidated.
+    pub fn unmap(&mut self, base: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let first = Self::page_base(base);
+        let last = Self::page_base(base.wrapping_add(len - 1));
+        let mut page = first;
+        loop {
+            if let Some(slot) = self.table.remove(&page) {
+                self.free.push(slot);
+            }
+            if page == last {
+                break;
+            }
+            page = page.wrapping_add(PAGE_SIZE);
+        }
+        self.invalidate_layout();
     }
 
     /// Changes the permission of every already-mapped page overlapping
@@ -287,24 +532,27 @@ impl Memory {
         let last = Self::page_base(base.wrapping_add(len - 1));
         let mut page = first;
         loop {
-            if let Some(p) = self.pages.get_mut(&page) {
-                p.perm = perm;
+            if let Some(&slot) = self.table.get(&page) {
+                self.slots[slot as usize].perm = perm;
             }
             if page == last {
                 break;
             }
             page = page.wrapping_add(PAGE_SIZE);
         }
+        self.invalidate_layout();
     }
 
     /// Whether `addr` lies in a mapped page.
     pub fn is_mapped(&self, addr: u32) -> bool {
-        self.pages.contains_key(&Self::page_base(addr))
+        self.table.contains_key(&Self::page_base(addr))
     }
 
     /// The permission of the page containing `addr`, if mapped.
     pub fn perm_at(&self, addr: u32) -> Option<Perm> {
-        self.pages.get(&Self::page_base(addr)).map(|p| p.perm)
+        self.table
+            .get(&Self::page_base(addr))
+            .map(|&slot| self.slots[slot as usize].perm)
     }
 
     /// Iterates over the mapped regions as `(range, perm)` pairs, merging
@@ -312,38 +560,16 @@ impl Memory {
     /// attacks and by diagnostics.
     pub fn regions(&self) -> Vec<(Range<u32>, Perm)> {
         let mut out: Vec<(Range<u32>, Perm)> = Vec::new();
-        for (&base, page) in &self.pages {
+        for (&base, &slot) in &self.table {
+            let perm = self.slots[slot as usize].perm;
             match out.last_mut() {
-                Some((range, perm))
-                    if range.end == base && *perm == page.perm =>
-                {
+                Some((range, p)) if range.end == base && *p == perm => {
                     range.end = base.wrapping_add(PAGE_SIZE);
                 }
-                _ => out.push((base..base.wrapping_add(PAGE_SIZE), page.perm)),
+                _ => out.push((base..base.wrapping_add(PAGE_SIZE), perm)),
             }
         }
         out
-    }
-
-    fn check(&self, addr: u32, access: Access) -> Result<(), MemError> {
-        match self.pages.get(&Self::page_base(addr)) {
-            None => Err(MemError {
-                addr,
-                access,
-                kind: MemErrorKind::Unmapped,
-            }),
-            Some(page) => {
-                if !self.enforce || page.perm.allows(access.required()) {
-                    Ok(())
-                } else {
-                    Err(MemError {
-                        addr,
-                        access,
-                        kind: MemErrorKind::Denied { have: page.perm },
-                    })
-                }
-            }
-        }
     }
 
     /// Reads one byte.
@@ -351,10 +577,10 @@ impl Memory {
     /// # Errors
     ///
     /// Faults if the page is unmapped or the access is denied.
+    #[inline]
     pub fn read_u8(&self, addr: u32, access: Access) -> Result<u8, MemError> {
-        self.check(addr, access)?;
-        let page = &self.pages[&Self::page_base(addr)];
-        Ok(page.bytes[(addr % PAGE_SIZE) as usize])
+        let slot = self.resolve(addr, access)?;
+        Ok(self.slots[slot].bytes[(addr % PAGE_SIZE) as usize])
     }
 
     /// Writes one byte.
@@ -362,10 +588,11 @@ impl Memory {
     /// # Errors
     ///
     /// Faults if the page is unmapped or the access is denied.
+    #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8, access: Access) -> Result<(), MemError> {
-        self.check(addr, access)?;
-        let page = self.pages.get_mut(&Self::page_base(addr)).expect("checked");
-        page.bytes[(addr % PAGE_SIZE) as usize] = value;
+        let slot = self.resolve(addr, access)?;
+        self.note_write(self.slots[slot].perm);
+        self.slots[slot].bytes[(addr % PAGE_SIZE) as usize] = value;
         Ok(())
     }
 
@@ -375,12 +602,23 @@ impl Memory {
     /// # Errors
     ///
     /// Faults on the first inaccessible byte.
+    #[inline]
     pub fn read_u32(&self, addr: u32, access: Access) -> Result<u32, MemError> {
-        let mut bytes = [0u8; 4];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_u8(addr.wrapping_add(i as u32), access)?;
+        let off = (addr % PAGE_SIZE) as usize;
+        if self.fast_path && off + 4 <= PAGE_SIZE as usize {
+            // Within one page: a single lookup and a word-wide copy.
+            let slot = self.resolve(addr, access)?;
+            let b = &self.slots[slot].bytes[off..off + 4];
+            Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        } else {
+            // Straddling a page — or the flag-disabled baseline, which
+            // keeps the original one-lookup-per-byte behaviour.
+            let mut bytes = [0u8; 4];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u32), access)?;
+            }
+            Ok(u32::from_le_bytes(bytes))
         }
-        Ok(u32::from_le_bytes(bytes))
     }
 
     /// Writes a little-endian 32-bit word.
@@ -389,11 +627,23 @@ impl Memory {
     ///
     /// Faults on the first inaccessible byte; earlier bytes may already
     /// have been written (as on real hardware with a straddling store).
+    #[inline]
     pub fn write_u32(&mut self, addr: u32, value: u32, access: Access) -> Result<(), MemError> {
-        for (i, b) in value.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), *b, access)?;
+        let off = (addr % PAGE_SIZE) as usize;
+        if self.fast_path && off + 4 <= PAGE_SIZE as usize {
+            let slot = self.resolve(addr, access)?;
+            self.note_write(self.slots[slot].perm);
+            self.slots[slot].bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
+            Ok(())
+        } else {
+            // Page-straddling store: byte-by-byte so a mid-word fault
+            // leaves the earlier bytes written, exactly as before. The
+            // flag-disabled baseline takes this path unconditionally.
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b, access)?;
+            }
+            Ok(())
         }
-        Ok(())
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -402,8 +652,23 @@ impl Memory {
     ///
     /// Faults on the first inaccessible byte.
     pub fn read_bytes(&self, addr: u32, buf: &mut [u8], access: Access) -> Result<(), MemError> {
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.read_u8(addr.wrapping_add(i as u32), access)?;
+        if !self.fast_path {
+            // Flag-disabled baseline: one lookup per byte, as the
+            // original implementation did. Fault addresses coincide
+            // (each chunk below starts at the first byte of its page).
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u32), access)?;
+            }
+            return Ok(());
+        }
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr.wrapping_add(pos as u32);
+            let off = (a % PAGE_SIZE) as usize;
+            let chunk = (PAGE_SIZE as usize - off).min(buf.len() - pos);
+            let slot = self.resolve(a, access)?;
+            buf[pos..pos + chunk].copy_from_slice(&self.slots[slot].bytes[off..off + chunk]);
+            pos += chunk;
         }
         Ok(())
     }
@@ -414,8 +679,22 @@ impl Memory {
     ///
     /// Faults on the first inaccessible byte; earlier bytes stay written.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8], access: Access) -> Result<(), MemError> {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), *b, access)?;
+        let mut pos = 0usize;
+        if !self.fast_path {
+            // Baseline: per-byte, matching the original implementation.
+            for (i, b) in bytes.iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b, access)?;
+            }
+            return Ok(());
+        }
+        while pos < bytes.len() {
+            let a = addr.wrapping_add(pos as u32);
+            let off = (a % PAGE_SIZE) as usize;
+            let chunk = (PAGE_SIZE as usize - off).min(bytes.len() - pos);
+            let slot = self.resolve(a, access)?;
+            self.note_write(self.slots[slot].perm);
+            self.slots[slot].bytes[off..off + chunk].copy_from_slice(&bytes[pos..pos + chunk]);
+            pos += chunk;
         }
         Ok(())
     }
@@ -429,20 +708,20 @@ impl Memory {
     ///
     /// Faults only on unmapped pages.
     pub fn poke_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemError> {
-        for (i, &b) in bytes.iter().enumerate() {
-            let a = addr.wrapping_add(i as u32);
-            let base = Self::page_base(a);
-            match self.pages.get_mut(&base) {
-                None => {
-                    return Err(MemError {
-                        addr: a,
-                        access: Access::Write,
-                        kind: MemErrorKind::Unmapped,
-                    })
-                }
-                Some(page) => page.bytes[(a % PAGE_SIZE) as usize] = b,
-            }
+        if bytes.is_empty() {
+            return Ok(());
         }
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let a = addr.wrapping_add(pos as u32);
+            let off = (a % PAGE_SIZE) as usize;
+            let chunk = (PAGE_SIZE as usize - off).min(bytes.len() - pos);
+            let slot = self.resolve_raw(a, Access::Write)?;
+            self.slots[slot].bytes[off..off + chunk].copy_from_slice(&bytes[pos..pos + chunk]);
+            pos += chunk;
+        }
+        // Pokes bypass permissions, so they can always plant code.
+        self.code_gen += 1;
         Ok(())
     }
 
@@ -455,20 +734,15 @@ impl Memory {
     ///
     /// Faults only on unmapped pages.
     pub fn peek_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, MemError> {
-        let mut out = Vec::with_capacity(len as usize);
-        for i in 0..len {
-            let a = addr.wrapping_add(i);
-            let base = Self::page_base(a);
-            match self.pages.get(&base) {
-                None => {
-                    return Err(MemError {
-                        addr: a,
-                        access: Access::Read,
-                        kind: MemErrorKind::Unmapped,
-                    })
-                }
-                Some(page) => out.push(page.bytes[(a % PAGE_SIZE) as usize]),
-            }
+        let mut out = vec![0u8; len as usize];
+        let mut pos = 0usize;
+        while pos < out.len() {
+            let a = addr.wrapping_add(pos as u32);
+            let off = (a % PAGE_SIZE) as usize;
+            let chunk = (PAGE_SIZE as usize - off).min(out.len() - pos);
+            let slot = self.resolve_raw(a, Access::Read)?;
+            out[pos..pos + chunk].copy_from_slice(&self.slots[slot].bytes[off..off + chunk]);
+            pos += chunk;
         }
         Ok(out)
     }
@@ -526,6 +800,19 @@ mod tests {
     }
 
     #[test]
+    fn permissions_enforced_on_repeated_tlb_hits() {
+        // The permission check must run on the memoized path too.
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE, Perm::R).unwrap();
+        for _ in 0..3 {
+            assert!(mem.read_u8(0x1000, Access::Read).is_ok());
+            let err = mem.write_u8(0x1000, 1, Access::Write).unwrap_err();
+            assert_eq!(err.kind, MemErrorKind::Denied { have: Perm::R });
+        }
+        assert!(mem.tlb_stats().hits > 0);
+    }
+
+    #[test]
     fn disabling_enforcement_models_pre_dep_memory() {
         let mut mem = Memory::new();
         mem.map(0x1000, PAGE_SIZE, Perm::RW).unwrap();
@@ -566,6 +853,33 @@ mod tests {
     }
 
     #[test]
+    fn straddling_store_faulting_mid_word_keeps_earlier_bytes() {
+        // Page 1 writable, page 2 read-only: bytes in page 1 land,
+        // the fault names the first byte of page 2.
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE, Perm::RW).unwrap();
+        mem.map(0x2000, PAGE_SIZE, Perm::R).unwrap();
+        let err = mem.write_u32(0x1ffe, 0xddcc_bbaa, Access::Write).unwrap_err();
+        assert_eq!(err.addr, 0x2000);
+        assert_eq!(err.kind, MemErrorKind::Denied { have: Perm::R });
+        assert_eq!(mem.read_u8(0x1ffe, Access::Read).unwrap(), 0xaa);
+        assert_eq!(mem.read_u8(0x1fff, Access::Read).unwrap(), 0xbb);
+        assert_eq!(mem.read_u8(0x2000, Access::Read).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_bytes_faults_at_first_inaccessible_byte() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE, Perm::RW).unwrap();
+        let data = vec![7u8; 2 * PAGE_SIZE as usize];
+        let err = mem.write_bytes(0x1800, &data, Access::Write).unwrap_err();
+        assert_eq!(err.addr, 0x2000);
+        assert_eq!(err.kind, MemErrorKind::Unmapped);
+        // The in-page prefix stays written.
+        assert_eq!(mem.read_u8(0x1fff, Access::Read).unwrap(), 7);
+    }
+
+    #[test]
     fn regions_merge_contiguous_same_perm_pages() {
         let mut mem = Memory::new();
         mem.map(0x1000, 2 * PAGE_SIZE, Perm::RX).unwrap();
@@ -598,6 +912,113 @@ mod tests {
         mem.set_perm(0x1000, 2 * PAGE_SIZE, Perm::R);
         assert_eq!(mem.perm_at(0x1000), Some(Perm::R));
         assert!(!mem.is_mapped(0x2000));
+    }
+
+    #[test]
+    fn unmap_removes_pages_and_recycles_slots() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 2 * PAGE_SIZE, Perm::RW).unwrap();
+        mem.write_u8(0x1000, 0xee, Access::Write).unwrap();
+        mem.unmap(0x1000, PAGE_SIZE);
+        assert!(!mem.is_mapped(0x1000));
+        assert!(mem.is_mapped(0x2000));
+        let err = mem.read_u8(0x1000, Access::Read).unwrap_err();
+        assert_eq!(err.kind, MemErrorKind::Unmapped);
+        // Remapping reuses the slot zero-filled.
+        mem.map(0x5000, PAGE_SIZE, Perm::RW).unwrap();
+        assert_eq!(mem.read_u8(0x5000, Access::Read).unwrap(), 0);
+    }
+
+    #[test]
+    fn unmap_invalidates_cached_translation() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE, Perm::RW).unwrap();
+        // Prime the data TLB.
+        assert!(mem.read_u8(0x1000, Access::Read).is_ok());
+        mem.unmap(0x1000, PAGE_SIZE);
+        let err = mem.read_u8(0x1000, Access::Read).unwrap_err();
+        assert_eq!(err.kind, MemErrorKind::Unmapped);
+    }
+
+    #[test]
+    fn set_perm_invalidates_cached_translation() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE, Perm::RW).unwrap();
+        assert!(mem.write_u8(0x1000, 1, Access::Write).is_ok());
+        mem.set_perm(0x1000, PAGE_SIZE, Perm::R);
+        let err = mem.write_u8(0x1000, 2, Access::Write).unwrap_err();
+        assert_eq!(err.kind, MemErrorKind::Denied { have: Perm::R });
+    }
+
+    #[test]
+    fn code_generation_tracks_fetchable_writes_only() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE, Perm::RW).unwrap();
+        mem.map(0x2000, PAGE_SIZE, Perm::RWX).unwrap();
+        let g0 = mem.code_generation();
+        // A store to a plain data page under DEP cannot change any
+        // fetchable byte: no bump.
+        mem.write_u32(0x1000, 7, Access::Write).unwrap();
+        assert_eq!(mem.code_generation(), g0);
+        // A store to an executable page must invalidate decodes.
+        mem.write_u32(0x2000, 7, Access::Write).unwrap();
+        assert!(mem.code_generation() > g0);
+        // With enforcement off every mapped byte is fetchable.
+        mem.set_enforce(false);
+        let g1 = mem.code_generation();
+        mem.write_u32(0x1000, 8, Access::Write).unwrap();
+        assert!(mem.code_generation() > g1);
+    }
+
+    #[test]
+    fn code_generation_bumps_on_layout_changes_and_pokes() {
+        let mut mem = Memory::new();
+        let mut last = mem.code_generation();
+        let mut expect_bump = |mem: &Memory, what: &str| {
+            let now = mem.code_generation();
+            assert!(now > last, "{what} must bump the code generation");
+            last = now;
+        };
+        mem.map(0x1000, PAGE_SIZE, Perm::RW).unwrap();
+        expect_bump(&mem, "map");
+        mem.poke_bytes(0x1000, &[1]).unwrap();
+        expect_bump(&mem, "poke_bytes");
+        mem.set_perm(0x1000, PAGE_SIZE, Perm::RX);
+        expect_bump(&mem, "set_perm");
+        mem.set_enforce(false);
+        expect_bump(&mem, "set_enforce");
+        mem.unmap(0x1000, PAGE_SIZE);
+        expect_bump(&mem, "unmap");
+    }
+
+    #[test]
+    fn fast_path_off_matches_fast_path_on() {
+        let run = |fast: bool| {
+            let mut mem = Memory::new();
+            mem.set_fast_path(fast);
+            mem.map(0x1000, 2 * PAGE_SIZE, Perm::RW).unwrap();
+            mem.write_u32(0x1ffe, 0x0102_0304, Access::Write).unwrap();
+            let word = mem.read_u32(0x1ffe, Access::Read).unwrap();
+            let err = mem.read_u8(0x4000, Access::Read).unwrap_err();
+            (word, err)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn tlb_counts_hits_and_misses() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE, Perm::RW).unwrap();
+        mem.write_u32(0x1000, 1, Access::Write).unwrap(); // miss
+        mem.write_u32(0x1004, 2, Access::Write).unwrap(); // hit
+        mem.write_u32(0x1008, 3, Access::Write).unwrap(); // hit
+        let stats = mem.tlb_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        // With the fast path off, nothing is counted.
+        mem.set_fast_path(false);
+        mem.write_u32(0x100c, 4, Access::Write).unwrap();
+        assert_eq!(mem.tlb_stats(), stats);
     }
 
     #[test]

@@ -10,6 +10,12 @@ use std::fmt;
 use crate::isa::Instr;
 
 /// Counters accumulated over a machine's lifetime.
+///
+/// The cache counters (`icache_*`, `tlb_*`) observe the hot-path
+/// accelerators of the interpreter; they vary with the fast-path
+/// switch and are deliberately **excluded** from [`Display`], so any
+/// rendered report built on these stats stays byte-identical whether
+/// the caches are on or off.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Instructions executed.
@@ -24,9 +30,19 @@ pub struct ExecStats {
     pub mem_writes: u64,
     /// System calls performed.
     pub syscalls: u64,
+    /// Fetches served from the decoded-instruction cache.
+    pub icache_hits: u64,
+    /// Fetches that had to decode from memory.
+    pub icache_misses: u64,
+    /// Memory accesses translated by a one-entry TLB.
+    pub tlb_hits: u64,
+    /// Memory accesses that took the page-table lookup.
+    pub tlb_misses: u64,
 }
 
 impl fmt::Display for ExecStats {
+    // The cache counters are intentionally absent: this rendering
+    // feeds deterministic experiment reports (see struct docs).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,

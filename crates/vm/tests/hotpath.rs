@@ -1,0 +1,270 @@
+//! Cache-correctness audit for the interpreter hot path.
+//!
+//! The decoded-instruction cache and the one-entry TLBs must be
+//! *semantically invisible*: every DEP, self-modifying-code and
+//! partial-write behaviour of the uncached machine has to survive
+//! bit-for-bit. These tests drive the edge cases through the public
+//! `Machine` API, several of them mid-run so translations and decodes
+//! are already cached when the invalidating event happens.
+
+use swsec_vm::cpu::{Fault, Machine, RunOutcome, StepResult};
+use swsec_vm::isa::{sys, Instr, Reg};
+use swsec_vm::mem::{Access, MemErrorKind, Perm, PAGE_SIZE};
+
+const TEXT: u32 = 0x1000;
+const STACK_TOP: u32 = 0xbfff_f000;
+
+fn assemble(instrs: &[Instr]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in instrs {
+        i.encode(&mut out);
+    }
+    out
+}
+
+fn machine_with(text_perm: Perm, instrs: &[Instr]) -> Machine {
+    let mut m = Machine::new();
+    m.mem_mut().map(TEXT, 0x1000, text_perm).unwrap();
+    m.mem_mut()
+        .map(STACK_TOP - 0x4000, 0x4000, Perm::RW)
+        .unwrap();
+    m.mem_mut().poke_bytes(TEXT, &assemble(instrs)).unwrap();
+    m.set_reg(Reg::Sp, STACK_TOP);
+    m.set_ip(TEXT);
+    m
+}
+
+/// An infinite loop of nops, used to get decodes into the icache.
+fn nop_loop() -> Vec<Instr> {
+    vec![Instr::Nop, Instr::Nop, Instr::Jmp(TEXT)]
+}
+
+#[test]
+fn loader_poke_is_seen_on_the_very_next_fetch() {
+    // Run a few trips so every loop instruction is cached, then have
+    // the *loader* (poke_bytes, the code-corruption attack's write
+    // primitive) overwrite the first nop with `sys exit` — the very
+    // next fetch at TEXT must execute the new bytes.
+    let mut m = machine_with(Perm::RX, &nop_loop());
+    for _ in 0..9 {
+        assert_eq!(m.step(), StepResult::Continue);
+    }
+    // ip is back at TEXT (3 instructions per trip, 9 steps = 3 trips).
+    assert_eq!(m.ip(), TEXT);
+    assert!(m.stats().icache_hits >= 6, "{:?}", m.stats());
+    let patch = assemble(&[Instr::Sys(sys::EXIT)]);
+    m.mem_mut().poke_bytes(TEXT, &patch).unwrap();
+    m.set_reg(Reg::R0, 7);
+    assert_eq!(m.step(), StepResult::Halted(7));
+}
+
+#[test]
+fn program_store_to_code_is_seen_on_the_very_next_fetch() {
+    // Same property, but the overwrite comes from the running program
+    // (a store to its own RWX text) and targets the *next* instruction:
+    //   TEXT+0  movi r1, TEXT+16   (6 bytes)
+    //   TEXT+6  movi r2, 0x27     (6 bytes) 0x27 = trap opcode... use sys
+    //   TEXT+12 storeb [r1], r2    (4 bytes)
+    //   TEXT+16 nop                (1 byte)  <- overwritten before it runs
+    //   ...
+    // We first prime the cache by running one full loop that *skips*
+    // the store, so the nop at TEXT+16 is already cached, then let the
+    // store run and fall through into the patched byte.
+    let halt_byte = assemble(&[Instr::Halt])[0];
+    let prog = vec![
+        Instr::MovI { dst: Reg::R1, imm: TEXT + 16 },
+        Instr::MovI { dst: Reg::R2, imm: u32::from(halt_byte) },
+        Instr::StoreB { base: Reg::R1, disp: 0, src: Reg::R2 },
+        Instr::Nop, // TEXT+16: becomes `halt`
+        Instr::Jmp(TEXT),
+    ];
+    let mut m = machine_with(Perm::RWX, &prog);
+    // First pass up to (not including) the store.
+    assert_eq!(m.step(), StepResult::Continue); // movi r1
+    assert_eq!(m.step(), StepResult::Continue); // movi r2
+    assert_eq!(m.step(), StepResult::Continue); // storeb patches TEXT+16
+    // Next fetch is the patched instruction itself.
+    assert_eq!(m.step(), StepResult::Halted(0));
+}
+
+#[test]
+fn removing_exec_permission_stops_cached_code() {
+    // protect() (set_perm) mid-run: the text page loses X while its
+    // decodes sit in the icache; the next fetch must fault as DEP
+    // demands, not serve the stale decode.
+    let mut m = machine_with(Perm::RX, &nop_loop());
+    for _ in 0..6 {
+        assert_eq!(m.step(), StepResult::Continue);
+    }
+    m.mem_mut().set_perm(TEXT, 0x1000, Perm::RW);
+    match m.step() {
+        StepResult::Fault(Fault::Mem(e)) => {
+            assert_eq!(e.access, Access::Fetch);
+            assert_eq!(e.kind, MemErrorKind::Denied { have: Perm::RW });
+            assert_eq!(e.addr, TEXT);
+        }
+        other => panic!("expected DEP fetch fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn unmapping_code_stops_cached_code() {
+    let mut m = machine_with(Perm::RX, &nop_loop());
+    for _ in 0..6 {
+        assert_eq!(m.step(), StepResult::Continue);
+    }
+    m.mem_mut().unmap(TEXT, 0x1000);
+    match m.step() {
+        StepResult::Fault(Fault::Mem(e)) => {
+            assert_eq!(e.access, Access::Fetch);
+            assert_eq!(e.kind, MemErrorKind::Unmapped);
+        }
+        other => panic!("expected unmapped fetch fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn data_tlb_invalidated_by_protect_and_unmap() {
+    // A load loop against a data page; revoking read permission (and
+    // later the mapping itself) must fault the next load even though
+    // the translation was TLB-cached.
+    let data = STACK_TOP - 0x100;
+    let prog = vec![
+        Instr::MovI { dst: Reg::R1, imm: data },
+        Instr::Load { dst: Reg::R0, base: Reg::R1, disp: 0 },
+        Instr::Load { dst: Reg::R0, base: Reg::R1, disp: 4 },
+        Instr::Load { dst: Reg::R0, base: Reg::R1, disp: 8 },
+    ];
+    let mut m = machine_with(Perm::RX, &prog);
+    assert_eq!(m.step(), StepResult::Continue); // movi
+    assert_eq!(m.step(), StepResult::Continue); // load (fills data TLB)
+    let page = data & !(PAGE_SIZE - 1);
+    m.mem_mut().set_perm(page, PAGE_SIZE, Perm::NONE);
+    match m.step() {
+        StepResult::Fault(Fault::Mem(e)) => {
+            assert_eq!(e.access, Access::Read);
+            assert_eq!(e.kind, MemErrorKind::Denied { have: Perm::NONE });
+        }
+        other => panic!("expected read denial, got {other:?}"),
+    }
+}
+
+#[test]
+fn straddling_store_that_faults_mid_word_leaves_earlier_bytes_written() {
+    // A `store` instruction whose 4 bytes straddle a RW→R page
+    // boundary: the paper's partial-write semantics (bytes land up to
+    // the fault) must survive the single-lookup fast path.
+    let lo_page = 0x0800_0000;
+    let hi_page = lo_page + PAGE_SIZE;
+    let addr = hi_page - 2; // two bytes in each page
+    let prog = vec![
+        Instr::MovI { dst: Reg::R1, imm: addr },
+        Instr::MovI { dst: Reg::R2, imm: 0xddcc_bbaa },
+        Instr::Store { base: Reg::R1, disp: 0, src: Reg::R2 },
+    ];
+    let mut m = machine_with(Perm::RX, &prog);
+    m.mem_mut().map(lo_page, PAGE_SIZE, Perm::RW).unwrap();
+    m.mem_mut().map(hi_page, PAGE_SIZE, Perm::R).unwrap();
+    let outcome = m.run(10);
+    match outcome {
+        RunOutcome::Fault(Fault::Mem(e)) => {
+            assert_eq!(e.access, Access::Write);
+            assert_eq!(e.addr, hi_page, "fault names the first refused byte");
+            assert_eq!(e.kind, MemErrorKind::Denied { have: Perm::R });
+        }
+        other => panic!("expected straddle write fault, got {other:?}"),
+    }
+    // The two low bytes were written before the fault.
+    let mem = m.mem();
+    assert_eq!(mem.read_u8(addr, Access::Read).unwrap(), 0xaa);
+    assert_eq!(mem.read_u8(addr + 1, Access::Read).unwrap(), 0xbb);
+    assert_eq!(mem.read_u8(hi_page, Access::Read).unwrap(), 0);
+}
+
+#[test]
+fn instruction_straddling_pages_respects_second_page_permissions() {
+    // Place a 6-byte movi so its tail crosses into the next page, then
+    // run it once (cached), then revoke X on the *second* page only:
+    // the next fetch of the same ip must fault at the second page.
+    let text2 = TEXT + 0x1000; // second text page
+    let start = text2 - 4; // movi occupies [start, start+6): 4+2 split
+    let prog = vec![
+        Instr::MovI { dst: Reg::R0, imm: 5 }, // at `start`, straddles
+        Instr::Jmp(start),
+    ];
+    let mut m = Machine::new();
+    m.mem_mut().map(TEXT, 0x2000, Perm::RX).unwrap();
+    m.mem_mut().poke_bytes(start, &assemble(&prog)).unwrap();
+    m.set_ip(start);
+    // Two full trips: decode cached with its straddle flag.
+    for _ in 0..4 {
+        assert_eq!(m.step(), StepResult::Continue);
+    }
+    m.mem_mut().set_perm(text2, PAGE_SIZE, Perm::R);
+    match m.step() {
+        StepResult::Fault(Fault::Mem(e)) => {
+            assert_eq!(e.access, Access::Fetch);
+            assert_eq!(e.addr, text2, "fault names the first unfetchable byte");
+        }
+        other => panic!("expected straddling fetch fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn fast_and_slow_machines_agree_on_a_busy_program() {
+    // A program exercising calls, straddling data, byte ops and a DEP
+    // fault at the end: both machines must produce identical outcomes,
+    // identical architectural stats and identical memory.
+    let scratch = STACK_TOP - 0x2000;
+    let prog = vec![
+        Instr::MovI { dst: Reg::R1, imm: scratch },
+        Instr::MovI { dst: Reg::R2, imm: 0x1122_3344 },
+        // f(x): store/load roundtrip, called a few times.
+        Instr::MovI { dst: Reg::R3, imm: 3 },
+        // loop:
+        Instr::Call(TEXT + 44), // target computed below
+        Instr::AddI { dst: Reg::R3, imm: (-1i32) as u32 },
+        Instr::CmpI { a: Reg::R3, imm: 0 },
+        Instr::JCond { cond: swsec_vm::isa::Cond::Nz, target: TEXT + 18 },
+        Instr::Mov { dst: Reg::R0, src: Reg::R4 },
+        Instr::Sys(sys::EXIT),
+        // f: TEXT+44
+        Instr::Store { base: Reg::R1, disp: 2, src: Reg::R2 },
+        Instr::Load { dst: Reg::R4, base: Reg::R1, disp: 2 },
+        Instr::LoadB { dst: Reg::R5, base: Reg::R1, disp: 3 },
+        Instr::Ret,
+    ];
+    // Verify the hand-computed offsets: call site loop head and f.
+    let bytes = assemble(&prog);
+    let f_off: usize = prog[..9].iter().map(|i| assemble(&[*i]).len()).sum();
+    assert_eq!(f_off, 44, "layout drifted: f at {f_off}");
+    let loop_off: usize = prog[..3].iter().map(|i| assemble(&[*i]).len()).sum();
+    assert_eq!(loop_off, 18, "layout drifted: loop at {loop_off}");
+
+    let run = |fast: bool| {
+        let mut m = Machine::new();
+        m.set_fast_path(fast);
+        m.mem_mut().map(TEXT, 0x1000, Perm::RX).unwrap();
+        m.mem_mut()
+            .map(STACK_TOP - 0x4000, 0x4000, Perm::RW)
+            .unwrap();
+        m.mem_mut().poke_bytes(TEXT, &bytes).unwrap();
+        m.set_reg(Reg::Sp, STACK_TOP);
+        m.set_ip(TEXT);
+        let outcome = m.run(1000);
+        let stats = m.stats();
+        let snapshot = m.mem().peek_bytes(scratch, 16).unwrap();
+        (
+            outcome,
+            stats.instructions,
+            stats.calls,
+            stats.rets,
+            stats.mem_reads,
+            stats.mem_writes,
+            snapshot,
+            m.reg(Reg::R4),
+            m.reg(Reg::R5),
+        )
+    };
+    assert_eq!(run(true), run(false));
+}

@@ -6,27 +6,28 @@
 //! cargo run --release --example defense_matrix
 //! ```
 
-// Exercises the legacy per-experiment entry points, kept as
-// deprecated wrappers around the campaign API.
-#![allow(deprecated)]
-
+use swsec::cache;
 use swsec::experiments::{analysis, aslr, canary_oracle, catalogue, matrix, overhead};
 
 fn main() {
-    for table in catalogue::run(42).tables() {
+    // One process-wide compile cache: every victim/options pair below
+    // compiles exactly once across all five experiments.
+    let cache = cache::global();
+
+    for table in catalogue::compute(42, cache).tables() {
         println!("{table}");
     }
 
-    println!("{}", matrix::run(42).table());
+    println!("{}", matrix::compute(42, cache).table());
 
     // Keep the sweep small outside --release; the bench harness runs
     // the full version.
-    println!("{}", aslr::run(&[2, 4, 6], 5, 7).table());
+    println!("{}", aslr::compute(&[2, 4, 6], 5, 7, cache).table());
 
-    println!("{}", overhead::run().table());
+    println!("{}", overhead::compute().table());
 
-    println!("{}", analysis::run().table());
+    println!("{}", analysis::compute().table());
 
     // E14: the crash-oracle canary brute force against a forking server.
-    println!("{}", canary_oracle::run(31).table());
+    println!("{}", canary_oracle::compute(31, 2048, cache).table());
 }

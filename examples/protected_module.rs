@@ -6,18 +6,14 @@
 //! cargo run --example protected_module
 //! ```
 
-// Exercises the legacy per-experiment entry points, kept as
-// deprecated wrappers around the campaign API.
-#![allow(deprecated)]
-
 use swsec::experiments::{attest, fig4, pma_rules, scraping, strict_reentry};
 
 fn main() {
     // E7: memory scraping with and without PMA protection.
-    println!("{}", scraping::run().table());
+    println!("{}", scraping::compute().table());
 
     // E8: the three access-control rules, exhaustively.
-    let rules = pma_rules::run();
+    let rules = pma_rules::compute();
     println!("{}", rules.table());
     println!("end-to-end demonstrations:");
     for (name, outcome, ok) in &rules.vm_demos {
@@ -26,14 +22,14 @@ fn main() {
     println!();
 
     // E9: the Figure 4 function-pointer attack vs secure compilation.
-    for table in fig4::run().tables() {
+    for table in fig4::compute().tables() {
         println!("{table}");
     }
 
     // E10: remote attestation.
-    println!("{}", attest::run().table());
+    println!("{}", attest::compute().table());
 
     // E13: the full secure-compilation scheme under the strict
     // EntryPointsOnly policy (continuation stack + return entry).
-    println!("{}", strict_reentry::run().table());
+    println!("{}", strict_reentry::compute().table());
 }

@@ -5,10 +5,6 @@
 //! cargo run --example stack_smashing
 //! ```
 
-// Exercises the legacy per-experiment entry points, kept as
-// deprecated wrappers around the campaign API.
-#![allow(deprecated)]
-
 use swsec::experiments::fig1;
 use swsec::prelude::*;
 use swsec_attacks::Payload;
@@ -16,7 +12,7 @@ use swsec_minc::parse;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 1 first: the anatomy the attack exploits.
-    let fig1 = fig1::run();
+    let fig1 = fig1::compute(swsec::cache::global(), 1);
     println!("=== Figure 1(b): machine code of process() ===");
     println!("{}", fig1.listing);
     println!("{}", fig1.snapshot);

@@ -5,14 +5,10 @@
 //! cargo run --example state_continuity
 //! ```
 
-// Exercises the legacy per-experiment entry points, kept as
-// deprecated wrappers around the campaign API.
-#![allow(deprecated)]
-
 use swsec::experiments::continuity::{self, Scheme};
 
 fn main() {
-    let report = continuity::run();
+    let report = continuity::compute();
     for table in report.tables() {
         println!("{table}");
     }

@@ -6,10 +6,6 @@
 //! cargo run --example temporal_attacks
 //! ```
 
-// Exercises the legacy per-experiment entry points, kept as
-// deprecated wrappers around the campaign API.
-#![allow(deprecated)]
-
 use swsec::experiments::heap_uaf;
 use swsec_minc::interp::{self, InterpOutcome};
 use swsec_minc::parse;
@@ -27,7 +23,7 @@ fn main() {
     }
 
     // The explicit case: the use-after-free experiment, end to end.
-    let report = heap_uaf::run();
+    let report = heap_uaf::compute();
     println!("{}", report.table());
     println!("source semantics for the attack input: {}", report.source_verdict);
     println!();

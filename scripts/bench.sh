@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# VM hot-path benchmark, fully offline (no criterion, no registry
+# dependencies). Builds the release `vmbench` binary and runs it:
+#
+#   sh scripts/bench.sh            # full run, writes BENCH_vm.json
+#   sh scripts/bench.sh --smoke    # seconds-long harness check
+#                                  # (writes target/BENCH_vm_smoke.json)
+#   sh scripts/bench.sh --out P    # choose the JSON output path
+#
+# The full run measures instructions/sec on four workloads
+# (tight-loop, call-heavy, memory-heavy, PMA-crossing) with the
+# decoded-instruction cache + TLBs enabled vs disabled, plus campaign
+# wall time, and fails if the tight-loop speedup drops below 5x.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p swsec-bench --bin vmbench
+exec target/release/vmbench "$@"

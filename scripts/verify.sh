@@ -7,7 +7,8 @@
 # Runs, in order:
 #   1. tier-1: release build + the root test suite (ROADMAP.md);
 #   2. the full workspace test suite;
-#   3. clippy over every target, warnings denied.
+#   3. clippy over every target, warnings denied;
+#   4. the VM benchmark harness in --smoke mode (scripts/bench.sh).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,5 +23,8 @@ cargo test -q --offline --workspace
 
 echo "==> clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> vmbench smoke"
+sh scripts/bench.sh --smoke
 
 echo "verify: all checks passed"

@@ -96,4 +96,24 @@ fn campaign_summary_reports_all_selected_experiments() {
     let summary = report.summary();
     assert_eq!(summary.rows.len(), 4);
     assert!(report.cache.hits + report.cache.misses > 0);
+    // The campaign's machines ran real instructions and their hot-path
+    // counters reached the summary header.
+    assert!(report.vm.instructions > 0);
+    assert!(summary.title.contains("icache"));
+    assert!(summary.title.contains("tlb"));
+}
+
+#[test]
+fn vm_caches_do_not_change_a_single_render_byte() {
+    // The decoded-instruction cache and the memory TLBs are pure
+    // speedups: with them disabled, every experiment report — and
+    // hence the whole campaign render — must be byte-identical.
+    let cfg = determinism_config();
+    let cached = run_campaign(&cfg).render();
+
+    swsec_vm::cpu::set_default_fast_path(false);
+    let uncached = run_campaign(&cfg).render();
+    swsec_vm::cpu::set_default_fast_path(true);
+
+    assert_eq!(cached, uncached, "caches must be semantically invisible");
 }
