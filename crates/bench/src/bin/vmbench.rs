@@ -11,15 +11,28 @@
 //! sh scripts/bench.sh            # full run, writes BENCH_vm.json
 //! sh scripts/bench.sh --smoke    # seconds-long sanity run (verify.sh)
 //! ```
+//!
+//! `--verbose` prints each workload's full [`ExecStats::verbose`]
+//! counters; `--telemetry PATH` streams the campaign leg's security
+//! events and final metrics as schema-v1 JSONL. A telemetry-overhead
+//! leg re-times the tight loop with sinks attached and asserts the
+//! disabled-interest configuration costs within 3% of no sink at all.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use swsec::campaign::{run_campaign, CampaignConfig};
+use swsec::campaign::{run_campaign_with, CampaignConfig, CampaignTelemetry};
 use swsec::report::ExperimentId;
+use swsec_obs::jsonl::meta_line;
+use swsec_obs::{
+    clear_default_sink, set_default_sink, CountingSink, EventMask, EventSink, JsonlSink,
+    MetricsRegistry, SecurityEvent,
+};
 use swsec_vm::cpu::{Machine, RunOutcome};
 use swsec_vm::isa::{sys, Cond, Instr, Reg};
 use swsec_vm::mem::Perm;
 use swsec_vm::policy::{ProtectedRegion, ProtectionMap};
+use swsec_vm::trace::ExecStats;
 
 const TEXT: u32 = 0x1000;
 const DATA: u32 = 0x0020_0000;
@@ -156,21 +169,42 @@ fn pma_crossing(iters: u32) -> Machine {
     m
 }
 
+/// A sink that wants nothing: attached but with every interest bit
+/// clear, it exercises exactly the disabled-tracing hot path.
+struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&self, _event: &SecurityEvent) {}
+    fn interests(&self) -> EventMask {
+        EventMask::NONE
+    }
+}
+
 struct Measurement {
     instructions: u64,
     elapsed: Duration,
+    stats: ExecStats,
     icache_hit_rate: Option<f64>,
     tlb_hit_rate: Option<f64>,
 }
 
 /// Runs one freshly built machine to completion, timed. `reps` runs,
 /// best (minimum) time kept — interpreter timings are noisy downwards
-/// only.
-fn measure(build: &dyn Fn() -> Machine, fast: bool, fuel: u64, reps: u32) -> Measurement {
+/// only. `sink` (if any) is attached to every machine before it runs.
+fn measure_with_sink(
+    build: &dyn Fn() -> Machine,
+    fast: bool,
+    fuel: u64,
+    reps: u32,
+    sink: Option<&Arc<dyn EventSink>>,
+) -> Measurement {
     let mut best: Option<Measurement> = None;
     for _ in 0..reps.max(1) {
         let mut m = build();
         m.set_fast_path(fast);
+        if let Some(sink) = sink {
+            m.set_event_sink(Some(sink.clone()));
+        }
         let started = Instant::now();
         let outcome = m.run(fuel);
         let elapsed = started.elapsed();
@@ -181,6 +215,7 @@ fn measure(build: &dyn Fn() -> Machine, fast: bool, fuel: u64, reps: u32) -> Mea
         let sample = Measurement {
             instructions: stats.instructions,
             elapsed,
+            stats,
             icache_hit_rate: (icache > 0)
                 .then(|| stats.icache_hits as f64 / icache as f64),
             tlb_hit_rate: (tlb > 0).then(|| stats.tlb_hits as f64 / tlb as f64),
@@ -190,6 +225,10 @@ fn measure(build: &dyn Fn() -> Machine, fast: bool, fuel: u64, reps: u32) -> Mea
         }
     }
     best.expect("reps >= 1")
+}
+
+fn measure(build: &dyn Fn() -> Machine, fast: bool, fuel: u64, reps: u32) -> Measurement {
+    measure_with_sink(build, fast, fuel, reps, None)
 }
 
 struct CaseResult {
@@ -224,14 +263,20 @@ fn json_opt_rate(r: Option<f64>) -> String {
 
 fn main() {
     let mut smoke = false;
+    let mut verbose = false;
     let mut out: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--verbose" => verbose = true,
             "--out" => out = Some(argv.next().expect("--out needs a path")),
+            "--telemetry" => {
+                telemetry_path = Some(argv.next().expect("--telemetry needs a path"));
+            }
             "--help" | "-h" => {
-                println!("usage: vmbench [--smoke] [--out PATH]");
+                println!("usage: vmbench [--smoke] [--verbose] [--out PATH] [--telemetry PATH]");
                 return;
             }
             other => {
@@ -298,8 +343,39 @@ fn main() {
                 .tlb_hit_rate
                 .map_or("n/a".into(), |v| format!("{:.1}%", v * 100.0)),
         );
+        if verbose {
+            println!("  {}", r.fast.stats.verbose().replace('\n', "\n  "));
+        }
         results.push(r);
     }
+
+    // Telemetry overhead: the tight loop re-timed with sinks attached.
+    // A sink with no interests must cost within noise of no sink at
+    // all (the hot path only adds one u8 mask test); a counting sink
+    // subscribed to everything shows the price of actually listening.
+    let (_, tight_build) = &cases[0];
+    // Best-of-5 in full mode: this leg feeds a 3% guard, so it needs
+    // more noise suppression than the headline table.
+    let oreps = if smoke { 1 } else { 5 };
+    let detached = measure(tight_build.as_ref(), true, fuel, oreps);
+    let null_sink: Arc<dyn EventSink> = Arc::new(NullSink);
+    let disabled = measure_with_sink(tight_build.as_ref(), true, fuel, oreps, Some(&null_sink));
+    let counting: Arc<dyn EventSink> = Arc::new(CountingSink::new());
+    let attached = measure_with_sink(tight_build.as_ref(), true, fuel, oreps, Some(&counting));
+    let detached_ips = ips(detached.instructions, detached.elapsed);
+    let disabled_ips = ips(disabled.instructions, disabled.elapsed);
+    let attached_ips = ips(attached.instructions, attached.elapsed);
+    let disabled_overhead = (detached_ips / disabled_ips - 1.0).max(0.0);
+    let attached_overhead = (detached_ips / attached_ips - 1.0).max(0.0);
+    println!(
+        "telemetry overhead (tight-loop): no sink {:.3e} i/s, \
+         disabled sink {:.3e} i/s (+{:.1}%), counting sink {:.3e} i/s (+{:.1}%)",
+        detached_ips,
+        disabled_ips,
+        disabled_overhead * 100.0,
+        attached_ips,
+        attached_overhead * 100.0,
+    );
 
     // Campaign wall time: the end-to-end consumer of the hot path.
     let cfg = if smoke {
@@ -310,7 +386,34 @@ fn main() {
     } else {
         CampaignConfig::quick()
     };
-    let campaign = run_campaign(&cfg);
+    let security = EventMask::FAULT
+        .union(EventMask::CANARY)
+        .union(EventMask::PMA)
+        .union(EventMask::GUARD);
+    let mut telemetry = CampaignTelemetry::none();
+    let mut jsonl = None;
+    if let Some(path) = telemetry_path.as_deref() {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("cannot create telemetry file {path}: {e}"));
+        let sink = Arc::new(JsonlSink::with_interests(
+            Box::new(std::io::BufWriter::new(file)),
+            security,
+        ));
+        sink.write_line(&meta_line("source", "vmbench"));
+        set_default_sink(sink.clone());
+        let registry = Arc::new(MetricsRegistry::new());
+        telemetry.metrics = Some(registry.clone());
+        jsonl = Some((sink, registry));
+    }
+    let campaign = run_campaign_with(&cfg, &telemetry);
+    if let Some((sink, registry)) = jsonl {
+        clear_default_sink();
+        for line in registry.export_jsonl() {
+            sink.write_line(&line);
+        }
+        sink.flush();
+        println!("vmbench: wrote telemetry {}", telemetry_path.as_deref().unwrap());
+    }
     println!("{}", campaign.summary());
 
     let mut json = String::new();
@@ -336,6 +439,12 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"telemetry\": {{\"detached_ips\": {:.1}, \"disabled_sink_ips\": {:.1}, \
+         \"counting_sink_ips\": {:.1}, \"disabled_overhead\": {:.4}, \
+         \"counting_overhead\": {:.4}}},\n",
+        detached_ips, disabled_ips, attached_ips, disabled_overhead, attached_overhead,
+    ));
     json.push_str(&format!(
         "  \"campaign\": {{\"wall_s\": {:.6}, \"workers\": {}, \"vm_instructions\": {}, \
          \"icache_hit_rate\": {}, \"tlb_hit_rate\": {}}}\n",
@@ -364,6 +473,13 @@ fn main() {
             tight.speedup() >= 5.0,
             "tight-loop speedup {:.2}x is below the 5x floor",
             tight.speedup()
+        );
+        // The overhead guard: an attached-but-disabled sink must stay
+        // within 3% of running with no sink at all.
+        assert!(
+            disabled_overhead <= 0.03,
+            "disabled-sink overhead {:.1}% exceeds the 3% guard",
+            disabled_overhead * 100.0
         );
     }
 }

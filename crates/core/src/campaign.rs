@@ -23,10 +23,11 @@
 //! `tests/campaign.rs` asserts for 1, 4 and 8 workers.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use swsec_obs::MetricsRegistry;
 use swsec_rng::derive;
 use swsec_vm::counters::{self, VmCounters};
 
@@ -108,6 +109,88 @@ impl CampaignCtx {
     }
 }
 
+/// The boxed per-cell progress callback type held by
+/// [`CampaignTelemetry::progress`].
+pub type ProgressFn = Box<dyn Fn(&CellProgress) + Send + Sync>;
+
+/// A progress notification for one finished cell, delivered to
+/// [`CampaignTelemetry::progress`] from whichever worker ran it.
+#[derive(Debug, Clone, Copy)]
+pub struct CellProgress {
+    /// The experiment the cell belongs to.
+    pub experiment: ExperimentId,
+    /// The cell index within that experiment.
+    pub cell: usize,
+    /// Cells finished so far, across the whole campaign (including
+    /// this one). Monotone per run, but the order cells finish in is
+    /// scheduling-dependent.
+    pub completed: usize,
+    /// Total cells in the campaign.
+    pub total: usize,
+    /// How long this cell took.
+    pub elapsed: Duration,
+}
+
+/// Optional observability hooks for a campaign run, kept apart from
+/// [`CampaignConfig`] so the config stays a plain comparable value.
+///
+/// Attaching telemetry never changes what the campaign computes:
+/// [`CampaignReport::render`] is byte-identical with or without it.
+#[derive(Default)]
+pub struct CampaignTelemetry {
+    /// Called once per finished cell, from the worker that ran it.
+    /// Callbacks run concurrently, so the callee synchronises its own
+    /// state (printing a progress line needs nothing extra).
+    pub progress: Option<ProgressFn>,
+    /// Registry absorbing the run's counters and per-cell time
+    /// histogram when the campaign finishes (see
+    /// [`absorb_into`](CampaignReport::absorb_into) for the names).
+    pub metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl std::fmt::Debug for CampaignTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignTelemetry")
+            .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .field("metrics", &self.metrics.is_some())
+            .finish()
+    }
+}
+
+impl CampaignTelemetry {
+    /// Telemetry that observes nothing (what [`run_campaign`] uses).
+    pub fn none() -> CampaignTelemetry {
+        CampaignTelemetry::default()
+    }
+
+    /// Sets the per-cell progress callback.
+    pub fn on_progress(
+        mut self,
+        f: impl Fn(&CellProgress) + Send + Sync + 'static,
+    ) -> CampaignTelemetry {
+        self.progress = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the registry that absorbs the run's metrics.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> CampaignTelemetry {
+        self.metrics = Some(registry);
+        self
+    }
+}
+
+/// Where one cell's time went, captured per cell (finer-grained than
+/// [`ExperimentTiming`], which sums these per experiment).
+#[derive(Debug, Clone, Copy)]
+pub struct CellTiming {
+    /// The experiment the cell belongs to.
+    pub experiment: ExperimentId,
+    /// The cell index within that experiment.
+    pub cell: usize,
+    /// Busy time for that one cell.
+    pub elapsed: Duration,
+}
+
 /// Where one experiment's time went (worker-busy time, summed across
 /// its cells — not wall-clock, which overlaps under parallelism).
 #[derive(Debug, Clone, Copy)]
@@ -128,6 +211,9 @@ pub struct CampaignReport {
     pub reports: Vec<Report>,
     /// Per-experiment busy time (excluded from [`render`](Self::render)).
     pub timings: Vec<ExperimentTiming>,
+    /// Per-cell busy time, in slot (experiment-major) order. Like every
+    /// timing, excluded from [`render`](Self::render).
+    pub cell_timings: Vec<CellTiming>,
     /// Compile-cache counters at the end of the run.
     pub cache: CacheStats,
     /// VM hot-path counters (instructions, icache, TLB) accumulated by
@@ -185,6 +271,33 @@ impl CampaignReport {
         }
         t
     }
+
+    /// Folds the run's metadata into a metrics registry:
+    ///
+    /// * counters `campaign.runs`, `campaign.cells`, `campaign.workers`,
+    ///   `cache.hits` / `cache.misses` / `cache.parses`, and
+    ///   `vm.instructions` / `vm.icache.hits` / `vm.icache.misses` /
+    ///   `vm.tlb.hits` / `vm.tlb.misses`;
+    /// * histogram `campaign.cell_micros` with one observation per cell.
+    ///
+    /// Called automatically by [`run_campaign_with`] when
+    /// [`CampaignTelemetry::metrics`] is set.
+    pub fn absorb_into(&self, registry: &MetricsRegistry) {
+        registry.counter("campaign.runs", 1);
+        registry.counter("campaign.cells", self.cell_timings.len() as u64);
+        registry.counter("campaign.workers", self.workers as u64);
+        registry.counter("cache.hits", self.cache.hits);
+        registry.counter("cache.misses", self.cache.misses);
+        registry.counter("cache.parses", self.cache.parses);
+        registry.counter("vm.instructions", self.vm.instructions);
+        registry.counter("vm.icache.hits", self.vm.icache_hits);
+        registry.counter("vm.icache.misses", self.vm.icache_misses);
+        registry.counter("vm.tlb.hits", self.vm.tlb_hits);
+        registry.counter("vm.tlb.misses", self.vm.tlb_misses);
+        for cell in &self.cell_timings {
+            registry.observe("campaign.cell_micros", cell.elapsed.as_micros() as u64);
+        }
+    }
 }
 
 /// One schedulable unit: cell `cell` of `exps[exp]`, writing `slot`.
@@ -205,6 +318,14 @@ struct Task {
 /// reports — and hence [`CampaignReport::render`] — are identical for
 /// every worker count.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    run_campaign_with(cfg, &CampaignTelemetry::none())
+}
+
+/// [`run_campaign`] with observability hooks: a live per-cell progress
+/// callback and a metrics registry that absorbs the run's counters and
+/// per-cell timing histogram. The hooks observe the run without
+/// influencing it — the rendered reports stay byte-identical.
+pub fn run_campaign_with(cfg: &CampaignConfig, telemetry: &CampaignTelemetry) -> CampaignReport {
     let started = Instant::now();
     let vm_before = counters::snapshot();
     let exps = cfg.selected();
@@ -240,6 +361,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let slots: Vec<Mutex<Option<Vec<Table>>>> =
         (0..total_slots).map(|_| Mutex::new(None)).collect();
     let busy_nanos: Vec<AtomicU64> = (0..exps.len()).map(|_| AtomicU64::new(0)).collect();
+    let cell_nanos: Vec<AtomicU64> = (0..total_slots).map(|_| AtomicU64::new(0)).collect();
+    let completed = AtomicUsize::new(0);
 
     let ctx = &ctx;
     std::thread::scope(|scope| {
@@ -247,6 +370,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             let queues = &queues;
             let slots = &slots;
             let busy_nanos = &busy_nanos;
+            let cell_nanos = &cell_nanos;
+            let completed = &completed;
             let exps = &exps;
             scope.spawn(move || loop {
                 // Own deque first (front), then steal (back) — the
@@ -266,9 +391,20 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                 let Some(task) = task else { break };
                 let cell_started = Instant::now();
                 let out = exps[task.exp].run_cell(cfg, ctx, task.cell);
-                busy_nanos[task.exp]
-                    .fetch_add(cell_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let elapsed = cell_started.elapsed();
+                let nanos = elapsed.as_nanos() as u64;
+                busy_nanos[task.exp].fetch_add(nanos, Ordering::Relaxed);
+                cell_nanos[task.slot].store(nanos, Ordering::Relaxed);
                 *slots[task.slot].lock().expect("slot lock") = Some(out);
+                if let Some(progress) = telemetry.progress.as_ref() {
+                    progress(&CellProgress {
+                        experiment: exps[task.exp].id(),
+                        cell: task.cell,
+                        completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                        total: total_slots,
+                        elapsed,
+                    });
+                }
             });
         }
     });
@@ -276,6 +412,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     // Assemble in experiment order from the slot layout.
     let mut reports = Vec::with_capacity(exps.len());
     let mut timings = Vec::with_capacity(exps.len());
+    let mut cell_timings = Vec::with_capacity(total_slots);
     let mut base = 0usize;
     for (exp, &cells) in cell_counts.iter().enumerate() {
         let outputs: Vec<Vec<Table>> = (0..cells)
@@ -287,6 +424,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                     .expect("every cell ran")
             })
             .collect();
+        for cell in 0..cells {
+            cell_timings.push(CellTiming {
+                experiment: exps[exp].id(),
+                cell,
+                elapsed: Duration::from_nanos(cell_nanos[base + cell].load(Ordering::Relaxed)),
+            });
+        }
         base += cells;
         reports.push(exps[exp].assemble(cfg, outputs));
         timings.push(ExperimentTiming {
@@ -296,14 +440,19 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         });
     }
 
-    CampaignReport {
+    let report = CampaignReport {
         reports,
         timings,
+        cell_timings,
         cache: ctx.cache.stats(),
         vm: counters::snapshot().since(vm_before),
         workers,
         elapsed: started.elapsed(),
+    };
+    if let Some(registry) = telemetry.metrics.as_deref() {
+        report.absorb_into(registry);
     }
+    report
 }
 
 #[cfg(test)]
@@ -355,5 +504,69 @@ mod tests {
     fn empty_selection_means_everything() {
         let cfg = CampaignConfig::default();
         assert_eq!(cfg.selected().len(), registry().len());
+    }
+
+    #[test]
+    fn telemetry_observes_without_changing_the_render() {
+        let cfg = tiny();
+        let baseline = run_campaign(&cfg).render();
+
+        let seen = Arc::new(AtomicUsize::new(0));
+        let registry = Arc::new(MetricsRegistry::new());
+        let telemetry = CampaignTelemetry::none()
+            .on_progress({
+                let seen = seen.clone();
+                move |p| {
+                    assert!(p.completed >= 1 && p.completed <= p.total);
+                    seen.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .with_metrics(registry.clone());
+        let report = run_campaign_with(&cfg, &telemetry);
+
+        // Same bytes with hooks attached.
+        assert_eq!(report.render(), baseline);
+
+        // The callback fired once per cell, and every cell has a timing.
+        let total: usize = report.timings.iter().map(|t| t.cells).sum();
+        assert_eq!(seen.load(Ordering::Relaxed), total);
+        assert_eq!(report.cell_timings.len(), total);
+
+        // The registry absorbed the run.
+        assert_eq!(registry.counter_value("campaign.runs"), 1);
+        assert_eq!(registry.counter_value("campaign.cells"), total as u64);
+        assert!(registry.counter_value("vm.instructions") > 0);
+        let h = registry.histogram("campaign.cell_micros").expect("histogram");
+        assert_eq!(h.count(), total as u64);
+    }
+
+    #[test]
+    fn per_cell_timings_follow_the_slot_layout() {
+        let cfg = tiny();
+        let report = run_campaign(&cfg);
+        // Experiment-major order, cells numbered from zero within each.
+        let mut expect = Vec::new();
+        for t in &report.timings {
+            for cell in 0..t.cells {
+                expect.push((t.id, cell));
+            }
+        }
+        let got: Vec<_> = report
+            .cell_timings
+            .iter()
+            .map(|c| (c.experiment, c.cell))
+            .collect();
+        assert_eq!(got, expect);
+        // Per-experiment busy time is the sum of its cells (both sides
+        // were computed from the same per-cell nanos).
+        for t in &report.timings {
+            let sum: Duration = report
+                .cell_timings
+                .iter()
+                .filter(|c| c.experiment == t.id)
+                .map(|c| c.elapsed)
+                .sum();
+            assert_eq!(sum, t.busy);
+        }
     }
 }

@@ -49,7 +49,10 @@ pub mod report;
 pub mod prelude {
     pub use crate::attacker::{run_technique, AttackOutcome, AttackResult, Technique};
     pub use crate::cache::ProgramCache;
-    pub use crate::campaign::{run_campaign, CampaignConfig, CampaignReport};
+    pub use crate::campaign::{
+        run_campaign, run_campaign_with, CampaignConfig, CampaignReport, CampaignTelemetry,
+        CellProgress,
+    };
     pub use crate::equiv::{compare, Comparison, Verdict};
     pub use crate::experiments::{registry, Experiment};
     pub use crate::loader::{launch, Session};

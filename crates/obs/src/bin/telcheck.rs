@@ -1,0 +1,86 @@
+//! telcheck — validates a schema-v1 JSONL telemetry dump.
+//!
+//! ```sh
+//! telcheck out.jsonl [--require KIND]...
+//! ```
+//!
+//! Parses every line against the versioned schema and exits non-zero
+//! on the first malformed line. Each `--require KIND` demands at least
+//! one event of that kind (`canary_trip`, `pma_violation`, `fault`,
+//! `control_transfer`, `syscall`, `guard_check`, `step`) in the dump;
+//! `--require metric` and `--require meta` demand record families
+//! instead. A summary of record counts per kind goes to stdout.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use swsec_obs::jsonl::parse_line;
+use swsec_obs::Record;
+
+fn main() -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--require" => required.push(argv.next().expect("--require needs an event kind")),
+            "--help" | "-h" => {
+                println!("usage: telcheck FILE.jsonl [--require KIND]...");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("telcheck: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("telcheck: missing input file");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("telcheck: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut lines = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        lines += 1;
+        let key = match parse_line(line) {
+            Ok(Record::Event(ev)) => ev.kind_name().to_string(),
+            Ok(Record::Metric { .. }) => "metric".to_string(),
+            Ok(Record::Meta { .. }) => "meta".to_string(),
+            Err(e) => {
+                eprintln!("telcheck: {path}:{}: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        *counts.entry(key).or_insert(0) += 1;
+    }
+
+    println!("telcheck: {path}: {lines} valid lines");
+    for (kind, n) in &counts {
+        println!("  {kind}: {n}");
+    }
+
+    let mut ok = true;
+    for kind in &required {
+        if counts.get(kind).copied().unwrap_or(0) == 0 {
+            eprintln!("telcheck: required kind {kind:?} absent from {path}");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

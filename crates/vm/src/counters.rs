@@ -115,6 +115,48 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_machine_drops_absorb_without_loss() {
+        use crate::cpu::{Machine, RunOutcome};
+        use crate::isa::{sys, Instr, Reg};
+        use crate::mem::Perm;
+
+        // Two machines run and drop on separate threads; every
+        // instruction both executed must land in the process totals
+        // (relaxed atomics, but no lost updates).
+        let run_one = |loops: u32| {
+            let mut code = Vec::new();
+            for _ in 0..loops {
+                Instr::Nop.encode(&mut code);
+            }
+            Instr::MovI { dst: Reg::R0, imm: 0 }.encode(&mut code);
+            Instr::Sys(sys::EXIT).encode(&mut code);
+            let mut m = Machine::new();
+            m.mem_mut().map(0x1000, 0x1000, Perm::RX).unwrap();
+            m.mem_mut().poke_bytes(0x1000, &code).unwrap();
+            m.set_ip(0x1000);
+            assert_eq!(m.run(10_000), RunOutcome::Halted(0));
+            let executed = m.stats().instructions;
+            drop(m); // absorb happens here
+            executed
+        };
+        let before = snapshot();
+        let t1 = std::thread::spawn(move || run_one(300));
+        let t2 = std::thread::spawn(move || run_one(500));
+        let a = t1.join().expect("thread 1");
+        let b = t2.join().expect("thread 2");
+        assert_eq!(a, 302);
+        assert_eq!(b, 502);
+        let delta = snapshot().since(before);
+        // Other tests may add more concurrently, never less.
+        assert!(
+            delta.instructions >= a + b,
+            "absorbed {} < executed {}",
+            delta.instructions,
+            a + b
+        );
+    }
+
+    #[test]
     fn absorb_moves_the_snapshot() {
         let before = snapshot();
         absorb(&ExecStats {

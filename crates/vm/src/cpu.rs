@@ -45,12 +45,15 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use swsec_obs::{ControlKind, EventMask, EventSink, FaultKind, PmaRule, SecurityEvent};
 
 use crate::isa::{self, AluOp, Cond, DecodeError, Instr, Reg, NUM_REGS};
 use crate::io::IoBus;
-use crate::mem::{Access, MemError, Memory, PAGE_SIZE};
-use crate::policy::{PmaViolation, ProtectionMap, TransferKind};
-use crate::trace::{ExecStats, TraceEntry};
+use crate::mem::{Access, MemError, MemErrorKind, Memory, PAGE_SIZE};
+use crate::policy::{PmaViolation, PmaViolationKind, ProtectionMap, TransferKind};
+use crate::trace::{ExecStats, TraceEntry, TraceRing};
 
 /// Number of direct-mapped slots in the decoded-instruction cache.
 /// A power of two so indexing is a mask of the low `ip` bits.
@@ -290,10 +293,18 @@ pub struct Machine {
     rng_state: u64,
     prev_ip: u32,
     pending_transfer: TransferKind,
-    trace: Option<Vec<TraceEntry>>,
+    trace: Option<TraceRing>,
     blocking_reads: bool,
     icache: Box<[ICacheEntry]>,
     fast_path: bool,
+    /// Attached security-event sink, if any; `sink_mask` caches its
+    /// interest mask so the hot path tests a single byte.
+    sink: Option<Arc<dyn EventSink>>,
+    sink_mask: EventMask,
+    /// Set by the word-access wrappers when a memory fault's address
+    /// sits on a different page than the access base (a straddling
+    /// access); consumed by fault-event classification.
+    straddle_hint: bool,
 }
 
 impl fmt::Debug for Machine {
@@ -317,10 +328,20 @@ impl Default for Machine {
 impl Machine {
     /// Creates a machine with empty memory, zeroed registers, permission
     /// enforcement on and no platform protections.
+    ///
+    /// If a process-wide default event sink is installed
+    /// ([`swsec_obs::set_default_sink`]), the new machine attaches it
+    /// automatically, so telemetry captures events from machines
+    /// created deep inside experiment code.
     pub fn new() -> Machine {
         let fast_path = default_fast_path();
         let mut mem = Memory::new();
         mem.set_fast_path(fast_path);
+        let sink = swsec_obs::default_sink();
+        let sink_mask = sink
+            .as_ref()
+            .map(|s| s.interests())
+            .unwrap_or(EventMask::NONE);
         Machine {
             regs: [0; NUM_REGS],
             ip: 0,
@@ -338,7 +359,27 @@ impl Machine {
             blocking_reads: false,
             icache: vec![ICACHE_EMPTY; ICACHE_SLOTS].into_boxed_slice(),
             fast_path,
+            sink,
+            sink_mask,
+            straddle_hint: false,
         }
+    }
+
+    /// Attaches (or with `None`, detaches) a security-event sink. The
+    /// sink's [`interests`](EventSink::interests) mask is captured here,
+    /// once; events outside it are never even constructed. Replaces any
+    /// sink inherited from [`swsec_obs::set_default_sink`].
+    pub fn set_event_sink(&mut self, sink: Option<Arc<dyn EventSink>>) {
+        self.sink_mask = sink
+            .as_ref()
+            .map(|s| s.interests())
+            .unwrap_or(EventMask::NONE);
+        self.sink = sink;
+    }
+
+    /// Whether a security-event sink is attached.
+    pub fn has_event_sink(&self) -> bool {
+        self.sink.is_some()
     }
 
     /// Enables or disables the interpreter fast path for this machine:
@@ -450,15 +491,31 @@ impl Machine {
         s
     }
 
-    /// Enables instruction tracing; entries accumulate until
-    /// [`Machine::take_trace`].
+    /// Enables instruction tracing; entries accumulate in a bounded
+    /// ring (default capacity
+    /// [`DEFAULT_TRACE_CAPACITY`](crate::trace::DEFAULT_TRACE_CAPACITY)
+    /// entries, oldest overwritten first) until [`Machine::take_trace`].
     pub fn set_trace(&mut self, enabled: bool) {
-        self.trace = if enabled { Some(Vec::new()) } else { None };
+        self.trace = if enabled { Some(TraceRing::new()) } else { None };
     }
 
-    /// Removes and returns the accumulated instruction trace.
+    /// Enables instruction tracing into a ring bounded at `capacity`
+    /// entries (min 1).
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace = Some(TraceRing::with_capacity(capacity));
+    }
+
+    /// How many trace entries have been overwritten by the bounded ring
+    /// since the last [`Machine::take_trace`] (0 when tracing is off).
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.as_ref().map(TraceRing::dropped).unwrap_or(0)
+    }
+
+    /// Removes and returns the accumulated instruction trace,
+    /// oldest-first. When the bounded ring overflowed, these are the
+    /// **most recent** entries (see [`Machine::trace_dropped`]).
     pub fn take_trace(&mut self) -> Vec<TraceEntry> {
-        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+        self.trace.as_mut().map(TraceRing::take).unwrap_or_default()
     }
 
     /// The exit code, if the machine has halted.
@@ -484,28 +541,133 @@ impl Machine {
         Ok(())
     }
 
+    /// Notes whether a data fault's address landed on a different page
+    /// than the access base — a straddling multi-byte access, which
+    /// fault-event classification reports as its own kind.
+    #[cold]
+    fn note_data_fault(&mut self, base: u32, e: MemError) -> Fault {
+        self.straddle_hint = (e.addr ^ base) >= PAGE_SIZE;
+        Fault::Mem(e)
+    }
+
     fn load_u32(&mut self, addr: u32) -> Result<u32, Fault> {
         self.check_pma_data(addr)?;
         self.stats.mem_reads += 1;
-        Ok(self.mem.read_u32(addr, Access::Read)?)
+        match self.mem.read_u32(addr, Access::Read) {
+            Ok(v) => Ok(v),
+            Err(e) => Err(self.note_data_fault(addr, e)),
+        }
     }
 
     fn load_u8(&mut self, addr: u32) -> Result<u8, Fault> {
         self.check_pma_data(addr)?;
         self.stats.mem_reads += 1;
-        Ok(self.mem.read_u8(addr, Access::Read)?)
+        match self.mem.read_u8(addr, Access::Read) {
+            Ok(v) => Ok(v),
+            Err(e) => Err(self.note_data_fault(addr, e)),
+        }
     }
 
     fn store_u32(&mut self, addr: u32, value: u32) -> Result<(), Fault> {
         self.check_pma_data(addr)?;
         self.stats.mem_writes += 1;
-        Ok(self.mem.write_u32(addr, value, Access::Write)?)
+        match self.mem.write_u32(addr, value, Access::Write) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.note_data_fault(addr, e)),
+        }
     }
 
     fn store_u8(&mut self, addr: u32, value: u8) -> Result<(), Fault> {
         self.check_pma_data(addr)?;
         self.stats.mem_writes += 1;
-        Ok(self.mem.write_u8(addr, value, Access::Write)?)
+        match self.mem.write_u8(addr, value, Access::Write) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.note_data_fault(addr, e)),
+        }
+    }
+
+    /// Delivers one event to the attached sink. Callers check
+    /// `sink_mask` first, so unwanted events are never constructed.
+    #[inline]
+    fn emit(&self, event: SecurityEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(&event);
+        }
+    }
+
+    /// Classifies a fault into its security event and delivers it.
+    /// Faults are terminal, so this path is cold by construction.
+    #[cold]
+    fn emit_fault(&mut self, fault: &Fault) {
+        if self.sink_mask == EventMask::NONE {
+            return;
+        }
+        let event = match *fault {
+            Fault::Mem(e) => {
+                let straddle = match e.access {
+                    Access::Fetch => (e.addr ^ self.ip) >= PAGE_SIZE,
+                    Access::Read | Access::Write => self.straddle_hint,
+                };
+                let kind = if straddle {
+                    FaultKind::Straddle
+                } else {
+                    match (e.kind, e.access) {
+                        (MemErrorKind::Unmapped, _) => FaultKind::Unmapped,
+                        (MemErrorKind::Denied { .. }, Access::Fetch) => FaultKind::Dep,
+                        (MemErrorKind::Denied { .. }, _) => FaultKind::Perm,
+                    }
+                };
+                SecurityEvent::Fault {
+                    kind,
+                    ip: self.ip,
+                    addr: e.addr,
+                }
+            }
+            Fault::Pma(v) => SecurityEvent::PmaViolation {
+                rule: match v.kind {
+                    PmaViolationKind::OutsideDataAccess => PmaRule::OutsideDataAccess,
+                    PmaViolationKind::BadEntry => PmaRule::BadEntry,
+                },
+                from: v.ip,
+                to: v.addr,
+            },
+            Fault::Decode { addr, .. } => SecurityEvent::Fault {
+                kind: FaultKind::Decode,
+                ip: addr,
+                addr,
+            },
+            Fault::DivideByZero { ip } => SecurityEvent::Fault {
+                kind: FaultKind::DivZero,
+                ip,
+                addr: ip,
+            },
+            Fault::SoftwareTrap { code, ip } => {
+                if code == isa::trap::CANARY {
+                    SecurityEvent::CanaryTrip { ip }
+                } else {
+                    SecurityEvent::GuardCheck { code, ip }
+                }
+            }
+            Fault::ShadowStackMismatch { got, .. } => SecurityEvent::Fault {
+                kind: FaultKind::ShadowStack,
+                ip: self.ip,
+                addr: got,
+            },
+            Fault::ShadowStackUnderflow { ip } => SecurityEvent::Fault {
+                kind: FaultKind::ShadowStack,
+                ip,
+                addr: ip,
+            },
+            Fault::UnknownSyscall { ip, .. } => SecurityEvent::Fault {
+                kind: FaultKind::UnknownSyscall,
+                ip,
+                addr: ip,
+            },
+        };
+        self.straddle_hint = false;
+        if self.sink_mask.contains(event.mask_bit()) {
+            self.emit(event);
+        }
     }
 
     fn push(&mut self, value: u32) -> Result<(), Fault> {
@@ -686,13 +848,21 @@ impl Machine {
         // PMA rule 2: entering a module's code requires an entry point.
         if let Some(pma) = &self.pma {
             if let Err(v) = pma.check_fetch(self.prev_ip, self.ip, self.pending_transfer) {
-                return StepResult::Fault(Fault::Pma(v));
+                let f = Fault::Pma(v);
+                self.emit_fault(&f);
+                return StepResult::Fault(f);
             }
         }
         let (instr, len) = match self.fetch() {
             Ok(pair) => pair,
-            Err(f) => return StepResult::Fault(f),
+            Err(f) => {
+                self.emit_fault(&f);
+                return StepResult::Fault(f);
+            }
         };
+        if self.sink_mask.contains(EventMask::STEP) {
+            self.emit(SecurityEvent::Step { ip: self.ip });
+        }
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEntry { ip: self.ip, instr });
         }
@@ -704,7 +874,10 @@ impl Machine {
                 StepResult::Halted(code)
             }
             Ok(ExecOutcome::Blocked(fd)) => StepResult::Blocked { fd },
-            Err(f) => StepResult::Fault(f),
+            Err(f) => {
+                self.emit_fault(&f);
+                StepResult::Fault(f)
+            }
         }
     }
 
@@ -795,6 +968,13 @@ impl Machine {
                     shadow.push(ret);
                 }
                 self.stats.calls += 1;
+                if self.sink_mask.contains(EventMask::CONTROL) {
+                    self.emit(SecurityEvent::ControlTransfer {
+                        kind: ControlKind::Call,
+                        from: self.ip,
+                        to: target,
+                    });
+                }
                 self.transfer(target, TransferKind::Call);
             }
             Instr::CallR(r) => {
@@ -805,6 +985,13 @@ impl Machine {
                     shadow.push(ret);
                 }
                 self.stats.calls += 1;
+                if self.sink_mask.contains(EventMask::CONTROL) {
+                    self.emit(SecurityEvent::ControlTransfer {
+                        kind: ControlKind::CallIndirect,
+                        from: self.ip,
+                        to: target,
+                    });
+                }
                 self.transfer(target, TransferKind::Call);
             }
             Instr::Ret => {
@@ -824,10 +1011,24 @@ impl Machine {
                     }
                 }
                 self.stats.rets += 1;
+                if self.sink_mask.contains(EventMask::CONTROL) {
+                    self.emit(SecurityEvent::ControlTransfer {
+                        kind: ControlKind::Ret,
+                        from: self.ip,
+                        to: target,
+                    });
+                }
                 self.transfer(target, TransferKind::Ret);
             }
             Instr::JmpR(r) => {
                 let target = self.reg(r);
+                if self.sink_mask.contains(EventMask::CONTROL) {
+                    self.emit(SecurityEvent::ControlTransfer {
+                        kind: ControlKind::JmpIndirect,
+                        from: self.ip,
+                        to: target,
+                    });
+                }
                 self.transfer(target, TransferKind::Jump);
             }
             Instr::Enter(frame) => {
@@ -846,7 +1047,18 @@ impl Machine {
                 self.advance(len);
             }
             Instr::Sys(number) => {
-                match self.syscall(number)? {
+                let effect = self.syscall(number)?;
+                // A blocked read retries the same instruction; emit its
+                // event only when the call actually completes.
+                if !matches!(effect, SysEffect::Block(_))
+                    && self.sink_mask.contains(EventMask::SYSCALL)
+                {
+                    self.emit(SecurityEvent::Syscall {
+                        number,
+                        ip: self.ip,
+                    });
+                }
+                match effect {
                     SysEffect::Halt(code) => return Ok(ExecOutcome::Halt(code)),
                     SysEffect::Block(fd) => {
                         // Do not advance: the read retries on next step.
@@ -1351,6 +1563,213 @@ mod tests {
     fn out_of_fuel_reported() {
         let prog = vec![Instr::Jmp(TEXT)];
         assert_eq!(machine_with(&prog).run(10), RunOutcome::OutOfFuel);
+    }
+
+    #[test]
+    fn events_flow_for_control_transfers_and_syscalls() {
+        use swsec_obs::{CountingSink, RingBufferSink};
+
+        let prog = vec![
+            Instr::Call(TEXT + 13),                 // direct call
+            Instr::MovI { dst: Reg::R0, imm: 0 },
+            Instr::Sys(sys::EXIT),
+            // f: (movi 6 + callr 2 + ret 1 ⇒ g at TEXT+22)
+            Instr::MovI { dst: Reg::R1, imm: TEXT + 22 },
+            Instr::CallR(Reg::R1),                  // indirect call
+            Instr::Ret,                             // back to main
+            Instr::Ret,                             // g: return to f
+        ];
+        let counter = std::sync::Arc::new(CountingSink::new());
+        let ring = std::sync::Arc::new(RingBufferSink::new(64));
+        let mut m = machine_with(&prog);
+        m.set_event_sink(Some(counter.clone()));
+        assert!(m.has_event_sink());
+        assert_eq!(m.run(100), RunOutcome::Halted(0));
+        let c = counter.counts();
+        assert_eq!(c.control, 4, "{c:?}"); // call, callr, 2 rets
+        assert_eq!(c.syscall, 1);
+        assert_eq!(c.step, 0); // default mask excludes steps
+
+        // The ring sink captures typed payloads in order.
+        let mut m2 = machine_with(&prog);
+        m2.set_event_sink(Some(ring.clone()));
+        m2.run(100);
+        let (events, dropped) = ring.drain();
+        assert_eq!(dropped, 0);
+        match events[0] {
+            swsec_obs::SecurityEvent::ControlTransfer { kind, from, to } => {
+                assert_eq!(kind, swsec_obs::ControlKind::Call);
+                assert_eq!(from, TEXT);
+                assert_eq!(to, TEXT + 13);
+            }
+            ref other => panic!("expected a call event, got {other}"),
+        }
+    }
+
+    #[test]
+    fn canary_trap_becomes_canary_trip_other_traps_guard_checks() {
+        use swsec_obs::CountingSink;
+
+        let run_trap = |code: u8| {
+            let counter = std::sync::Arc::new(CountingSink::new());
+            let mut m = machine_with(&[Instr::Trap(code)]);
+            m.set_event_sink(Some(counter.clone()));
+            m.run(10);
+            counter.counts()
+        };
+        let canary = run_trap(trap::CANARY);
+        assert_eq!((canary.canary, canary.guard), (1, 0));
+        let bounds = run_trap(trap::BOUNDS);
+        assert_eq!((bounds.canary, bounds.guard), (0, 1));
+    }
+
+    #[test]
+    fn fault_events_classify_dep_unmapped_and_pma() {
+        use swsec_obs::{RingBufferSink, SecurityEvent};
+
+        let capture = |mut m: Machine| {
+            let ring = std::sync::Arc::new(RingBufferSink::new(16));
+            m.set_event_sink(Some(ring.clone()));
+            m.run(20);
+            ring.drain().0
+        };
+
+        // DEP: jump to a non-executable page.
+        let events = capture(machine_with(&[Instr::Jmp(STACK_TOP - 0x100)]));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            SecurityEvent::Fault { kind: swsec_obs::FaultKind::Dep, .. }
+        )), "{events:?}");
+
+        // Unmapped data read.
+        let prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: 0x7000_0000 },
+            Instr::Load { dst: Reg::R0, base: Reg::R1, disp: 0 },
+        ];
+        let events = capture(machine_with(&prog));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            SecurityEvent::Fault { kind: swsec_obs::FaultKind::Unmapped, addr: 0x7000_0000, .. }
+        )), "{events:?}");
+
+        // PMA rule 1: outside access to protected data.
+        let prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: 0x0060_0000 },
+            Instr::Load { dst: Reg::R0, base: Reg::R1, disp: 0 },
+        ];
+        let mut m = machine_with(&prog);
+        m.mem_mut().map(0x0050_0000, 0x2000, Perm::RWX).unwrap();
+        m.mem_mut().map(0x0060_0000, 0x1000, Perm::RW).unwrap();
+        m.set_protection(Some(ProtectionMap::new(vec![ProtectedRegion::new(
+            0x0050_0000..0x0050_1000,
+            0x0060_0000..0x0060_1000,
+            vec![0x0050_0000],
+        )])));
+        let events = capture(m);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            SecurityEvent::PmaViolation {
+                rule: swsec_obs::PmaRule::OutsideDataAccess,
+                to: 0x0060_0000,
+                ..
+            }
+        )), "{events:?}");
+    }
+
+    #[test]
+    fn straddling_store_fault_is_classified_as_straddle() {
+        use swsec_obs::{FaultKind, RingBufferSink, SecurityEvent};
+
+        // Writable page followed by a read-only page: a word store at
+        // the boundary faults mid-word on the second page.
+        let prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: 0x9000 - 2 },
+            Instr::MovI { dst: Reg::R2, imm: 0xaabb_ccdd },
+            Instr::Store { base: Reg::R1, disp: 0, src: Reg::R2 },
+        ];
+        let mut m = machine_with(&prog);
+        m.mem_mut().map(0x8000, 0x1000, Perm::RW).unwrap();
+        m.mem_mut().map(0x9000, 0x1000, Perm::R).unwrap();
+        let ring = std::sync::Arc::new(RingBufferSink::new(8));
+        m.set_event_sink(Some(ring.clone()));
+        assert!(matches!(m.run(10), RunOutcome::Fault(Fault::Mem(_))));
+        let (events, _) = ring.drain();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            SecurityEvent::Fault { kind: FaultKind::Straddle, addr: 0x9000, .. }
+        )), "{events:?}");
+    }
+
+    #[test]
+    fn step_events_feed_hot_address_profile() {
+        use swsec_obs::HotAddressSink;
+
+        let prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: 3 },
+            Instr::AddI { dst: Reg::R1, imm: (-1i32) as u32 }, // TEXT+6
+            Instr::CmpI { a: Reg::R1, imm: 0 },
+            Instr::JCond { cond: Cond::Nz, target: TEXT + 6 },
+            Instr::Mov { dst: Reg::R0, src: Reg::R1 },
+            Instr::Sys(sys::EXIT),
+        ];
+        let hot = std::sync::Arc::new(HotAddressSink::new());
+        let mut m = machine_with(&prog);
+        m.set_event_sink(Some(hot.clone()));
+        assert_eq!(m.run(1000), RunOutcome::Halted(0));
+        // Every retired instruction was profiled.
+        assert_eq!(hot.total(), m.stats().instructions);
+        // The loop body (TEXT+6) ran three times — the hottest address.
+        let top = hot.top(1);
+        assert_eq!(top[0].0, TEXT + 6);
+        assert_eq!(top[0].1, 3);
+    }
+
+    #[test]
+    fn detached_sink_means_no_events_and_identical_results() {
+        use swsec_obs::CountingSink;
+
+        let prog = vec![
+            Instr::Call(TEXT + 13),
+            Instr::MovI { dst: Reg::R0, imm: 0 },
+            Instr::Sys(sys::EXIT),
+            Instr::Ret,
+        ];
+        let counter = std::sync::Arc::new(CountingSink::new());
+        let mut with_sink = machine_with(&prog);
+        with_sink.set_event_sink(Some(counter.clone()));
+        let mut without = machine_with(&prog);
+        assert_eq!(with_sink.run(100), without.run(100));
+        assert_eq!(with_sink.stats().instructions, without.stats().instructions);
+        // Detaching stops the flow entirely.
+        let mut detached = machine_with(&prog);
+        detached.set_event_sink(Some(counter.clone()));
+        detached.set_event_sink(None);
+        let before = counter.counts();
+        detached.run(100);
+        assert_eq!(counter.counts(), before);
+    }
+
+    #[test]
+    fn bounded_trace_ring_keeps_newest_entries() {
+        let prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: 3 },
+            Instr::AddI { dst: Reg::R1, imm: (-1i32) as u32 },
+            Instr::CmpI { a: Reg::R1, imm: 0 },
+            Instr::JCond { cond: Cond::Nz, target: TEXT + 6 },
+            Instr::Mov { dst: Reg::R0, src: Reg::R1 },
+            Instr::Sys(sys::EXIT),
+        ];
+        let mut m = machine_with(&prog);
+        m.set_trace_capacity(4);
+        assert_eq!(m.run(1000), RunOutcome::Halted(0));
+        let executed = m.stats().instructions;
+        assert_eq!(m.trace_dropped(), executed - 4);
+        let trace = m.take_trace();
+        assert_eq!(trace.len(), 4);
+        // The final entry is the exit syscall.
+        assert_eq!(trace[3].instr, Instr::Sys(sys::EXIT));
+        // And the entries are the last four in execution order.
+        assert_eq!(trace[2].instr, Instr::Mov { dst: Reg::R0, src: Reg::R1 });
     }
 
     #[test]

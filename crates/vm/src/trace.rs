@@ -40,6 +40,33 @@ pub struct ExecStats {
     pub tlb_misses: u64,
 }
 
+impl ExecStats {
+    /// A multi-line rendering that *does* include the cache counters —
+    /// the diagnostic companion to [`Display`](fmt::Display), for
+    /// benchmark output and interactive inspection. Never use this in
+    /// a deterministic report body: the cache numbers vary with the
+    /// fast-path switch.
+    pub fn verbose(&self) -> String {
+        let rate = |hits: u64, misses: u64| {
+            let total = hits + misses;
+            if total == 0 {
+                "n/a".to_string()
+            } else {
+                format!("{:.1}%", hits as f64 * 100.0 / total as f64)
+            }
+        };
+        format!(
+            "{self}\n  icache: {} hits, {} misses ({} hit rate)\n  tlb: {} hits, {} misses ({} hit rate)",
+            self.icache_hits,
+            self.icache_misses,
+            rate(self.icache_hits, self.icache_misses),
+            self.tlb_hits,
+            self.tlb_misses,
+            rate(self.tlb_hits, self.tlb_misses),
+        )
+    }
+}
+
 impl fmt::Display for ExecStats {
     // The cache counters are intentionally absent: this rendering
     // feeds deterministic experiment reports (see struct docs).
@@ -68,6 +95,93 @@ impl fmt::Display for TraceEntry {
     }
 }
 
+/// Default capacity of a machine's trace ring, in entries.
+pub const DEFAULT_TRACE_CAPACITY: usize = 64 * 1024;
+
+/// A bounded ring buffer of [`TraceEntry`] values.
+///
+/// Tracing used to accumulate into an unbounded `Vec`, which meant a
+/// long campaign run with tracing enabled could exhaust memory. The
+/// ring keeps the **most recent** `capacity` entries — the ones that
+/// show where an attack actually ended up — and counts how many older
+/// entries were overwritten.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TraceEntry>,
+    capacity: usize,
+    /// Oldest entry's index once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::new()
+    }
+}
+
+impl TraceRing {
+    /// A ring with the default capacity.
+    pub fn new() -> TraceRing {
+        TraceRing::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A ring holding at most `capacity` entries (min 1). Storage is
+    /// allocated lazily as entries arrive.
+    pub fn with_capacity(capacity: usize) -> TraceRing {
+        TraceRing {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an entry, overwriting the oldest if the ring is full.
+    #[inline]
+    pub fn push(&mut self, entry: TraceEntry) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(entry);
+        } else {
+            self.buf[self.head] = entry;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of entries the ring will hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many entries have been overwritten since the last take.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns the surviving entries oldest-first,
+    /// resetting the ring.
+    pub fn take(&mut self) -> Vec<TraceEntry> {
+        let mut out = std::mem::take(&mut self.buf);
+        if self.dropped > 0 {
+            out.rotate_left(self.head);
+        }
+        self.head = 0;
+        self.dropped = 0;
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +200,63 @@ mod tests {
             instr: Instr::Push(Reg::Bp),
         };
         assert_eq!(entry.to_string(), "0x080483f2: push bp");
+    }
+
+    #[test]
+    fn verbose_includes_cache_counters_display_does_not() {
+        let stats = ExecStats {
+            instructions: 10,
+            icache_hits: 7,
+            icache_misses: 3,
+            tlb_hits: 1,
+            tlb_misses: 1,
+            ..ExecStats::default()
+        };
+        let plain = stats.to_string();
+        assert!(!plain.contains("icache"));
+        let verbose = stats.verbose();
+        assert!(verbose.starts_with(&plain));
+        assert!(verbose.contains("icache: 7 hits, 3 misses (70.0% hit rate)"));
+        assert!(verbose.contains("tlb: 1 hits, 1 misses (50.0% hit rate)"));
+        // Empty stats render rates as n/a, not a division by zero.
+        assert!(ExecStats::default().verbose().contains("n/a"));
+    }
+
+    fn entry(ip: u32) -> TraceEntry {
+        TraceEntry {
+            ip,
+            instr: Instr::Nop,
+        }
+    }
+
+    #[test]
+    fn trace_ring_bounds_memory_and_keeps_newest() {
+        let mut ring = TraceRing::with_capacity(3);
+        assert_eq!(ring.capacity(), 3);
+        for ip in 0..5 {
+            ring.push(entry(ip));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let entries = ring.take();
+        assert_eq!(
+            entries.iter().map(|e| e.ip).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        // Taking resets the ring.
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+        ring.push(entry(9));
+        assert_eq!(ring.take().len(), 1);
+    }
+
+    #[test]
+    fn trace_ring_below_capacity_is_in_order() {
+        let mut ring = TraceRing::new();
+        assert_eq!(ring.capacity(), DEFAULT_TRACE_CAPACITY);
+        ring.push(entry(1));
+        ring.push(entry(2));
+        let entries = ring.take();
+        assert_eq!(entries.iter().map(|e| e.ip).collect::<Vec<_>>(), vec![1, 2]);
     }
 }

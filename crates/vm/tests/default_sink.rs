@@ -1,0 +1,61 @@
+//! The process-wide default event sink: machines created while one is
+//! installed attach it automatically.
+//!
+//! This lives in its own integration-test binary because the default
+//! sink is process-global state — sharing a process with the unit
+//! tests would make both flaky.
+
+use std::sync::Arc;
+
+use swsec_obs::{clear_default_sink, set_default_sink, CountingSink};
+use swsec_vm::cpu::{Machine, RunOutcome};
+use swsec_vm::isa::{sys, Instr, Reg};
+use swsec_vm::mem::Perm;
+
+fn run_program() -> Machine {
+    let prog = [
+        Instr::Call(0x1000 + 13),
+        Instr::MovI {
+            dst: Reg::R0,
+            imm: 0,
+        },
+        Instr::Sys(sys::EXIT),
+        Instr::Ret,
+    ];
+    let mut code = Vec::new();
+    for i in &prog {
+        i.encode(&mut code);
+    }
+    let mut m = Machine::new();
+    m.mem_mut().map(0x1000, 0x1000, Perm::RX).unwrap();
+    m.mem_mut()
+        .map(0xbfff_0000u32.wrapping_sub(0x4000), 0x4000, Perm::RW)
+        .unwrap();
+    m.mem_mut().poke_bytes(0x1000, &code).unwrap();
+    m.set_reg(Reg::Sp, 0xbfff_0000);
+    m.set_ip(0x1000);
+    assert_eq!(m.run(100), RunOutcome::Halted(0));
+    m
+}
+
+#[test]
+fn default_sink_attaches_to_new_machines() {
+    let counter = Arc::new(CountingSink::new());
+    assert!(set_default_sink(counter.clone()).is_none());
+
+    let m = run_program();
+    assert!(m.has_event_sink());
+    drop(m);
+
+    let taken = clear_default_sink();
+    assert!(taken.is_some());
+    let c = counter.counts();
+    assert_eq!(c.control, 2, "{c:?}"); // one call, one ret
+    assert_eq!(c.syscall, 1);
+
+    // Machines created after the sink is cleared see nothing.
+    let m = run_program();
+    assert!(!m.has_event_sink());
+    drop(m);
+    assert_eq!(counter.counts(), c);
+}

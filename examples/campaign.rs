@@ -1,17 +1,37 @@
 //! Runs the full E1–E15 suite through the parallel campaign runner.
 //!
 //! ```sh
-//! cargo run --release --example campaign -- [--workers N] [--seed S] [--quick]
+//! cargo run --release --example campaign -- \
+//!     [--workers N] [--seed S] [--quick] [--progress] \
+//!     [--telemetry out.jsonl] [--render-only]
 //! ```
 //!
 //! Prints every experiment's report (byte-identical for any worker
-//! count) followed by the run summary: per-experiment busy time, the
-//! compile-cache counters, and the wall clock.
+//! count, with or without telemetry) followed by the run summary:
+//! per-experiment busy time, the compile-cache counters, and the wall
+//! clock. `--render-only` suppresses the summary, leaving exactly the
+//! deterministic bytes on stdout.
+//!
+//! With `--telemetry PATH`, the run also streams a schema-v1 JSONL
+//! dump to `PATH`: meta lines describing the run, one event line per
+//! security event any machine in the campaign raised (faults, canary
+//! trips, PMA violations, guard checks), and the final metric lines
+//! (campaign counters, per-cell time histogram). `--progress` prints a
+//! live per-cell progress line to stderr.
 
-use swsec::campaign::{run_campaign, CampaignConfig};
+use std::fs::File;
+use std::io::BufWriter;
+use std::sync::Arc;
+
+use swsec::campaign::{run_campaign_with, CampaignConfig, CampaignTelemetry};
+use swsec_obs::jsonl::meta_line;
+use swsec_obs::{clear_default_sink, set_default_sink, EventMask, JsonlSink, MetricsRegistry};
 
 fn main() {
     let mut cfg = CampaignConfig::default();
+    let mut telemetry_path: Option<String> = None;
+    let mut progress = false;
+    let mut render_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,15 +56,70 @@ fn main() {
                     ..CampaignConfig::quick()
                 };
             }
+            "--telemetry" => {
+                telemetry_path = Some(args.next().expect("--telemetry takes a path"));
+            }
+            "--progress" => progress = true,
+            "--render-only" => render_only = true,
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: campaign [--workers N] [--seed S] [--quick]");
+                eprintln!(
+                    "usage: campaign [--workers N] [--seed S] [--quick] [--progress] \
+                     [--telemetry out.jsonl] [--render-only]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let report = run_campaign(&cfg);
+    // Security events only: control transfers and syscalls at campaign
+    // scale would dwarf the interesting lines.
+    let security = EventMask::FAULT
+        .union(EventMask::CANARY)
+        .union(EventMask::PMA)
+        .union(EventMask::GUARD);
+
+    let mut telemetry = CampaignTelemetry::none();
+    let mut sink = None;
+    if let Some(path) = telemetry_path.as_deref() {
+        let file = File::create(path)
+            .unwrap_or_else(|e| panic!("cannot create telemetry file {path}: {e}"));
+        let jsonl = Arc::new(JsonlSink::with_interests(
+            Box::new(BufWriter::new(file)),
+            security,
+        ));
+        jsonl.write_line(&meta_line("source", "examples/campaign"));
+        jsonl.write_line(&meta_line("master_seed", &cfg.master_seed.to_string()));
+        set_default_sink(jsonl.clone());
+        let registry = Arc::new(MetricsRegistry::new());
+        telemetry.metrics = Some(registry.clone());
+        sink = Some((jsonl, registry));
+    }
+    if progress {
+        telemetry = telemetry.on_progress(|p| {
+            eprintln!(
+                "[{:>3}/{:>3}] {} cell {} ({:.1}ms)",
+                p.completed,
+                p.total,
+                p.experiment,
+                p.cell,
+                p.elapsed.as_secs_f64() * 1e3,
+            );
+        });
+    }
+
+    let report = run_campaign_with(&cfg, &telemetry);
+
+    if let Some((sink, registry)) = sink {
+        clear_default_sink();
+        for line in registry.export_jsonl() {
+            sink.write_line(&line);
+        }
+        sink.flush();
+    }
+
     print!("{}", report.render());
-    println!("{}", report.summary());
+    if !render_only {
+        println!("{}", report.summary());
+    }
 }

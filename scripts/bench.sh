@@ -11,6 +11,12 @@
 # (tight-loop, call-heavy, memory-heavy, PMA-crossing) with the
 # decoded-instruction cache + TLBs enabled vs disabled, plus campaign
 # wall time, and fails if the tight-loop speedup drops below 5x.
+#
+# It also re-times the tight loop with event sinks attached (the
+# telemetry overhead guard): an attached sink with no interests must
+# cost within 3% of running with no sink at all, or the full run
+# fails. The measured overheads land in BENCH_vm.json under
+# "telemetry".
 set -eu
 cd "$(dirname "$0")/.."
 

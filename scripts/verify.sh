@@ -8,7 +8,10 @@
 #   1. tier-1: release build + the root test suite (ROADMAP.md);
 #   2. the full workspace test suite;
 #   3. clippy over every target, warnings denied;
-#   4. the VM benchmark harness in --smoke mode (scripts/bench.sh).
+#   4. the VM benchmark harness in --smoke mode (scripts/bench.sh);
+#   5. telemetry smoke: a quick campaign with the JSONL sink attached,
+#      validated line-by-line by telcheck, and a render byte-identity
+#      check against a sink-less run.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,5 +29,22 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> vmbench smoke"
 sh scripts/bench.sh --smoke
+
+echo "==> telemetry smoke"
+cargo build -q --release --offline --example campaign
+cargo build -q --release --offline -p swsec-obs --bin telcheck
+TELDIR="target/telemetry-smoke"
+mkdir -p "$TELDIR"
+target/release/examples/campaign --quick --render-only \
+    --telemetry "$TELDIR/campaign.jsonl" > "$TELDIR/render_with_sink.txt"
+target/release/examples/campaign --quick --render-only \
+    > "$TELDIR/render_no_sink.txt"
+cmp "$TELDIR/render_with_sink.txt" "$TELDIR/render_no_sink.txt" || {
+    echo "verify: render differs with telemetry sink attached" >&2
+    exit 1
+}
+target/release/telcheck "$TELDIR/campaign.jsonl" \
+    --require pma_violation --require canary_trip \
+    --require metric --require meta
 
 echo "verify: all checks passed"

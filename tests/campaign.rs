@@ -1,10 +1,18 @@
 //! Campaign API contract: the registry is complete, reports are
-//! byte-identical at any worker count, and the compile cache means a
-//! repeated grid costs zero compiles.
+//! byte-identical at any worker count (and with or without event
+//! sinks attached), and the compile cache means a repeated grid costs
+//! zero compiles.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
 
 use swsec::campaign::{run_campaign, CampaignConfig, CampaignCtx};
 use swsec::experiments::registry;
 use swsec::report::ExperimentId;
+use swsec_obs::jsonl::parse_line;
+use swsec_obs::{
+    clear_default_sink, set_default_sink, EventMask, JsonlSink, Record, SecurityEvent,
+};
 
 /// A small-but-real slice of the suite: two grids (E3, E14) plus two
 /// single-shot experiments, so the determinism check exercises the
@@ -116,4 +124,64 @@ fn vm_caches_do_not_change_a_single_render_byte() {
     swsec_vm::cpu::set_default_fast_path(true);
 
     assert_eq!(cached, uncached, "caches must be semantically invisible");
+}
+
+/// A `Write` handle into a shared buffer, so the test can read what
+/// the JSONL sink wrote after dropping the sink.
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn event_sinks_change_no_render_byte_and_jsonl_captures_attacks() {
+    // The observability acceptance test, in one process pass: run the
+    // full quick suite with no sink, then again with a JSONL event
+    // sink installed as the process default. The rendered reports must
+    // be byte-identical, and the telemetry dump must parse line by
+    // line and contain the attack experiments' canary trips and PMA
+    // violations.
+    let cfg = CampaignConfig::quick();
+    let baseline = run_campaign(&cfg).render();
+
+    let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    let security = EventMask::FAULT
+        .union(EventMask::CANARY)
+        .union(EventMask::PMA)
+        .union(EventMask::GUARD);
+    let sink = Arc::new(JsonlSink::with_interests(
+        Box::new(SharedBuf(buf.clone())),
+        security,
+    ));
+    set_default_sink(sink.clone());
+    let observed = run_campaign(&cfg).render();
+    clear_default_sink();
+    sink.flush();
+
+    assert_eq!(
+        observed, baseline,
+        "attaching an event sink must not change a single render byte"
+    );
+
+    let bytes = buf.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("telemetry is UTF-8");
+    let (mut canary_trips, mut pma_violations, mut lines) = (0u64, 0u64, 0u64);
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        lines += 1;
+        match parse_line(line).unwrap_or_else(|e| panic!("bad telemetry line {line:?}: {e}")) {
+            Record::Event(SecurityEvent::CanaryTrip { .. }) => canary_trips += 1,
+            Record::Event(SecurityEvent::PmaViolation { .. }) => pma_violations += 1,
+            _ => {}
+        }
+    }
+    assert!(lines > 0, "the quick campaign must emit telemetry");
+    assert!(canary_trips >= 1, "no CanaryTrip event in the dump");
+    assert!(pma_violations >= 1, "no PmaViolation event in the dump");
 }
