@@ -1,8 +1,10 @@
 //! The campaign runner: every experiment, one pass, any number of
-//! workers, byte-identical output.
+//! workers, byte-identical output — and fault-tolerant: a panicking,
+//! stalling or flaky cell is contained, retried and reported, never
+//! allowed to hang the pool or poison its locks.
 //!
 //! A *campaign* executes a selected set of [`Experiment`]s — by default
-//! the full E1–E15 suite — by decomposing each into its independent
+//! the full E1–E16 suite — by decomposing each into its independent
 //! cells (the E3 matrix runs one cell per technique × configuration
 //! pair, the E4 sweep one per brute-force campaign, …) and draining
 //! the cell pool on a work-stealing thread pool.
@@ -16,24 +18,75 @@
 //! * cell outputs land in pre-assigned slots and are assembled in
 //!   experiment/cell order;
 //! * [`CampaignReport::render`] is a pure function of the assembled
-//!   [`Report`]s — wall-clock timings, worker count and cache counters
-//!   are reported separately via [`CampaignReport::summary`].
+//!   [`Report`]s and the typed cell outcomes — wall-clock timings,
+//!   worker count and cache counters are reported separately via
+//!   [`CampaignReport::summary`].
 //!
 //! Hence `render()` is byte-identical for any worker count, which
 //! `tests/campaign.rs` asserts for 1, 4 and 8 workers.
+//!
+//! ## The failure model
+//!
+//! Each cell attempt runs on its own watchdogged thread:
+//!
+//! * a **panic** is caught (`catch_unwind`) and recorded;
+//! * a cell that exceeds [`CampaignConfig::cell_deadline`] is
+//!   abandoned (the attempt thread is detached and leaked — the
+//!   campaign cannot cancel arbitrary code, only stop waiting for it)
+//!   and recorded as timed out;
+//! * each failed cell is retried up to
+//!   [`CampaignConfig::cell_retries`] times with the *same* derived
+//!   seed, so a retry can only change the result for cells that are
+//!   impure by design (the fault-demo flaky cell) or flaky by
+//!   accident — which is exactly what the `Retried` outcome flags.
+//!
+//! Outcomes surface three ways: typed [`CellRecord`]s on the report
+//! (with a rendered "failed cells" table — present only when something
+//! failed, so healthy renders are unchanged), a
+//! [`SecurityEvent::CellFailed`] event per failed cell on the process
+//! default sink, and `campaign.cells_failed` / `campaign.cells_retried`
+//! counters via [`CampaignReport::absorb_into`]. Experiments with
+//! failed cells get a deterministic placeholder report instead of
+//! feeding partial data to `assemble`.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use swsec_obs::MetricsRegistry;
+use swsec_obs::{default_sink, MetricsRegistry, SecurityEvent};
 use swsec_rng::derive;
 use swsec_vm::counters::{self, VmCounters};
 
 use crate::cache::{CacheStats, ProgramCache};
 use crate::experiments::{registry, Experiment};
 use crate::report::{ExperimentId, Report, Table};
+
+/// Locks a mutex, recovering the guard even if a previous holder
+/// panicked. Every lock in the runner protects plain data whose
+/// invariants hold between operations (a deque of tasks, an `Option`
+/// slot), so a poisoned lock carries no torn state — propagating the
+/// poison would only turn one contained cell panic into a cascade that
+/// takes down every worker behind it.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Serializes the VM-counter snapshot windows of concurrent campaigns.
+///
+/// `swsec_vm::counters` is process-global and delta-based: a campaign
+/// reads a snapshot, runs, reads again and reports the difference. Two
+/// campaigns with *overlapping* windows would each absorb the other's
+/// instructions — every shared instruction counted twice across their
+/// reports. Holding this lock across the window makes the windows
+/// disjoint, so the sum of concurrent campaigns' deltas never exceeds
+/// the true process total. (Cells leaked by the deadline watchdog can
+/// still retire instructions into a later window; that is inherent to
+/// abandoning running code and only ever *moves* counts, never
+/// duplicates them.) Poison-tolerant like every runner lock.
+static VM_STAT_GUARD: Mutex<()> = Mutex::new(());
 
 /// Everything a campaign run depends on. One master seed drives every
 /// stochastic driver in the suite.
@@ -51,6 +104,15 @@ pub struct CampaignConfig {
     pub oracle_budget: u32,
     /// Experiments to run; empty means the full registry.
     pub experiments: Vec<ExperimentId>,
+    /// Wall-clock budget for one cell attempt; an attempt that exceeds
+    /// it is abandoned and the cell recorded
+    /// [`CellOutcome::TimedOut`]. Generous by default — the deadline
+    /// exists to keep a diverging cell from hanging the campaign, not
+    /// to race healthy ones.
+    pub cell_deadline: Duration,
+    /// How many times a failed cell is re-attempted (same seed) before
+    /// its failure is recorded. `0` disables retry.
+    pub cell_retries: u32,
 }
 
 impl Default for CampaignConfig {
@@ -62,6 +124,8 @@ impl Default for CampaignConfig {
             aslr_trials: 6,
             oracle_budget: 2048,
             experiments: Vec::new(),
+            cell_deadline: Duration::from_secs(120),
+            cell_retries: 1,
         }
     }
 }
@@ -109,6 +173,56 @@ impl CampaignCtx {
     }
 }
 
+/// How one cell ended, after containment and retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// The first attempt produced the cell's tables.
+    Ok,
+    /// A later attempt succeeded after `n` failed ones. The result is
+    /// used normally; the outcome flags the cell as flaky.
+    Retried {
+        /// How many attempts failed before the one that succeeded.
+        n: u32,
+    },
+    /// Every attempt panicked; `msg` is the last panic payload.
+    Panicked {
+        /// The panic message (or a placeholder for non-string payloads).
+        msg: String,
+    },
+    /// Every attempt outlived [`CampaignConfig::cell_deadline`] and
+    /// was abandoned.
+    TimedOut,
+}
+
+impl CellOutcome {
+    /// Whether the cell ultimately produced a result.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok | CellOutcome::Retried { .. })
+    }
+
+    /// A deterministic one-line description, used in rendered tables.
+    pub fn label(&self) -> String {
+        match self {
+            CellOutcome::Ok => "ok".to_string(),
+            CellOutcome::Retried { n } => format!("ok after {n} failed attempt(s)"),
+            CellOutcome::Panicked { msg } => format!("panicked: {msg}"),
+            CellOutcome::TimedOut => "timed out".to_string(),
+        }
+    }
+}
+
+/// The typed outcome of one cell, in slot (experiment-major) order on
+/// [`CampaignReport::cells`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRecord {
+    /// The experiment the cell belongs to.
+    pub experiment: ExperimentId,
+    /// The cell index within that experiment.
+    pub cell: usize,
+    /// How the cell ended.
+    pub outcome: CellOutcome,
+}
+
 /// The boxed per-cell progress callback type held by
 /// [`CampaignTelemetry::progress`].
 pub type ProgressFn = Box<dyn Fn(&CellProgress) + Send + Sync>;
@@ -127,8 +241,10 @@ pub struct CellProgress {
     pub completed: usize,
     /// Total cells in the campaign.
     pub total: usize,
-    /// How long this cell took.
+    /// How long this cell took (including failed attempts).
     pub elapsed: Duration,
+    /// Whether the cell produced a result (see [`CellOutcome::is_ok`]).
+    pub ok: bool,
 }
 
 /// Optional observability hooks for a campaign run, kept apart from
@@ -140,7 +256,8 @@ pub struct CellProgress {
 pub struct CampaignTelemetry {
     /// Called once per finished cell, from the worker that ran it.
     /// Callbacks run concurrently, so the callee synchronises its own
-    /// state (printing a progress line needs nothing extra).
+    /// state (printing a progress line needs nothing extra). A panic
+    /// in the callback is contained like a cell panic.
     pub progress: Option<ProgressFn>,
     /// Registry absorbing the run's counters and per-cell time
     /// histogram when the campaign finishes (see
@@ -207,8 +324,16 @@ pub struct ExperimentTiming {
 /// non-deterministic run metadata, kept strictly apart.
 #[derive(Debug)]
 pub struct CampaignReport {
-    /// One report per selected experiment, in presentation order.
+    /// One report per selected experiment, in presentation order. An
+    /// experiment with failed cells gets a deterministic placeholder
+    /// report (its `assemble` is never fed partial data).
     pub reports: Vec<Report>,
+    /// The typed outcome of every cell, in slot (experiment-major)
+    /// order.
+    pub cells: Vec<CellRecord>,
+    /// Experiments whose `assemble` itself panicked (contained like a
+    /// cell panic), with the panic message.
+    pub assemble_panics: Vec<(ExperimentId, String)>,
     /// Per-experiment busy time (excluded from [`render`](Self::render)).
     pub timings: Vec<ExperimentTiming>,
     /// Per-cell busy time, in slot (experiment-major) order. Like every
@@ -220,6 +345,8 @@ pub struct CampaignReport {
     /// every machine the campaign's cells dropped. Process-global
     /// deltas: concurrent VM activity outside the campaign leaks in,
     /// so this is run metadata, never part of [`render`](Self::render).
+    /// Concurrent *campaigns* are serialized (see `VM_STAT_GUARD`) so
+    /// their deltas never double-count each other.
     pub vm: VmCounters,
     /// Worker threads actually used.
     pub workers: usize,
@@ -228,12 +355,48 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
+    /// The cells that failed (after retries), in slot order.
+    pub fn failed_cells(&self) -> Vec<&CellRecord> {
+        self.cells.iter().filter(|c| !c.outcome.is_ok()).collect()
+    }
+
+    /// Whether every cell produced a result and every `assemble` ran.
+    pub fn all_ok(&self) -> bool {
+        self.assemble_panics.is_empty() && self.cells.iter().all(|c| c.outcome.is_ok())
+    }
+
+    /// The failed-cells table (empty when [`all_ok`](Self::all_ok)).
+    pub fn failed_table(&self) -> Table {
+        let mut t = Table::new("failed cells", &["experiment", "cell", "outcome"]);
+        for rec in self.failed_cells() {
+            t.row(vec![
+                rec.experiment.to_string(),
+                rec.cell.to_string(),
+                rec.outcome.label(),
+            ]);
+        }
+        for (id, msg) in &self.assemble_panics {
+            t.row(vec![
+                id.to_string(),
+                "assemble".to_string(),
+                format!("panicked: {msg}"),
+            ]);
+        }
+        t
+    }
+
     /// Renders every report, deterministically: a pure function of the
     /// structured results, independent of worker count and timing.
+    /// When any cell failed, a "failed cells" table follows the
+    /// reports; healthy campaigns render exactly as before.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in &self.reports {
             out.push_str(&r.render());
+            out.push('\n');
+        }
+        if !self.all_ok() {
+            out.push_str(&self.failed_table().to_string());
             out.push('\n');
         }
         out
@@ -249,10 +412,12 @@ impl CampaignReport {
         };
         let mut t = Table::new(
             format!(
-                "campaign: {} workers, {:.2}s wall, cache {} hits / {} misses / {} parses, \
+                "campaign: {} workers, {:.2}s wall, {} failed cells, \
+                 cache {} hits / {} misses / {} parses, \
                  vm {} instr, icache {} hit, tlb {} hit",
                 self.workers,
                 self.elapsed.as_secs_f64(),
+                self.failed_cells().len(),
                 self.cache.hits,
                 self.cache.misses,
                 self.cache.parses,
@@ -275,6 +440,7 @@ impl CampaignReport {
     /// Folds the run's metadata into a metrics registry:
     ///
     /// * counters `campaign.runs`, `campaign.cells`, `campaign.workers`,
+    ///   `campaign.cells_failed`, `campaign.cells_retried`,
     ///   `cache.hits` / `cache.misses` / `cache.parses`, and
     ///   `vm.instructions` / `vm.icache.hits` / `vm.icache.misses` /
     ///   `vm.tlb.hits` / `vm.tlb.misses`;
@@ -286,6 +452,14 @@ impl CampaignReport {
         registry.counter("campaign.runs", 1);
         registry.counter("campaign.cells", self.cell_timings.len() as u64);
         registry.counter("campaign.workers", self.workers as u64);
+        registry.counter("campaign.cells_failed", self.failed_cells().len() as u64);
+        registry.counter(
+            "campaign.cells_retried",
+            self.cells
+                .iter()
+                .filter(|c| matches!(c.outcome, CellOutcome::Retried { .. }))
+                .count() as u64,
+        );
         registry.counter("cache.hits", self.cache.hits);
         registry.counter("cache.misses", self.cache.misses);
         registry.counter("cache.parses", self.cache.parses);
@@ -308,6 +482,111 @@ struct Task {
     slot: usize,
 }
 
+/// What lands in a result slot once its cell resolves.
+#[derive(Debug)]
+struct SlotResult {
+    /// The cell's tables when it (eventually) succeeded.
+    tables: Option<Vec<Table>>,
+    outcome: CellOutcome,
+}
+
+/// One attempt's resolution, as seen by the watchdog.
+enum Attempt {
+    Ok(Vec<Table>),
+    Panicked(String),
+    TimedOut,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one cell attempt on a dedicated thread, under a deadline.
+///
+/// The attempt thread is detached: on success or panic it is joined
+/// (it has already sent its result); on deadline it is *leaked* — the
+/// runner cannot cancel arbitrary code, only stop waiting for it. A
+/// scoped thread would force the opposite choice: the scope's implicit
+/// join would block on the diverging cell forever.
+fn run_attempt(
+    cfg: &Arc<CampaignConfig>,
+    ctx: &Arc<CampaignCtx>,
+    exp: &'static dyn Experiment,
+    cell: usize,
+) -> Attempt {
+    let (tx, rx) = channel();
+    let cfg2 = Arc::clone(cfg);
+    let ctx2 = Arc::clone(ctx);
+    let spawned = std::thread::Builder::new()
+        .name(format!("cell-{}-{cell}", exp.id()))
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| exp.run_cell(&cfg2, &ctx2, cell)));
+            // The receiver may have given up on us (deadline): a failed
+            // send is then the expected way for this thread to retire.
+            let _ = tx.send(result.map_err(panic_message));
+        });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => return Attempt::Panicked(format!("could not spawn cell thread: {e}")),
+    };
+    match rx.recv_timeout(cfg.cell_deadline) {
+        Ok(Ok(tables)) => {
+            let _ = handle.join();
+            Attempt::Ok(tables)
+        }
+        Ok(Err(msg)) => {
+            let _ = handle.join();
+            Attempt::Panicked(msg)
+        }
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Attempt::TimedOut,
+    }
+}
+
+/// Resolves one cell: bounded retry around [`run_attempt`].
+fn run_cell_resolved(
+    cfg: &Arc<CampaignConfig>,
+    ctx: &Arc<CampaignCtx>,
+    exp: &'static dyn Experiment,
+    cell: usize,
+) -> SlotResult {
+    let mut failed_attempts = 0u32;
+    loop {
+        let give_up = failed_attempts >= cfg.cell_retries;
+        match run_attempt(cfg, ctx, exp, cell) {
+            Attempt::Ok(tables) => {
+                let outcome = if failed_attempts == 0 {
+                    CellOutcome::Ok
+                } else {
+                    CellOutcome::Retried { n: failed_attempts }
+                };
+                return SlotResult {
+                    tables: Some(tables),
+                    outcome,
+                };
+            }
+            Attempt::Panicked(msg) if give_up => {
+                return SlotResult {
+                    tables: None,
+                    outcome: CellOutcome::Panicked { msg },
+                };
+            }
+            Attempt::TimedOut if give_up => {
+                return SlotResult {
+                    tables: None,
+                    outcome: CellOutcome::TimedOut,
+                };
+            }
+            Attempt::Panicked(_) | Attempt::TimedOut => failed_attempts += 1,
+        }
+    }
+}
+
 /// Runs the selected experiments across a work-stealing pool and
 /// assembles their reports.
 ///
@@ -326,10 +605,26 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
 /// per-cell timing histogram. The hooks observe the run without
 /// influencing it — the rendered reports stay byte-identical.
 pub fn run_campaign_with(cfg: &CampaignConfig, telemetry: &CampaignTelemetry) -> CampaignReport {
+    run_campaign_on(cfg, &cfg.selected(), telemetry)
+}
+
+/// [`run_campaign_with`] over an explicit experiment list instead of
+/// the registry selection — how test-only experiments (e.g. the
+/// fault demo, [`crate::faults::FaultyExperiment`]) enter a campaign.
+/// `cfg.experiments` is ignored; everything else applies as usual.
+pub fn run_campaign_on(
+    cfg: &CampaignConfig,
+    exps: &[&'static dyn Experiment],
+    telemetry: &CampaignTelemetry,
+) -> CampaignReport {
     let started = Instant::now();
+    // Serialize concurrent campaigns' snapshot windows (see
+    // VM_STAT_GUARD): delta-based process-global counters double-count
+    // under overlapping windows.
+    let _vm_window = lock_unpoisoned(&VM_STAT_GUARD);
     let vm_before = counters::snapshot();
-    let exps = cfg.selected();
-    let ctx = CampaignCtx::new();
+    let shared_cfg = Arc::new(cfg.clone());
+    let ctx = Arc::new(CampaignCtx::new());
 
     // Lay out one result slot per cell, experiment-major.
     let cell_counts: Vec<usize> = exps.iter().map(|e| e.cells(cfg).max(1)).collect();
@@ -355,16 +650,15 @@ pub fn run_campaign_with(cfg: &CampaignConfig, telemetry: &CampaignTelemetry) ->
     let queues: Vec<Mutex<VecDeque<Task>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, task) in tasks.into_iter().enumerate() {
-        queues[i % workers].lock().expect("queue lock").push_back(task);
+        lock_unpoisoned(&queues[i % workers]).push_back(task);
     }
 
-    let slots: Vec<Mutex<Option<Vec<Table>>>> =
+    let slots: Vec<Mutex<Option<SlotResult>>> =
         (0..total_slots).map(|_| Mutex::new(None)).collect();
     let busy_nanos: Vec<AtomicU64> = (0..exps.len()).map(|_| AtomicU64::new(0)).collect();
     let cell_nanos: Vec<AtomicU64> = (0..total_slots).map(|_| AtomicU64::new(0)).collect();
     let completed = AtomicUsize::new(0);
 
-    let ctx = &ctx;
     std::thread::scope(|scope| {
         for me in 0..workers {
             let queues = &queues;
@@ -372,38 +666,49 @@ pub fn run_campaign_with(cfg: &CampaignConfig, telemetry: &CampaignTelemetry) ->
             let busy_nanos = &busy_nanos;
             let cell_nanos = &cell_nanos;
             let completed = &completed;
-            let exps = &exps;
+            let shared_cfg = &shared_cfg;
+            let ctx = &ctx;
             scope.spawn(move || loop {
                 // Own deque first (front), then steal (back) — the
                 // classic discipline keeps stolen work coarse.
-                let task = queues[me]
-                    .lock()
-                    .expect("queue lock")
-                    .pop_front()
-                    .or_else(|| {
-                        (1..workers).find_map(|d| {
-                            queues[(me + d) % workers]
-                                .lock()
-                                .expect("queue lock")
-                                .pop_back()
-                        })
-                    });
+                let task = lock_unpoisoned(&queues[me]).pop_front().or_else(|| {
+                    (1..workers).find_map(|d| lock_unpoisoned(&queues[(me + d) % workers]).pop_back())
+                });
                 let Some(task) = task else { break };
+                let exp = exps[task.exp];
                 let cell_started = Instant::now();
-                let out = exps[task.exp].run_cell(cfg, ctx, task.cell);
+                let result = run_cell_resolved(shared_cfg, ctx, exp, task.cell);
                 let elapsed = cell_started.elapsed();
                 let nanos = elapsed.as_nanos() as u64;
                 busy_nanos[task.exp].fetch_add(nanos, Ordering::Relaxed);
                 cell_nanos[task.slot].store(nanos, Ordering::Relaxed);
-                *slots[task.slot].lock().expect("slot lock") = Some(out);
+                let ok = result.outcome.is_ok();
+                if !ok {
+                    // Surface the failure on the process default sink,
+                    // like any other security-relevant event: the
+                    // harness observing its own failure model.
+                    if let Some(sink) = default_sink() {
+                        let ev = SecurityEvent::CellFailed {
+                            experiment: exp.id().number(),
+                            cell: task.cell as u32,
+                        };
+                        if sink.interests().contains(ev.mask_bit()) {
+                            sink.record(&ev);
+                        }
+                    }
+                }
+                *lock_unpoisoned(&slots[task.slot]) = Some(result);
                 if let Some(progress) = telemetry.progress.as_ref() {
-                    progress(&CellProgress {
-                        experiment: exps[task.exp].id(),
+                    let p = CellProgress {
+                        experiment: exp.id(),
                         cell: task.cell,
                         completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
                         total: total_slots,
                         elapsed,
-                    });
+                        ok,
+                    };
+                    // A panicking observer must not take a worker down.
+                    let _ = catch_unwind(AssertUnwindSafe(|| progress(&p)));
                 }
             });
         }
@@ -411,30 +716,63 @@ pub fn run_campaign_with(cfg: &CampaignConfig, telemetry: &CampaignTelemetry) ->
 
     // Assemble in experiment order from the slot layout.
     let mut reports = Vec::with_capacity(exps.len());
+    let mut cells_records = Vec::with_capacity(total_slots);
+    let mut assemble_panics = Vec::new();
     let mut timings = Vec::with_capacity(exps.len());
     let mut cell_timings = Vec::with_capacity(total_slots);
     let mut base = 0usize;
     for (exp, &cells) in cell_counts.iter().enumerate() {
-        let outputs: Vec<Vec<Table>> = (0..cells)
-            .map(|cell| {
-                slots[base + cell]
-                    .lock()
-                    .expect("slot lock")
-                    .take()
-                    .expect("every cell ran")
-            })
-            .collect();
+        let id = exps[exp].id();
+        let mut outputs: Vec<Vec<Table>> = Vec::with_capacity(cells);
+        let mut failed: Vec<CellRecord> = Vec::new();
         for cell in 0..cells {
+            let result = lock_unpoisoned(&slots[base + cell])
+                .take()
+                .unwrap_or(SlotResult {
+                    tables: None,
+                    // Unreachable in practice (workers drain every
+                    // queue), but a lost slot must degrade to a failed
+                    // cell, not a harness panic.
+                    outcome: CellOutcome::Panicked {
+                        msg: "cell result missing (worker lost)".to_string(),
+                    },
+                });
+            let record = CellRecord {
+                experiment: id,
+                cell,
+                outcome: result.outcome,
+            };
+            if let Some(tables) = result.tables {
+                outputs.push(tables);
+            } else {
+                failed.push(record.clone());
+            }
+            cells_records.push(record);
             cell_timings.push(CellTiming {
-                experiment: exps[exp].id(),
+                experiment: id,
                 cell,
                 elapsed: Duration::from_nanos(cell_nanos[base + cell].load(Ordering::Relaxed)),
             });
         }
         base += cells;
-        reports.push(exps[exp].assemble(cfg, outputs));
+        // An experiment missing any cell gets a deterministic
+        // placeholder: `assemble` is written against the full cell
+        // layout and must never see partial data.
+        let report = if failed.is_empty() {
+            match catch_unwind(AssertUnwindSafe(|| exps[exp].assemble(cfg, outputs))) {
+                Ok(report) => report,
+                Err(payload) => {
+                    let msg = panic_message(payload);
+                    assemble_panics.push((id, msg.clone()));
+                    placeholder_report(id, exps[exp].title(), &[], Some(&msg))
+                }
+            }
+        } else {
+            placeholder_report(id, exps[exp].title(), &failed, None)
+        };
+        reports.push(report);
         timings.push(ExperimentTiming {
-            id: exps[exp].id(),
+            id,
             cells,
             busy: Duration::from_nanos(busy_nanos[exp].load(Ordering::Relaxed)),
         });
@@ -442,6 +780,8 @@ pub fn run_campaign_with(cfg: &CampaignConfig, telemetry: &CampaignTelemetry) ->
 
     let report = CampaignReport {
         reports,
+        cells: cells_records,
+        assemble_panics,
         timings,
         cell_timings,
         cache: ctx.cache.stats(),
@@ -455,15 +795,47 @@ pub fn run_campaign_with(cfg: &CampaignConfig, telemetry: &CampaignTelemetry) ->
     report
 }
 
+/// The deterministic stand-in report for an experiment whose cells (or
+/// `assemble`) failed.
+fn placeholder_report(
+    id: ExperimentId,
+    title: &str,
+    failed: &[CellRecord],
+    assemble_msg: Option<&str>,
+) -> Report {
+    let mut report = Report::new(id, title);
+    let mut t = Table::new("results unavailable", &["cell", "outcome"]);
+    for rec in failed {
+        t.row(vec![rec.cell.to_string(), rec.outcome.label()]);
+    }
+    if let Some(msg) = assemble_msg {
+        t.row(vec!["assemble".to_string(), format!("panicked: {msg}")]);
+    }
+    report.tables.push(t);
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultyExperiment;
 
     fn tiny() -> CampaignConfig {
         // E10 + E12 are fast, deterministic, and exercise two cells'
         // worth of scheduling.
         CampaignConfig {
             experiments: vec![ExperimentId::new(10), ExperimentId::new(12)],
+            ..CampaignConfig::quick()
+        }
+    }
+
+    /// A config whose deadline trips the fault demo's stall cell
+    /// quickly while leaving healthy cells untouched.
+    fn faulty_cfg(workers: usize) -> CampaignConfig {
+        CampaignConfig {
+            workers,
+            cell_deadline: Duration::from_millis(250),
+            cell_retries: 1,
             ..CampaignConfig::quick()
         }
     }
@@ -518,6 +890,7 @@ mod tests {
                 let seen = seen.clone();
                 move |p| {
                     assert!(p.completed >= 1 && p.completed <= p.total);
+                    assert!(p.ok);
                     seen.fetch_add(1, Ordering::Relaxed);
                 }
             })
@@ -532,9 +905,14 @@ mod tests {
         assert_eq!(seen.load(Ordering::Relaxed), total);
         assert_eq!(report.cell_timings.len(), total);
 
+        // Every cell resolved Ok and nothing reads as failed.
+        assert!(report.all_ok());
+        assert!(report.failed_cells().is_empty());
+
         // The registry absorbed the run.
         assert_eq!(registry.counter_value("campaign.runs"), 1);
         assert_eq!(registry.counter_value("campaign.cells"), total as u64);
+        assert_eq!(registry.counter_value("campaign.cells_failed"), 0);
         assert!(registry.counter_value("vm.instructions") > 0);
         let h = registry.histogram("campaign.cell_micros").expect("histogram");
         assert_eq!(h.count(), total as u64);
@@ -557,6 +935,9 @@ mod tests {
             .map(|c| (c.experiment, c.cell))
             .collect();
         assert_eq!(got, expect);
+        // The outcome records follow the same layout.
+        let recs: Vec<_> = report.cells.iter().map(|c| (c.experiment, c.cell)).collect();
+        assert_eq!(recs, expect);
         // Per-experiment busy time is the sum of its cells (both sides
         // were computed from the same per-cell nanos).
         for t in &report.timings {
@@ -568,5 +949,122 @@ mod tests {
                 .sum();
             assert_eq!(sum, t.busy);
         }
+    }
+
+    #[test]
+    fn panicking_and_stalling_cells_are_contained_and_reported() {
+        let cfg = faulty_cfg(2);
+        let registry = Arc::new(MetricsRegistry::new());
+        let telemetry = CampaignTelemetry::none().with_metrics(registry.clone());
+        let report = run_campaign_on(&cfg, &[FaultyExperiment::fresh()], &telemetry);
+
+        // The campaign ran to completion and typed every outcome.
+        assert_eq!(report.cells.len(), 4);
+        let outcome = |cell: usize| &report.cells[cell].outcome;
+        assert!(
+            matches!(outcome(FaultyExperiment::PANIC_CELL),
+                     CellOutcome::Panicked { msg } if msg.contains("injected cell panic")),
+            "got {:?}",
+            outcome(FaultyExperiment::PANIC_CELL)
+        );
+        assert_eq!(*outcome(FaultyExperiment::STALL_CELL), CellOutcome::TimedOut);
+        assert_eq!(*outcome(FaultyExperiment::OK_CELL), CellOutcome::Ok);
+        assert_eq!(
+            *outcome(FaultyExperiment::FLAKY_CELL),
+            CellOutcome::Retried { n: 1 }
+        );
+
+        assert!(!report.all_ok());
+        assert_eq!(report.failed_cells().len(), 2);
+
+        // The render names the failures and the placeholder report.
+        let render = report.render();
+        assert!(render.contains("## failed cells"));
+        assert!(render.contains("injected cell panic"));
+        assert!(render.contains("timed out"));
+        assert!(render.contains("results unavailable"));
+
+        // The metrics registry saw the failure and retry counts.
+        assert_eq!(registry.counter_value("campaign.cells_failed"), 2);
+        assert_eq!(registry.counter_value("campaign.cells_retried"), 1);
+    }
+
+    #[test]
+    fn failure_renders_are_deterministic_across_worker_counts() {
+        // Fresh experiment instances per run: the flaky cell's attempt
+        // state restarts, so both runs see the same failure pattern.
+        let one = run_campaign_on(
+            &faulty_cfg(1),
+            &[FaultyExperiment::fresh()],
+            &CampaignTelemetry::none(),
+        );
+        let four = run_campaign_on(
+            &faulty_cfg(4),
+            &[FaultyExperiment::fresh()],
+            &CampaignTelemetry::none(),
+        );
+        assert_eq!(one.render(), four.render());
+        assert_eq!(one.cells, four.cells);
+    }
+
+    #[test]
+    fn cell_failures_reach_the_default_event_sink() {
+        use swsec_obs::{clear_default_sink, set_default_sink, CountingSink};
+
+        let sink = Arc::new(CountingSink::new());
+        let before = sink.counts().cell_failed;
+        set_default_sink(sink.clone());
+        let report = run_campaign_on(
+            &faulty_cfg(2),
+            &[FaultyExperiment::fresh()],
+            &CampaignTelemetry::none(),
+        );
+        clear_default_sink();
+        // Panic + timeout cells each emitted one CellFailed event.
+        // (`>=`: concurrent tests may run their own failing campaigns
+        // while our sink is installed.)
+        assert!(sink.counts().cell_failed >= before + 2);
+        assert_eq!(report.failed_cells().len(), 2);
+    }
+
+    #[test]
+    fn progress_callback_panics_are_contained() {
+        let cfg = tiny();
+        let telemetry = CampaignTelemetry::none().on_progress(|_| panic!("observer bug"));
+        // Must complete — and with every cell Ok, since only the
+        // observer (not any cell) panicked.
+        let report = run_campaign_with(&cfg, &telemetry);
+        assert!(report.all_ok());
+    }
+
+    #[test]
+    fn lock_unpoisoned_recovers_from_a_poisoning_panic() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        assert_eq!(*lock_unpoisoned(&m), 7);
+    }
+
+    #[test]
+    fn concurrent_campaigns_do_not_double_count_vm_deltas() {
+        // The snapshot windows serialize on VM_STAT_GUARD, so the two
+        // campaigns' deltas are disjoint: their sum can never exceed
+        // the true process-wide delta over the enclosing block.
+        let before = counters::snapshot();
+        let a = std::thread::spawn(|| run_campaign(&tiny()).vm.instructions);
+        let b = std::thread::spawn(|| run_campaign(&tiny()).vm.instructions);
+        let a = a.join().expect("campaign a");
+        let b = b.join().expect("campaign b");
+        let total = counters::snapshot().since(before).instructions;
+        assert!(a > 0 && b > 0, "tiny campaigns execute VM instructions");
+        assert!(
+            a + b <= total,
+            "overlapping snapshot windows double-counted: {a} + {b} > {total}"
+        );
     }
 }

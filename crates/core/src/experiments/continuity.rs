@@ -264,6 +264,65 @@ pub fn liveness(scheme: Scheme) -> LivenessResult {
     LivenessResult { outcomes }
 }
 
+/// One row of the E11c tamper-classification probe.
+#[derive(Debug, Clone)]
+pub struct TamperResult {
+    /// What the attacker did to storage.
+    pub action: &'static str,
+    /// How `load` classified it.
+    pub verdict: String,
+}
+
+/// Probes how the two-phase scheme classifies storage tampering.
+///
+/// Corruption must be distinguishable from rollback — they are
+/// different attacks (and the benign disk fault is a third cause), so
+/// an operator reacting to the error needs the right one. This guards
+/// the regression where corrupt blobs were reported as
+/// `Stale { found: 0 }`, indistinguishable from deleted storage.
+pub fn tamper_classification() -> Vec<TamperResult> {
+    let setup = || {
+        let mut platform = Platform::new([0x33; 32]);
+        let key = ModuleKey([0x97; 32]);
+        let c = platform.alloc_counter();
+        let mut scheme = TwoPhaseContinuity::new(key, c, 0, 1);
+        let mut store = UntrustedStore::new();
+        // Two completed saves: sequence 2 (current) sits in slot 0,
+        // sequence 1 (stale) in slot 1.
+        assert!(scheme.save(&mut platform, &mut store, b"v1", CrashPoint::None));
+        assert!(scheme.save(&mut platform, &mut store, b"v2", CrashPoint::None));
+        (platform, scheme, store)
+    };
+    let verdict = |r: Result<Vec<u8>, ContinuityError>| match r {
+        Ok(state) => {
+            assert_eq!(state, b"v2");
+            "recovered current state".to_string()
+        }
+        Err(e) => format!("rejected: {e}"),
+    };
+    let probe = |action, slots: &[u32]| {
+        let (mut platform, scheme, mut store) = setup();
+        for &slot in slots {
+            if slot == u32::MAX {
+                store.restore(UntrustedStore::new());
+            } else {
+                assert!(store.flip_bit(slot, 17, 2).is_some());
+            }
+        }
+        TamperResult {
+            action,
+            verdict: verdict(scheme.load(&mut platform, &store)),
+        }
+    };
+    vec![
+        probe("none", &[]),
+        probe("bit flip in stale blob (slot B)", &[1]),
+        probe("bit flip in current blob (slot A)", &[0]),
+        probe("bit flips in both blobs", &[0, 1]),
+        probe("storage deleted", &[u32::MAX]),
+    ]
+}
+
 /// Full E11 results.
 #[derive(Debug, Clone)]
 pub struct ContinuityReport {
@@ -271,6 +330,8 @@ pub struct ContinuityReport {
     pub rollback: Vec<(Scheme, RollbackResult)>,
     /// Liveness per scheme.
     pub liveness: Vec<(Scheme, LivenessResult)>,
+    /// Tamper classification of the two-phase scheme.
+    pub tamper: Vec<TamperResult>,
 }
 
 impl ContinuityReport {
@@ -301,7 +362,14 @@ impl ContinuityReport {
                 ]);
             }
         }
-        vec![rb, lv]
+        let mut tp = Table::new(
+            "E11c: tamper classification (two-phase scheme)",
+            &["storage tampering", "load verdict"],
+        );
+        for t in &self.tamper {
+            tp.row(vec![t.action.to_string(), t.verdict.clone()]);
+        }
+        vec![rb, lv, tp]
     }
 }
 
@@ -314,7 +382,11 @@ pub fn compute() -> ContinuityReport {
         .map(|&s| (s, rollback_brute_force(s, pin, space)))
         .collect();
     let liveness = Scheme::ALL.iter().map(|&s| (s, liveness(s))).collect();
-    ContinuityReport { rollback, liveness }
+    ContinuityReport {
+        rollback,
+        liveness,
+        tamper: tamper_classification(),
+    }
 }
 
 
@@ -425,8 +497,33 @@ mod tests {
     #[test]
     fn report_tables_render() {
         let tables = run().tables();
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 3);
         assert!(tables[0].to_string().contains("naive sealing"));
         assert!(tables[1].to_string().contains("BRICKED"));
+        assert!(tables[2].to_string().contains("tamper"));
+    }
+
+    #[test]
+    fn tampering_is_classified_not_conflated_with_rollback() {
+        let rows = tamper_classification();
+        let verdict = |action: &str| {
+            &rows
+                .iter()
+                .find(|r| r.action == action)
+                .unwrap_or_else(|| panic!("no probe {action:?}"))
+                .verdict
+        };
+        assert_eq!(verdict("none"), "recovered current state");
+        // Losing only the stale blob costs nothing.
+        assert_eq!(
+            verdict("bit flip in stale blob (slot B)"),
+            "recovered current state"
+        );
+        // Losing the current blob leaves a genuinely stale survivor.
+        assert!(verdict("bit flip in current blob (slot A)").contains("stale"));
+        // All-blob tampering is corruption, not rollback…
+        assert!(verdict("bit flips in both blobs").contains("authentication"));
+        // …while deletion is (freshness-wise) a rollback to nothing.
+        assert!(verdict("storage deleted").contains("stale"));
     }
 }

@@ -18,6 +18,7 @@
 //! | [`strict_reentry`] | E13 — strict-policy secure compilation |
 //! | [`canary_oracle`] | E14 — byte-by-byte canary brute force |
 //! | [`heap_uaf`] | E15 — use-after-free and heap quarantine |
+//! | [`crash_matrix`] | E16 — crash/fault matrix vs state continuity |
 
 use crate::campaign::{CampaignConfig, CampaignCtx};
 use crate::report::{ExperimentId, Report, Table};
@@ -72,9 +73,9 @@ pub trait Experiment: Sync {
     }
 }
 
-/// Every experiment, in presentation order E1–E15.
+/// Every experiment, in presentation order E1–E16.
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 15] = [
+    static REGISTRY: [&dyn Experiment; 16] = [
         &fig1::Fig1Experiment,
         &catalogue::CatalogueExperiment,
         &matrix::MatrixExperiment,
@@ -90,6 +91,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &strict_reentry::StrictReentryExperiment,
         &canary_oracle::CanaryOracleExperiment,
         &heap_uaf::HeapUafExperiment,
+        &crash_matrix::CrashMatrixExperiment,
     ];
     &REGISTRY
 }
@@ -112,6 +114,7 @@ pub mod attest;
 pub mod canary_oracle;
 pub mod catalogue;
 pub mod continuity;
+pub mod crash_matrix;
 pub mod fig1;
 pub mod heap_uaf;
 pub mod fig4;

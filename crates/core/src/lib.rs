@@ -10,11 +10,14 @@
 //!   check: compiled behaviour vs the source semantics;
 //! * [`attacker`] — the §III-B attack techniques as runnable
 //!   procedures with canonical victims;
-//! * [`experiments`] — the E1..E15 drivers reproducing every figure
+//! * [`experiments`] — the E1..E16 drivers reproducing every figure
 //!   and claim (see `DESIGN.md` and `EXPERIMENTS.md`), each behind the
 //!   uniform [`experiments::Experiment`] trait;
-//! * [`campaign`] — the parallel campaign runner: the full suite on a
-//!   work-stealing pool, byte-identical output at any worker count;
+//! * [`campaign`] — the parallel, fault-tolerant campaign runner: the
+//!   full suite on a work-stealing pool, byte-identical output at any
+//!   worker count, panicking/stalling cells contained and reported;
+//! * [`faults`] — deterministic fault injection: seed-derived crash
+//!   points and bit flips, plus the test-only fault-demo experiment;
 //! * [`cache`] — compile-once memoization across a campaign's
 //!   thousands of victim launches;
 //! * [`report`] — plain-text tables the drivers emit.
@@ -42,6 +45,7 @@ pub mod cache;
 pub mod campaign;
 pub mod equiv;
 pub mod experiments;
+pub mod faults;
 pub mod loader;
 pub mod report;
 
@@ -50,9 +54,10 @@ pub mod prelude {
     pub use crate::attacker::{run_technique, AttackOutcome, AttackResult, Technique};
     pub use crate::cache::ProgramCache;
     pub use crate::campaign::{
-        run_campaign, run_campaign_with, CampaignConfig, CampaignReport, CampaignTelemetry,
-        CellProgress,
+        run_campaign, run_campaign_on, run_campaign_with, CampaignConfig, CampaignReport,
+        CampaignTelemetry, CellOutcome, CellProgress, CellRecord,
     };
+    pub use crate::faults::{FaultPlan, FaultyExperiment};
     pub use crate::equiv::{compare, Comparison, Verdict};
     pub use crate::experiments::{registry, Experiment};
     pub use crate::loader::{launch, Session};

@@ -4,7 +4,7 @@
 //! the benchmark harness print them, and `EXPERIMENTS.md` quotes them.
 //!
 //! The campaign API adds two uniform types on top: [`ExperimentId`]
-//! names a driver (E1–E15), and [`Report`] is the structured output
+//! names a driver (E1–E16), and [`Report`] is the structured output
 //! every [`crate::experiments::Experiment`] returns — an id, a title
 //! and tables of structured rows, never a bespoke struct.
 
@@ -87,33 +87,43 @@ impl fmt::Display for Table {
     }
 }
 
-/// Identifies one of the fifteen experiment drivers (`E1`–`E15`).
+/// Identifies one of the experiment drivers (`E1`–`E16`, plus the
+/// reserved test-only id `E17`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ExperimentId(u8);
 
 impl ExperimentId {
-    /// All experiment ids, in presentation order.
-    pub const ALL: [ExperimentId; 15] = {
-        let mut ids = [ExperimentId(0); 15];
+    /// Number of *registered* experiments (`E1`–`E16`).
+    pub const REGISTERED: usize = 16;
+
+    /// The id reserved for the test-only fault-demo experiment, which
+    /// is deliberately **not** in the registry: its cells panic, stall
+    /// and flake on purpose to exercise the campaign failure model.
+    pub const FAULT_DEMO: ExperimentId = ExperimentId(17);
+
+    /// All registered experiment ids, in presentation order.
+    pub const ALL: [ExperimentId; ExperimentId::REGISTERED] = {
+        let mut ids = [ExperimentId(0); ExperimentId::REGISTERED];
         let mut i = 0;
-        while i < 15 {
+        while i < ExperimentId::REGISTERED {
             ids[i] = ExperimentId(i as u8 + 1);
             i += 1;
         }
         ids
     };
 
-    /// The id for experiment number `n` (1–15).
+    /// The id for experiment number `n` (1–17; 17 is the reserved
+    /// test-only [`FAULT_DEMO`](ExperimentId::FAULT_DEMO) id).
     ///
     /// # Panics
     ///
-    /// Panics when `n` is outside `1..=15`.
+    /// Panics when `n` is outside `1..=17`.
     pub fn new(n: u8) -> ExperimentId {
-        assert!((1..=15).contains(&n), "experiment number {n} out of range");
+        assert!((1..=17).contains(&n), "experiment number {n} out of range");
         ExperimentId(n)
     }
 
-    /// The experiment number (1–15).
+    /// The experiment number (1–17).
     pub fn number(self) -> u8 {
         self.0
     }
@@ -192,11 +202,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn experiment_ids_enumerate_e1_to_e15() {
-        assert_eq!(ExperimentId::ALL.len(), 15);
+    fn experiment_ids_enumerate_e1_to_e16() {
+        assert_eq!(ExperimentId::ALL.len(), 16);
         assert_eq!(ExperimentId::ALL[0].to_string(), "E1");
-        assert_eq!(ExperimentId::ALL[14].to_string(), "E15");
+        assert_eq!(ExperimentId::ALL[15].to_string(), "E16");
         assert_eq!(ExperimentId::new(3).index(), 2);
+        // The fault-demo id exists but is not a registered id.
+        assert_eq!(ExperimentId::FAULT_DEMO.to_string(), "E17");
+        assert!(!ExperimentId::ALL.contains(&ExperimentId::FAULT_DEMO));
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! Parses every line against the versioned schema and exits non-zero
 //! on the first malformed line. Each `--require KIND` demands at least
 //! one event of that kind (`canary_trip`, `pma_violation`, `fault`,
-//! `control_transfer`, `syscall`, `guard_check`, `step`) in the dump;
+//! `control_transfer`, `syscall`, `guard_check`, `step`, `cell_failed`)
+//! in the dump;
 //! `--require metric` and `--require meta` demand record families
 //! instead. A summary of record counts per kind goes to stdout.
 

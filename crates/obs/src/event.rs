@@ -197,6 +197,17 @@ pub enum SecurityEvent {
         /// Address of the retired instruction.
         ip: u32,
     },
+    /// A campaign cell failed terminally (panicked past its retry
+    /// budget, or exceeded its wall-clock deadline). Emitted by the
+    /// campaign runner, not the VM: the harness observing its *own*
+    /// failure model, so a fleet dashboard sees misbehaving cells the
+    /// same way it sees misbehaving attacker code.
+    CellFailed {
+        /// The experiment number (e.g. 16 for E16).
+        experiment: u8,
+        /// The cell index within that experiment.
+        cell: u32,
+    },
 }
 
 impl SecurityEvent {
@@ -210,6 +221,7 @@ impl SecurityEvent {
             SecurityEvent::Syscall { .. } => "syscall",
             SecurityEvent::GuardCheck { .. } => "guard_check",
             SecurityEvent::Step { .. } => "step",
+            SecurityEvent::CellFailed { .. } => "cell_failed",
         }
     }
 
@@ -223,6 +235,7 @@ impl SecurityEvent {
             SecurityEvent::Syscall { .. } => EventMask::SYSCALL,
             SecurityEvent::GuardCheck { .. } => EventMask::GUARD,
             SecurityEvent::Step { .. } => EventMask::STEP,
+            SecurityEvent::CellFailed { .. } => EventMask::CELL,
         }
     }
 }
@@ -249,6 +262,9 @@ impl fmt::Display for SecurityEvent {
                 write!(f, "guard check {code} tripped at {ip:#010x}")
             }
             SecurityEvent::Step { ip } => write!(f, "step {ip:#010x}"),
+            SecurityEvent::CellFailed { experiment, cell } => {
+                write!(f, "campaign cell E{experiment}/{cell} failed")
+            }
         }
     }
 }
@@ -279,6 +295,8 @@ impl EventMask {
     pub const GUARD: EventMask = EventMask(1 << 5);
     /// Per-instruction steps (hot; opt-in only).
     pub const STEP: EventMask = EventMask(1 << 6);
+    /// Campaign cell failures (harness self-observation).
+    pub const CELL: EventMask = EventMask(1 << 7);
     /// Everything except [`EventMask::STEP`] — the default interest set.
     pub const DEFAULT: EventMask = EventMask(
         EventMask::CONTROL.0
@@ -286,7 +304,8 @@ impl EventMask {
             | EventMask::CANARY.0
             | EventMask::PMA.0
             | EventMask::SYSCALL.0
-            | EventMask::GUARD.0,
+            | EventMask::GUARD.0
+            | EventMask::CELL.0,
     );
     /// Every kind, including per-instruction steps.
     pub const ALL: EventMask = EventMask(EventMask::DEFAULT.0 | EventMask::STEP.0);

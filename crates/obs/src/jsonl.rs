@@ -77,6 +77,9 @@ pub fn event_line(event: &SecurityEvent) -> String {
             obj.u64("code", u64::from(code)).u64("ip", u64::from(ip))
         }
         SecurityEvent::Step { ip } => obj.u64("ip", u64::from(ip)),
+        SecurityEvent::CellFailed { experiment, cell } => obj
+            .u64("experiment", u64::from(experiment))
+            .u64("cell", u64::from(cell)),
     };
     obj.render()
 }
@@ -218,6 +221,10 @@ fn parse_event(v: &Json) -> Result<SecurityEvent, LineError> {
         "step" => Ok(SecurityEvent::Step {
             ip: field_u32(v, "ip")?,
         }),
+        "cell_failed" => Ok(SecurityEvent::CellFailed {
+            experiment: field_u8(v, "experiment")?,
+            cell: field_u32(v, "cell")?,
+        }),
         other => Err(LineError::Schema(format!("unknown event kind {other:?}"))),
     }
 }
@@ -251,16 +258,27 @@ impl JsonlSink {
 
     /// Writes an already-rendered schema line (metric, meta, or a
     /// pre-built event line) followed by a newline.
+    ///
+    /// Poison-tolerant: if a previous writer panicked while holding the
+    /// lock, the sink keeps accepting lines instead of cascading the
+    /// panic into every machine that emits afterwards (the writer's own
+    /// internal state stays whatever the panicking write left behind —
+    /// at worst a torn line, never a dead process).
     pub fn write_line(&self, line: &str) {
-        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         // Telemetry is best-effort: a full disk should not abort the
         // experiment the telemetry is describing.
         let _ = writeln!(w, "{line}");
     }
 
-    /// Flushes the underlying writer.
+    /// Flushes the underlying writer. Poison-tolerant like
+    /// [`write_line`](JsonlSink::write_line).
     pub fn flush(&self) {
-        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+        let _ = self
+            .writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .flush();
     }
 }
 
@@ -306,6 +324,10 @@ mod tests {
             SecurityEvent::Syscall { number: 2, ip: 0x10f0 },
             SecurityEvent::GuardCheck { code: 3, ip: 0x1100 },
             SecurityEvent::Step { ip: 0x1004 },
+            SecurityEvent::CellFailed {
+                experiment: 16,
+                cell: 7,
+            },
         ]
     }
 
@@ -390,5 +412,55 @@ mod tests {
         for line in lines {
             parse_line(line).unwrap();
         }
+    }
+
+    #[test]
+    fn poisoned_writer_does_not_cascade() {
+        // A writer that panics on its first write (simulating a bug in
+        // one emitting thread), then behaves. The panic poisons the
+        // writer mutex; every later emit — typically from *other*
+        // threads — must keep working rather than panicking process-wide.
+        struct ExplodesOnce {
+            armed: bool,
+            out: Arc<Mutex<Vec<u8>>>,
+        }
+        impl Write for ExplodesOnce {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                if self.armed {
+                    self.armed = false;
+                    panic!("injected writer panic");
+                }
+                self.out.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::new(JsonlSink::new(Box::new(ExplodesOnce {
+            armed: true,
+            out: out.clone(),
+        })));
+
+        // First write panics inside the lock, poisoning it.
+        let trip = {
+            let sink = sink.clone();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                sink.write_line(r#"{"v":1,"type":"meta","name":"a","text":"b"}"#);
+            }))
+        };
+        assert!(trip.is_err(), "the injected panic must fire");
+
+        // Subsequent writes and flushes recover from the poison.
+        let line = metric_line("campaign.cells_failed", 1);
+        sink.write_line(&line);
+        sink.flush();
+        let written = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        assert!(
+            written.contains("campaign.cells_failed"),
+            "post-poison line was lost: {written:?}"
+        );
     }
 }

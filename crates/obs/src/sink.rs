@@ -182,6 +182,7 @@ pub struct CountingSink {
     syscall: AtomicU64,
     guard: AtomicU64,
     step: AtomicU64,
+    cell_failed: AtomicU64,
 }
 
 /// A point-in-time copy of a [`CountingSink`]'s totals.
@@ -201,12 +202,21 @@ pub struct EventCounts {
     pub guard: u64,
     /// Steps seen (zero unless attached with a step-interested mask).
     pub step: u64,
+    /// Campaign cell failures seen.
+    pub cell_failed: u64,
 }
 
 impl EventCounts {
     /// Sum over every kind.
     pub fn total(&self) -> u64 {
-        self.control + self.fault + self.canary + self.pma + self.syscall + self.guard + self.step
+        self.control
+            + self.fault
+            + self.canary
+            + self.pma
+            + self.syscall
+            + self.guard
+            + self.step
+            + self.cell_failed
     }
 }
 
@@ -226,6 +236,7 @@ impl CountingSink {
             syscall: self.syscall.load(Ordering::Relaxed),
             guard: self.guard.load(Ordering::Relaxed),
             step: self.step.load(Ordering::Relaxed),
+            cell_failed: self.cell_failed.load(Ordering::Relaxed),
         }
     }
 }
@@ -240,6 +251,7 @@ impl EventSink for CountingSink {
             SecurityEvent::Syscall { .. } => &self.syscall,
             SecurityEvent::GuardCheck { .. } => &self.guard,
             SecurityEvent::Step { .. } => &self.step,
+            SecurityEvent::CellFailed { .. } => &self.cell_failed,
         };
         cell.fetch_add(1, Ordering::Relaxed);
     }

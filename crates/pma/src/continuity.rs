@@ -65,6 +65,31 @@ impl UntrustedStore {
     pub fn restore(&mut self, snapshot: UntrustedStore) {
         *self = snapshot;
     }
+
+    /// Attacker (or cosmic-ray) action: flip one bit of a stored blob.
+    /// `byte` is reduced modulo the blob length, so any value addresses
+    /// *some* byte; returns the `(byte, bit)` actually flipped, or
+    /// `None` if the slot is empty.
+    pub fn flip_bit(&mut self, slot: u32, byte: usize, bit: u8) -> Option<(usize, u8)> {
+        let blob = self.slots.get_mut(&slot)?;
+        if blob.is_empty() {
+            return None;
+        }
+        let byte = byte % blob.len();
+        let bit = bit % 8;
+        blob[byte] ^= 1 << bit;
+        Some((byte, bit))
+    }
+}
+
+/// What reading one slot of a two-slot scheme yielded.
+enum SlotRead {
+    /// Nothing stored there.
+    Missing,
+    /// A blob is present but fails authentication or decoding.
+    Corrupt,
+    /// A validly sealed `(sequence, state)` pair.
+    Valid(u64, Vec<u8>),
 }
 
 /// Why stored state could not be recovered.
@@ -312,14 +337,17 @@ impl TwoPhaseContinuity {
         true
     }
 
-    fn try_slot(
-        &self,
-        store: &UntrustedStore,
-        slot: u32,
-    ) -> Option<(u64, Vec<u8>)> {
-        let blob = store.read(slot)?;
-        let plain = open(&self.key.0, b"two-phase-continuity", blob).ok()?;
-        decode(plain).ok()
+    fn try_slot(&self, store: &UntrustedStore, slot: u32) -> SlotRead {
+        let Some(blob) = store.read(slot) else {
+            return SlotRead::Missing;
+        };
+        let Ok(plain) = open(&self.key.0, b"two-phase-continuity", blob) else {
+            return SlotRead::Corrupt;
+        };
+        match decode(plain) {
+            Ok((seq, state)) => SlotRead::Valid(seq, state),
+            Err(_) => SlotRead::Corrupt,
+        }
     }
 
     /// Recovers the freshest acceptable state: sequence `counter` or
@@ -328,8 +356,11 @@ impl TwoPhaseContinuity {
     ///
     /// # Errors
     ///
-    /// [`ContinuityError::Stale`] only for genuinely rolled-back
-    /// storage; [`ContinuityError::NoState`] before the first save.
+    /// [`ContinuityError::Stale`] only for genuinely rolled-back (or
+    /// deleted) storage; [`ContinuityError::Corrupt`] when blobs are
+    /// present but *none* passes authentication — tampering, which is a
+    /// different attack than rollback and must be reported as such;
+    /// [`ContinuityError::NoState`] before the first save.
     pub fn load(
         &self,
         platform: &mut Platform,
@@ -342,14 +373,23 @@ impl TwoPhaseContinuity {
         ];
         let mut best: Option<(u64, Vec<u8>)> = None;
         let mut best_any = 0u64;
-        let mut saw_any = false;
-        for c in candidates.into_iter().flatten() {
-            saw_any = true;
-            best_any = best_any.max(c.0);
-            if c.0 == expected || c.0 == expected + 1 {
+        let mut saw_valid = false;
+        let mut saw_corrupt = false;
+        for c in candidates {
+            let (seq, state) = match c {
+                SlotRead::Missing => continue,
+                SlotRead::Corrupt => {
+                    saw_corrupt = true;
+                    continue;
+                }
+                SlotRead::Valid(seq, state) => (seq, state),
+            };
+            saw_valid = true;
+            best_any = best_any.max(seq);
+            if seq == expected || seq == expected + 1 {
                 match &best {
-                    Some((seq, _)) if *seq >= c.0 => {}
-                    _ => best = Some(c),
+                    Some((s, _)) if *s >= seq => {}
+                    _ => best = Some((seq, state)),
                 }
             }
         }
@@ -362,11 +402,18 @@ impl TwoPhaseContinuity {
                 }
                 Ok(state)
             }
-            None if saw_any => Err(ContinuityError::Stale {
+            // A validly sealed but unacceptable sequence: rollback.
+            None if saw_valid => Err(ContinuityError::Stale {
                 found: best_any,
                 expected,
             }),
+            // Blobs exist but none authenticates: tampering, not
+            // rollback — report it as corruption so the operator knows
+            // which attack (or disk fault) they are looking at.
+            None if saw_corrupt => Err(ContinuityError::Corrupt),
             None if expected == 0 => Err(ContinuityError::NoState),
+            // Storage emptied under a non-zero counter: the blobs were
+            // deleted, which freshness-wise is a rollback to nothing.
             None => Err(ContinuityError::Stale {
                 found: 0,
                 expected,
@@ -521,6 +568,82 @@ mod tests {
             scheme.load(&mut platform, &store),
             Err(ContinuityError::NoState)
         );
+    }
+
+    #[test]
+    fn two_phase_reports_corruption_not_rollback() {
+        // Regression: with both slots tampered, load used to answer
+        // `Stale { found: 0 }` — indistinguishable from a rollback to
+        // deleted storage. Tampering must surface as `Corrupt`.
+        let (mut platform, key, mut store) = setup();
+        let c = platform.alloc_counter();
+        let mut scheme = TwoPhaseContinuity::new(key, c, 0, 1);
+        assert!(scheme.save(&mut platform, &mut store, b"v1", CrashPoint::None));
+        assert!(scheme.save(&mut platform, &mut store, b"v2", CrashPoint::None));
+        assert!(store.flip_bit(0, 20, 3).is_some());
+        assert!(store.flip_bit(1, 20, 3).is_some());
+        assert_eq!(
+            scheme.load(&mut platform, &store),
+            Err(ContinuityError::Corrupt)
+        );
+    }
+
+    #[test]
+    fn two_phase_survives_single_slot_corruption_of_stale_blob() {
+        // Corrupting only the *stale* slot must not cost liveness: the
+        // current blob still authenticates and loads.
+        let (mut platform, key, mut store) = setup();
+        let c = platform.alloc_counter();
+        let mut scheme = TwoPhaseContinuity::new(key, c, 0, 1);
+        assert!(scheme.save(&mut platform, &mut store, b"v1", CrashPoint::None)); // seq 1 -> slot 1
+        assert!(scheme.save(&mut platform, &mut store, b"v2", CrashPoint::None)); // seq 2 -> slot 0
+        assert!(store.flip_bit(1, 9, 0).is_some()); // stale slot
+        assert_eq!(scheme.load(&mut platform, &store).unwrap(), b"v2");
+    }
+
+    #[test]
+    fn two_phase_current_slot_corrupted_is_stale_not_corrupt() {
+        // Only the current blob is destroyed; the surviving valid blob
+        // is genuinely stale, so `Stale` (with its sequence) is the
+        // right answer — the operator sees what is still recoverable.
+        let (mut platform, key, mut store) = setup();
+        let c = platform.alloc_counter();
+        let mut scheme = TwoPhaseContinuity::new(key, c, 0, 1);
+        assert!(scheme.save(&mut platform, &mut store, b"v1", CrashPoint::None));
+        assert!(scheme.save(&mut platform, &mut store, b"v2", CrashPoint::None));
+        assert!(store.flip_bit(0, 33, 5).is_some()); // current slot (seq 2)
+        assert_eq!(
+            scheme.load(&mut platform, &store),
+            Err(ContinuityError::Stale {
+                found: 1,
+                expected: 2
+            })
+        );
+    }
+
+    #[test]
+    fn deleted_storage_is_still_reported_stale() {
+        let (mut platform, key, mut store) = setup();
+        let c = platform.alloc_counter();
+        let mut scheme = TwoPhaseContinuity::new(key, c, 0, 1);
+        assert!(scheme.save(&mut platform, &mut store, b"v1", CrashPoint::None));
+        store.restore(UntrustedStore::new());
+        assert_eq!(
+            scheme.load(&mut platform, &store),
+            Err(ContinuityError::Stale {
+                found: 0,
+                expected: 1
+            })
+        );
+    }
+
+    #[test]
+    fn flip_bit_wraps_and_reports() {
+        let mut store = UntrustedStore::new();
+        assert_eq!(store.flip_bit(0, 0, 0), None);
+        store.write(3, &[0u8; 4]);
+        assert_eq!(store.flip_bit(3, 6, 9), Some((2, 1)));
+        assert_eq!(store.read(3).unwrap(), &[0, 0, 2, 0]);
     }
 
     #[test]

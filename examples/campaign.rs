@@ -1,29 +1,42 @@
-//! Runs the full E1–E15 suite through the parallel campaign runner.
+//! Runs the full E1–E16 suite through the parallel campaign runner.
 //!
 //! ```sh
 //! cargo run --release --example campaign -- \
-//!     [--workers N] [--seed S] [--quick] [--progress] \
-//!     [--telemetry out.jsonl] [--render-only]
+//!     [--workers N] [--seed S] [--quick] [--only N]... [--progress] \
+//!     [--telemetry out.jsonl] [--render-only] [--fault-demo]
 //! ```
 //!
 //! Prints every experiment's report (byte-identical for any worker
 //! count, with or without telemetry) followed by the run summary:
 //! per-experiment busy time, the compile-cache counters, and the wall
 //! clock. `--render-only` suppresses the summary, leaving exactly the
-//! deterministic bytes on stdout.
+//! deterministic bytes on stdout. `--only N` (repeatable) restricts
+//! the run to experiment N.
 //!
 //! With `--telemetry PATH`, the run also streams a schema-v1 JSONL
 //! dump to `PATH`: meta lines describing the run, one event line per
 //! security event any machine in the campaign raised (faults, canary
-//! trips, PMA violations, guard checks), and the final metric lines
-//! (campaign counters, per-cell time histogram). `--progress` prints a
-//! live per-cell progress line to stderr.
+//! trips, PMA violations, guard checks, failed campaign cells), and
+//! the final metric lines (campaign counters, per-cell time
+//! histogram). `--progress` prints a live per-cell progress line to
+//! stderr.
+//!
+//! `--fault-demo` swaps the suite for the test-only fault-demo
+//! experiment under a short cell deadline: its cells panic, stall and
+//! flake on purpose, demonstrating the runner's containment, watchdog
+//! and retry. Any run — demo or not — exits non-zero when a cell
+//! failed, so CI can gate on campaign health.
 
 use std::fs::File;
 use std::io::BufWriter;
 use std::sync::Arc;
+use std::time::Duration;
 
-use swsec::campaign::{run_campaign_with, CampaignConfig, CampaignTelemetry};
+use swsec::campaign::{
+    run_campaign_on, run_campaign_with, CampaignConfig, CampaignReport, CampaignTelemetry,
+};
+use swsec::faults::FaultyExperiment;
+use swsec::report::ExperimentId;
 use swsec_obs::jsonl::meta_line;
 use swsec_obs::{clear_default_sink, set_default_sink, EventMask, JsonlSink, MetricsRegistry};
 
@@ -32,6 +45,7 @@ fn main() {
     let mut telemetry_path: Option<String> = None;
     let mut progress = false;
     let mut render_only = false;
+    let mut fault_demo = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,22 +64,32 @@ fn main() {
             "--quick" => {
                 let workers = cfg.workers;
                 let master_seed = cfg.master_seed;
+                let experiments = std::mem::take(&mut cfg.experiments);
                 cfg = CampaignConfig {
                     workers,
                     master_seed,
+                    experiments,
                     ..CampaignConfig::quick()
                 };
+            }
+            "--only" => {
+                let n: u8 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--only takes an experiment number");
+                cfg.experiments.push(ExperimentId::new(n));
             }
             "--telemetry" => {
                 telemetry_path = Some(args.next().expect("--telemetry takes a path"));
             }
             "--progress" => progress = true,
             "--render-only" => render_only = true,
+            "--fault-demo" => fault_demo = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: campaign [--workers N] [--seed S] [--quick] [--progress] \
-                     [--telemetry out.jsonl] [--render-only]"
+                    "usage: campaign [--workers N] [--seed S] [--quick] [--only N]... \
+                     [--progress] [--telemetry out.jsonl] [--render-only] [--fault-demo]"
                 );
                 std::process::exit(2);
             }
@@ -73,11 +97,13 @@ fn main() {
     }
 
     // Security events only: control transfers and syscalls at campaign
-    // scale would dwarf the interesting lines.
+    // scale would dwarf the interesting lines. CELL rides along so a
+    // telemetry dump always names the cells that failed.
     let security = EventMask::FAULT
         .union(EventMask::CANARY)
         .union(EventMask::PMA)
-        .union(EventMask::GUARD);
+        .union(EventMask::GUARD)
+        .union(EventMask::CELL);
 
     let mut telemetry = CampaignTelemetry::none();
     let mut sink = None;
@@ -98,17 +124,25 @@ fn main() {
     if progress {
         telemetry = telemetry.on_progress(|p| {
             eprintln!(
-                "[{:>3}/{:>3}] {} cell {} ({:.1}ms)",
+                "[{:>3}/{:>3}] {} cell {} ({:.1}ms){}",
                 p.completed,
                 p.total,
                 p.experiment,
                 p.cell,
                 p.elapsed.as_secs_f64() * 1e3,
+                if p.ok { "" } else { " FAILED" },
             );
         });
     }
 
-    let report = run_campaign_with(&cfg, &telemetry);
+    let report: CampaignReport = if fault_demo {
+        // A deadline far under the demo's ~2 s stall cell, so the
+        // watchdog visibly trips; everything else is unaffected.
+        cfg.cell_deadline = Duration::from_millis(250);
+        run_campaign_on(&cfg, &[FaultyExperiment::fresh()], &telemetry)
+    } else {
+        run_campaign_with(&cfg, &telemetry)
+    };
 
     if let Some((sink, registry)) = sink {
         clear_default_sink();
@@ -121,5 +155,12 @@ fn main() {
     print!("{}", report.render());
     if !render_only {
         println!("{}", report.summary());
+    }
+    if !report.all_ok() {
+        eprintln!(
+            "campaign: {} cell(s) failed — see the failed-cells table",
+            report.failed_cells().len()
+        );
+        std::process::exit(1);
     }
 }

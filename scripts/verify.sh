@@ -11,7 +11,10 @@
 #   4. the VM benchmark harness in --smoke mode (scripts/bench.sh);
 #   5. telemetry smoke: a quick campaign with the JSONL sink attached,
 #      validated line-by-line by telcheck, and a render byte-identity
-#      check against a sink-less run.
+#      check against a sink-less run;
+#   6. fault-injection smoke: the E16 crash matrix standalone, plus a
+#      --fault-demo run that must exit non-zero, report its failed
+#      cells, and emit cell_failed telemetry.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -46,5 +49,31 @@ cmp "$TELDIR/render_with_sink.txt" "$TELDIR/render_no_sink.txt" || {
 target/release/telcheck "$TELDIR/campaign.jsonl" \
     --require pma_violation --require canary_trip \
     --require metric --require meta
+
+echo "==> fault-injection smoke"
+FAULTDIR="target/fault-smoke"
+mkdir -p "$FAULTDIR"
+# The crash matrix alone: every CrashPoint x slot combination, the
+# sealed-blob tampering probes, and the VM bit-flip cell must pass.
+target/release/examples/campaign --quick --only 16 --render-only \
+    > "$FAULTDIR/crash_matrix.txt"
+grep -q "E16a" "$FAULTDIR/crash_matrix.txt" || {
+    echo "verify: crash-matrix render is missing its tables" >&2
+    exit 1
+}
+# The fault demo: cells panic and time out on purpose; the campaign
+# must finish, name the failures, and exit non-zero.
+if target/release/examples/campaign --fault-demo --quick \
+    --telemetry "$FAULTDIR/fault_demo.jsonl" \
+    > "$FAULTDIR/fault_demo.txt" 2> "$FAULTDIR/fault_demo.err"; then
+    echo "verify: --fault-demo must exit non-zero on failed cells" >&2
+    exit 1
+fi
+grep -q "failed cells" "$FAULTDIR/fault_demo.txt" || {
+    echo "verify: --fault-demo did not render the failed-cells table" >&2
+    exit 1
+}
+target/release/telcheck "$FAULTDIR/fault_demo.jsonl" \
+    --require cell_failed --require metric --require meta
 
 echo "verify: all checks passed"

@@ -5,9 +5,11 @@
 
 use std::io::Write;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use swsec::campaign::{run_campaign, CampaignConfig, CampaignCtx};
+use swsec::campaign::{run_campaign, run_campaign_on, CampaignConfig, CampaignCtx, CampaignTelemetry};
 use swsec::experiments::registry;
+use swsec::faults::FaultyExperiment;
 use swsec::report::ExperimentId;
 use swsec_obs::jsonl::parse_line;
 use swsec_obs::{
@@ -30,7 +32,7 @@ fn determinism_config() -> CampaignConfig {
 }
 
 #[test]
-fn registry_contains_exactly_e1_to_e15() {
+fn registry_contains_exactly_e1_to_e16() {
     let ids: Vec<ExperimentId> = registry().iter().map(|e| e.id()).collect();
     assert_eq!(ids, ExperimentId::ALL.to_vec());
     for e in registry() {
@@ -184,4 +186,102 @@ fn event_sinks_change_no_render_byte_and_jsonl_captures_attacks() {
     assert!(lines > 0, "the quick campaign must emit telemetry");
     assert!(canary_trips >= 1, "no CanaryTrip event in the dump");
     assert!(pma_violations >= 1, "no PmaViolation event in the dump");
+}
+
+/// A deadline comfortably under the fault demo's ~2 s stall cell yet
+/// far above what any healthy quick cell needs in debug builds.
+fn fault_config(workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        workers,
+        cell_deadline: Duration::from_secs(1),
+        cell_retries: 1,
+        ..CampaignConfig::quick()
+    }
+}
+
+#[test]
+fn failing_cells_do_not_disturb_healthy_experiment_output() {
+    // A campaign mixing a healthy experiment with the fault demo must
+    // run to completion, report the failures, and leave the healthy
+    // experiment's report byte-for-byte what a clean run produces.
+    let e10 = registry()[ExperimentId::new(10).index()];
+    let mixed = run_campaign_on(
+        &fault_config(2),
+        &[e10, FaultyExperiment::fresh()],
+        &CampaignTelemetry::none(),
+    );
+    assert!(!mixed.all_ok());
+    assert_eq!(mixed.failed_cells().len(), 2, "panic + timeout cells");
+    assert!(mixed.render().contains("## failed cells"));
+
+    let solo = run_campaign_on(&fault_config(2), &[e10], &CampaignTelemetry::none());
+    assert!(solo.all_ok());
+    assert!(!solo.render().contains("failed cells"));
+    assert_eq!(mixed.reports[0], solo.reports[0]);
+
+    // And the whole mixed render — failures included — is
+    // byte-identical across worker counts (fresh demo instances per
+    // run restart the flaky cell's attempt state).
+    let mixed4 = run_campaign_on(
+        &fault_config(4),
+        &[e10, FaultyExperiment::fresh()],
+        &CampaignTelemetry::none(),
+    );
+    assert_eq!(mixed.render(), mixed4.render());
+}
+
+#[test]
+fn crash_matrix_is_deterministic_across_worker_counts() {
+    let mut cfg = CampaignConfig {
+        experiments: vec![ExperimentId::new(16)],
+        ..CampaignConfig::quick()
+    };
+    let mut renders = Vec::new();
+    for workers in [1, 4] {
+        cfg.workers = workers;
+        let report = run_campaign(&cfg);
+        assert!(report.all_ok(), "the crash matrix itself must pass");
+        renders.push(report.render());
+    }
+    assert_eq!(renders[0], renders[1], "1 vs 4 workers");
+    assert!(renders[0].contains("E16a"));
+    assert!(renders[0].contains("E16b"));
+    assert!(renders[0].contains("E16c"));
+}
+
+#[test]
+fn failed_cells_reach_the_jsonl_telemetry() {
+    let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    // CELL-only interests: other tests' campaigns running concurrently
+    // contribute no security events to this buffer.
+    let sink = Arc::new(JsonlSink::with_interests(
+        Box::new(SharedBuf(buf.clone())),
+        EventMask::CELL,
+    ));
+    set_default_sink(sink.clone());
+    let report = run_campaign_on(
+        &fault_config(2),
+        &[FaultyExperiment::fresh()],
+        &CampaignTelemetry::none(),
+    );
+    clear_default_sink();
+    sink.flush();
+    assert_eq!(report.failed_cells().len(), 2);
+
+    let bytes = buf.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("telemetry is UTF-8");
+    let cell_failed = text
+        .lines()
+        .filter(|l| !l.is_empty())
+        .filter(|line| {
+            matches!(
+                parse_line(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}")),
+                Record::Event(SecurityEvent::CellFailed { .. })
+            )
+        })
+        .count();
+    assert!(
+        cell_failed >= 2,
+        "expected CellFailed events for the panic and timeout cells, saw {cell_failed}"
+    );
 }
