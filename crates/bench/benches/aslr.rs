@@ -6,15 +6,16 @@ use swsec_rng::{stream, Xoshiro256pp};
 
 use swsec::cache::ProgramCache;
 use swsec::experiments::aslr;
+use swsec::harness::ServeMode;
 
 fn bench(c: &mut Criterion) {
     let cache = ProgramCache::new();
-    let sweep = aslr::compute(&[2, 4, 6, 8], 6, 7, &cache);
+    let sweep = aslr::compute(&[2, 4, 6, 8], 6, 7, &cache, ServeMode::Fork);
     swsec_bench::print_report("E4: ASLR sweep", &[sweep.table()]);
 
     c.bench_function("e4_brute_force_campaign_4bits", |b| {
         let mut rng: Xoshiro256pp = stream(99, &[0]);
-        b.iter(|| aslr::brute_force_once(4, &mut rng, 1_000, &cache))
+        b.iter(|| aslr::brute_force_once(4, &mut rng, 1_000, &cache, ServeMode::Fork))
     });
 }
 

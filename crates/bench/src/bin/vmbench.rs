@@ -3,9 +3,12 @@
 //! Criterion stays opt-in (network), so this harness is plain
 //! `std::time::Instant`: four hand-assembled machine-code workloads
 //! run once with the hot path enabled (decoded-instruction cache +
-//! one-entry TLBs) and once with it disabled, reporting instructions
-//! per second and the speedup, plus the wall time of a campaign run.
-//! Results go to stdout as a table and to `BENCH_vm.json`.
+//! two-entry TLBs) and once with it disabled, reporting instructions
+//! per second and the speedup; two attack-harness workloads
+//! (`aslr-bruteforce`, `canary-oracle`) timing attempts served per
+//! second by the fork server against the per-attempt rebuild
+//! baseline; plus the wall time of a campaign run. Results go to
+//! stdout as a table and to `BENCH_vm.json` (schema v2).
 //!
 //! ```text
 //! sh scripts/bench.sh            # full run, writes BENCH_vm.json
@@ -21,8 +24,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use swsec::attacker::VICTIM_SMASH;
+use swsec::cache::ProgramCache;
 use swsec::campaign::{run_campaign_with, CampaignConfig, CampaignTelemetry};
+use swsec::harness::{ForkServer, ServeMode};
+use swsec::loader;
 use swsec::report::ExperimentId;
+use swsec_defenses::DefenseConfig;
 use swsec_obs::jsonl::meta_line;
 use swsec_obs::{
     clear_default_sink, set_default_sink, CountingSink, EventMask, EventSink, JsonlSink,
@@ -231,6 +239,100 @@ fn measure(build: &dyn Fn() -> Machine, fast: bool, fuel: u64, reps: u32) -> Mea
     measure_with_sink(build, fast, fuel, reps, None)
 }
 
+/// One attack-search workload timed against both serve modes: the fork
+/// server (boot-time snapshot, O(dirty-pages) restore per attempt) and
+/// the per-attempt rebuild baseline the experiments used to pay.
+struct HarnessCase {
+    name: &'static str,
+    config: DefenseConfig,
+    plan_seed: u64,
+    payload: Vec<u8>,
+}
+
+struct HarnessResult {
+    name: &'static str,
+    attempts: u64,
+    fork: Duration,
+    rebuild: Duration,
+    /// Mean dirty pages copied per restore during the fork leg.
+    dirty_per_restore: Option<f64>,
+}
+
+impl HarnessResult {
+    fn fork_aps(&self) -> f64 {
+        aps(self.attempts, self.fork)
+    }
+    fn rebuild_aps(&self) -> f64 {
+        aps(self.attempts, self.rebuild)
+    }
+    fn speedup(&self) -> f64 {
+        self.fork_aps() / self.rebuild_aps()
+    }
+}
+
+fn aps(attempts: u64, elapsed: Duration) -> f64 {
+    attempts as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+/// Serves `attempts` identical attack attempts from one booted server
+/// and times the attempt loop (boot and compile excluded — both modes
+/// share the compile cache). `reps` runs, best kept.
+fn measure_attempts(
+    cache: &ProgramCache,
+    case: &HarnessCase,
+    mode: ServeMode,
+    attempts: u64,
+    reps: u32,
+) -> Duration {
+    let mut best: Option<Duration> = None;
+    for _ in 0..reps.max(1) {
+        let mut server = ForkServer::boot(cache, VICTIM_SMASH, case.config, case.plan_seed, mode)
+            .expect("victim compiles");
+        let started = Instant::now();
+        for _ in 0..attempts {
+            let outcome = server
+                .run_attempt(case.plan_seed, &case.payload)
+                .expect("plan seed matches");
+            std::hint::black_box(&outcome);
+        }
+        let elapsed = started.elapsed();
+        if best.is_none_or(|b| elapsed < b) {
+            best = Some(elapsed);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Times the per-attempt cost the experiments paid before the fork
+/// server existed: a compile-cache lookup, a full machine build from
+/// the compiled image, the payload feed and the run — per attempt.
+/// This is the honest rebuild baseline for the speedup column.
+fn measure_rebuild(
+    cache: &ProgramCache,
+    case: &HarnessCase,
+    attempts: u64,
+    reps: u32,
+) -> Duration {
+    let opts = loader::plan_options(&case.config, case.plan_seed);
+    let mut best: Option<Duration> = None;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        for _ in 0..attempts {
+            let program = cache.compile(VICTIM_SMASH, &opts).expect("victim compiles");
+            let mut session = loader::launch_compiled(&program, case.config, case.plan_seed)
+                .expect("victim launches");
+            session.machine.io_mut().feed_input(0, &case.payload);
+            let outcome = session.machine.run(swsec::harness::DEFAULT_FUEL);
+            std::hint::black_box(&outcome);
+        }
+        let elapsed = started.elapsed();
+        if best.is_none_or(|b| elapsed < b) {
+            best = Some(elapsed);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
 struct CaseResult {
     name: &'static str,
     instructions: u64,
@@ -349,6 +451,64 @@ fn main() {
         results.push(r);
     }
 
+    // Attack-harness workloads: attempts served per second, fork
+    // server vs per-attempt rebuild. The ASLR case fixes the victim
+    // slide (16 bits, so no attempt ever lands) and smashes past the
+    // buffer; the canary case probes one byte past it. Both crash per
+    // attempt — the steady state of a real brute force.
+    let aslr_case = HarnessCase {
+        name: "aslr-bruteforce",
+        config: {
+            let mut c = DefenseConfig::none();
+            c.aslr_bits = Some(16);
+            c
+        },
+        plan_seed: 7,
+        payload: vec![0x41; 64],
+    };
+    let canary_case = HarnessCase {
+        name: "canary-oracle",
+        config: {
+            let mut c = DefenseConfig::none();
+            c.canary = true;
+            c
+        },
+        plan_seed: 42,
+        payload: vec![0x41; 49],
+    };
+    let attempts: u64 = if smoke { 50 } else { 2_000 };
+    println!("fork-server workloads: {attempts} attempts per configuration");
+    println!(
+        "{:<16} {:>10} {:>12} {:>13} {:>9} {:>14}",
+        "workload", "attempts", "fork a/s", "rebuild a/s", "speedup", "dirty/restore"
+    );
+    let cache = ProgramCache::new();
+    let mut harness_results = Vec::new();
+    for case in [&aslr_case, &canary_case] {
+        let before = swsec_vm::counters::snapshot();
+        let fork = measure_attempts(&cache, case, ServeMode::Fork, attempts, reps);
+        let delta = swsec_vm::counters::snapshot().since(before);
+        let rebuild = measure_rebuild(&cache, case, attempts, reps);
+        let r = HarnessResult {
+            name: case.name,
+            attempts,
+            fork,
+            rebuild,
+            dirty_per_restore: delta.mean_dirty_pages(),
+        };
+        println!(
+            "{:<16} {:>10} {:>12.3e} {:>13.3e} {:>8.2}x {:>14}",
+            r.name,
+            r.attempts,
+            r.fork_aps(),
+            r.rebuild_aps(),
+            r.speedup(),
+            r.dirty_per_restore
+                .map_or("n/a".into(), |v| format!("{v:.1}")),
+        );
+        harness_results.push(r);
+    }
+
     // Telemetry overhead: the tight loop re-timed with sinks attached.
     // A sink with no interests must cost within noise of no sink at
     // all (the hot path only adds one u8 mask test); a counting sink
@@ -418,7 +578,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"swsec-vmbench-v1\",\n");
+    json.push_str("  \"schema\": \"swsec-vmbench-v2\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -436,6 +596,24 @@ fn main() {
             json_opt_rate(r.fast.icache_hit_rate),
             json_opt_rate(r.fast.tlb_hit_rate),
             if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"harness\": [\n");
+    for (i, r) in harness_results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"attempts\": {}, \"fork_ns\": {}, \"rebuild_ns\": {}, \
+             \"fork_aps\": {:.1}, \"rebuild_aps\": {:.1}, \"speedup\": {:.3}, \
+             \"dirty_pages_per_restore\": {}}}{}\n",
+            r.name,
+            r.attempts,
+            r.fork.as_nanos(),
+            r.rebuild.as_nanos(),
+            r.fork_aps(),
+            r.rebuild_aps(),
+            r.speedup(),
+            json_opt_rate(r.dirty_per_restore),
+            if i + 1 == harness_results.len() { "" } else { "," },
         ));
     }
     json.push_str("  ],\n");
@@ -467,7 +645,23 @@ fn main() {
             "smoke: hot path slower than baseline ({:.2}x)",
             tight.speedup()
         );
+        for r in &harness_results {
+            assert!(
+                r.speedup() > 1.0,
+                "smoke: {} fork server slower than rebuild ({:.2}x)",
+                r.name,
+                r.speedup()
+            );
+        }
     } else {
+        for r in &harness_results {
+            assert!(
+                r.speedup() >= 10.0,
+                "{} fork-server speedup {:.2}x is below the 10x floor",
+                r.name,
+                r.speedup()
+            );
+        }
         let tight = &results[0];
         assert!(
             tight.speedup() >= 5.0,

@@ -215,7 +215,7 @@ const FUEL: u64 = 2_000_000;
 
 /// The attacker's local copy: same sources, same compiler flags,
 /// default (unrandomized) layout.
-fn attacker_view(
+pub(crate) fn attacker_view(
     cache: &ProgramCache,
     source: &str,
     config: DefenseConfig,

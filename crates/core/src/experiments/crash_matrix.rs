@@ -162,30 +162,48 @@ const CODE_BASE: u32 = 0x1000;
 const PAGE_BASE: u32 = 0x2000;
 const PAGE_LEN: usize = 256;
 
-/// Runs a guest program that XOR-folds every byte of the data page
-/// into its exit code.
-fn guest_checksum(page: &[u8]) -> u32 {
-    let mut code = Vec::new();
-    Instr::MovI { dst: Reg::R0, imm: 0 }.encode(&mut code);
-    Instr::MovI { dst: Reg::R1, imm: PAGE_BASE }.encode(&mut code);
-    Instr::MovI { dst: Reg::R2, imm: PAGE_BASE + page.len() as u32 }.encode(&mut code);
-    let loop_top = CODE_BASE + code.len() as u32;
-    Instr::LoadB { dst: Reg::R3, base: Reg::R1, disp: 0 }.encode(&mut code);
-    Instr::Alu { op: AluOp::Xor, dst: Reg::R0, src: Reg::R3 }.encode(&mut code);
-    Instr::AddI { dst: Reg::R1, imm: 1 }.encode(&mut code);
-    Instr::Cmp { a: Reg::R1, b: Reg::R2 }.encode(&mut code);
-    Instr::JCond { cond: Cond::B, target: loop_top }.encode(&mut code);
-    Instr::Sys(sys::EXIT).encode(&mut code);
+/// A checksum guest booted once and served per page via snapshot
+/// restore: the VM program XOR-folds every byte of the data page into
+/// its exit code. Each [`Self::checksum`] call rewinds to the
+/// boot-time snapshot (copying back only the one data page the
+/// previous call dirtied), pokes the new page, and reruns.
+struct ChecksumGuest {
+    machine: Machine,
+    snapshot: swsec_vm::cpu::MachineSnapshot,
+    page_len: usize,
+}
 
-    let mut m = Machine::new();
-    m.mem_mut().map(CODE_BASE, 0x1000, Perm::RX).expect("map code");
-    m.mem_mut().map(PAGE_BASE, 0x1000, Perm::RW).expect("map data");
-    m.mem_mut().poke_bytes(CODE_BASE, &code).expect("load code");
-    m.mem_mut().poke_bytes(PAGE_BASE, page).expect("load page");
-    m.set_ip(CODE_BASE);
-    match m.run(50_000) {
-        RunOutcome::Halted(code) => code,
-        other => panic!("checksum guest did not halt: {other:?}"),
+impl ChecksumGuest {
+    fn boot(page_len: usize) -> ChecksumGuest {
+        let mut code = Vec::new();
+        Instr::MovI { dst: Reg::R0, imm: 0 }.encode(&mut code);
+        Instr::MovI { dst: Reg::R1, imm: PAGE_BASE }.encode(&mut code);
+        Instr::MovI { dst: Reg::R2, imm: PAGE_BASE + page_len as u32 }.encode(&mut code);
+        let loop_top = CODE_BASE + code.len() as u32;
+        Instr::LoadB { dst: Reg::R3, base: Reg::R1, disp: 0 }.encode(&mut code);
+        Instr::Alu { op: AluOp::Xor, dst: Reg::R0, src: Reg::R3 }.encode(&mut code);
+        Instr::AddI { dst: Reg::R1, imm: 1 }.encode(&mut code);
+        Instr::Cmp { a: Reg::R1, b: Reg::R2 }.encode(&mut code);
+        Instr::JCond { cond: Cond::B, target: loop_top }.encode(&mut code);
+        Instr::Sys(sys::EXIT).encode(&mut code);
+
+        let mut machine = Machine::new();
+        machine.mem_mut().map(CODE_BASE, 0x1000, Perm::RX).expect("map code");
+        machine.mem_mut().map(PAGE_BASE, 0x1000, Perm::RW).expect("map data");
+        machine.mem_mut().poke_bytes(CODE_BASE, &code).expect("load code");
+        machine.set_ip(CODE_BASE);
+        let snapshot = machine.snapshot();
+        ChecksumGuest { machine, snapshot, page_len }
+    }
+
+    fn checksum(&mut self, page: &[u8]) -> u32 {
+        assert_eq!(page.len(), self.page_len, "guest code is sized to the page");
+        self.machine.restore_from(&self.snapshot);
+        self.machine.mem_mut().poke_bytes(PAGE_BASE, page).expect("load page");
+        match self.machine.run(50_000) {
+            RunOutcome::Halted(code) => code,
+            other => panic!("checksum guest did not halt: {other:?}"),
+        }
     }
 }
 
@@ -200,12 +218,16 @@ fn vm_flip_cell(plan: &FaultPlan) -> Table {
     let nonce: [u8; 12] = nonce_material[..12].try_into().expect("12 bytes");
     let sealed_ref = seal(&key, &nonce, b"vm-page-integrity", &page);
 
-    let clean_sum = guest_checksum(&page);
+    // One guest serves both checksum runs: booted once, snapshotted,
+    // and restored (one dirty page) between the clean and tampered
+    // pages.
+    let mut guest = ChecksumGuest::boot(PAGE_LEN);
+    let clean_sum = guest.checksum(&page);
     let mut tampered = page.clone();
     let (byte, bit) = plan
         .flip_blob_bit(&mut tampered, &[3])
         .expect("page is non-empty");
-    let tampered_sum = guest_checksum(&tampered);
+    let tampered_sum = guest.checksum(&tampered);
     // A single bit flip always flips the same bit of the XOR fold.
     assert_ne!(clean_sum, tampered_sum, "bit flip must change the checksum");
 
@@ -323,6 +345,13 @@ mod tests {
     fn guest_checksum_matches_host_fold() {
         let page: Vec<u8> = (0..=255).collect();
         let host = page.iter().fold(0u8, |acc, b| acc ^ b);
-        assert_eq!(guest_checksum(&page), u32::from(host));
+        let mut guest = ChecksumGuest::boot(page.len());
+        assert_eq!(guest.checksum(&page), u32::from(host));
+        // Restores are clean: rerunning the same guest agrees, and a
+        // different page changes the fold.
+        assert_eq!(guest.checksum(&page), u32::from(host));
+        let mut flipped = page.clone();
+        flipped[0] ^= 0x80;
+        assert_eq!(guest.checksum(&flipped), u32::from(host ^ 0x80));
     }
 }

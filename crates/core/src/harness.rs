@@ -1,0 +1,360 @@
+//! The fork server: snapshot a booted victim once, restore per attempt.
+//!
+//! The paper's §III-C probabilistic countermeasures (ASLR, canaries)
+//! are only as strong as the attacker's cost per guess. A real attacker
+//! against a forking server pays one `fork()` per attempt, not one
+//! `execve()`; the experiments that measure guessing attacks should pay
+//! the same. [`ForkServer`] gives them that economy on the VM:
+//!
+//! 1. **boot** — compile the victim once (through the
+//!    [`ProgramCache`]), load it, apply the run-time defenses, and take
+//!    a [`MachineSnapshot`] at the attack surface (before any
+//!    seed-dependent state exists);
+//! 2. **attempt** — [`Machine::restore_from`] rewinds the machine in
+//!    O(dirty pages), [`loader::arm_session`] replays the seed-dependent
+//!    launch tail (machine RNG, canary draw), the attacker's input is
+//!    fed and the machine runs.
+//!
+//! Because `arm_session` is the *same function* the loader runs on a
+//! fresh launch, and a restored machine is architecturally equivalent
+//! to a freshly built one (`crates/vm/tests/snapshot.rs`), an attempt
+//! served from the snapshot behaves byte-for-byte like
+//! [`ServeMode::Rebuild`] — which rebuilds the machine from the
+//! compiled image every attempt and exists precisely so that
+//! equivalence stays testable end to end. The only divergence is the
+//! cache counters in [`ExecStats`] (fork attempts keep the icache and
+//! TLBs warm across restores); those are excluded from every rendered
+//! report, so experiment output is identical either way.
+
+use std::sync::Arc;
+
+use swsec_defenses::DefenseConfig;
+use swsec_minc::{CompileError, CompileOptions, CompiledProgram};
+use swsec_vm::cpu::{Machine, MachineSnapshot, RunOutcome};
+use swsec_vm::io::IoBus;
+use swsec_vm::trace::ExecStats;
+
+use crate::cache::ProgramCache;
+use crate::loader::{self, plan_options};
+
+/// Fuel given to each attempt unless overridden with
+/// [`ForkServer::with_fuel`].
+pub const DEFAULT_FUEL: u64 = 2_000_000;
+
+/// How a [`ForkServer`] executes each attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// Restore the boot-time snapshot (O(dirty pages) per attempt).
+    #[default]
+    Fork,
+    /// Rebuild a fresh machine from the compiled image per attempt —
+    /// the slow baseline the snapshot path must match byte for byte.
+    Rebuild,
+}
+
+impl ServeMode {
+    /// `Fork` when `on`, `Rebuild` otherwise.
+    pub fn from_fork_flag(on: bool) -> ServeMode {
+        if on {
+            ServeMode::Fork
+        } else {
+            ServeMode::Rebuild
+        }
+    }
+}
+
+/// Everything observable about one served attempt.
+#[derive(Debug, Clone)]
+pub struct AttemptOutcome {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// The canary value installed for this attempt (when canaries are
+    /// on).
+    pub canary_value: Option<u32>,
+    /// The attempt's complete I/O state (outputs written, input left).
+    pub io: IoBus,
+    /// Execution statistics of this attempt alone. The architectural
+    /// counters are identical across [`ServeMode`]s; the cache counters
+    /// are not (fork attempts run with warm caches).
+    pub stats: ExecStats,
+}
+
+impl AttemptOutcome {
+    /// Output written to channel `fd` during the attempt.
+    pub fn output(&self, fd: u32) -> &[u8] {
+        self.io.output(fd)
+    }
+
+    /// Whether channel `fd`'s output contains `needle`.
+    pub fn emitted(&self, fd: u32, needle: &[u8]) -> bool {
+        !needle.is_empty() && self.io.output(fd).windows(needle.len()).any(|w| w == needle)
+    }
+}
+
+/// Result of a batched [`ForkServer::search`].
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Attempts served (equals the number of inputs when no hit).
+    pub attempts: u64,
+    /// The first attempt the predicate accepted: its 1-based index and
+    /// full outcome.
+    pub hit: Option<(u64, AttemptOutcome)>,
+}
+
+/// A compiled-once, booted-once victim serving attack attempts from a
+/// snapshot (see the [module docs](self)).
+#[derive(Debug)]
+pub struct ForkServer {
+    program: Arc<CompiledProgram>,
+    config: DefenseConfig,
+    opts: CompileOptions,
+    machine: Machine,
+    snapshot: MachineSnapshot,
+    mode: ServeMode,
+    fuel: u64,
+}
+
+impl ForkServer {
+    /// Compiles `source` under `config` (layout drawn from
+    /// `plan_seed`), boots it once, and snapshots at the attack
+    /// surface: program loaded, DEP and shadow stack applied, no
+    /// seed-dependent state yet.
+    ///
+    /// Every subsequent attempt seed must imply the same compile plan
+    /// as `plan_seed` — automatically true without ASLR (the plan is
+    /// seed-independent), and true with ASLR exactly when the victim's
+    /// slide is held fixed across attempts, which is what a forking
+    /// server means.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] when compilation or loading fails.
+    pub fn boot(
+        cache: &ProgramCache,
+        source: &str,
+        config: DefenseConfig,
+        plan_seed: u64,
+        mode: ServeMode,
+    ) -> Result<ForkServer, CompileError> {
+        let opts = plan_options(&config, plan_seed);
+        let program = cache.compile(source, &opts)?;
+        let mut machine = Machine::new();
+        program.load(&mut machine)?;
+        machine.mem_mut().set_enforce(config.dep);
+        machine.set_shadow_stack(config.shadow_stack);
+        let snapshot = machine.snapshot();
+        Ok(ForkServer {
+            program,
+            config,
+            opts,
+            machine,
+            snapshot,
+            mode,
+            fuel: DEFAULT_FUEL,
+        })
+    }
+
+    /// Replaces the per-attempt fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> ForkServer {
+        self.fuel = fuel;
+        self
+    }
+
+    /// The compiled victim image (layout as loaded).
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The defense configuration in force.
+    pub fn config(&self) -> DefenseConfig {
+        self.config
+    }
+
+    /// How attempts are served.
+    pub fn mode(&self) -> ServeMode {
+        self.mode
+    }
+
+    /// Serves one attempt: rewind (or rebuild), re-arm the
+    /// seed-dependent launch state from `seed`, feed `input` on
+    /// channel 0, and run to completion or fuel exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] when `seed` implies a different
+    /// compile plan than the boot seed (the snapshot would be the wrong
+    /// binary), or when canary installation fails.
+    pub fn run_attempt(&mut self, seed: u64, input: &[u8]) -> Result<AttemptOutcome, CompileError> {
+        if plan_options(&self.config, seed) != self.opts {
+            return Err(CompileError {
+                message: format!(
+                    "fork-server: attempt seed {seed:#x} implies a different compile plan \
+                     than the booted victim (vary the attacker's guess, not the victim's slide)"
+                ),
+            });
+        }
+        match self.mode {
+            ServeMode::Fork => {
+                self.machine.restore_from(&self.snapshot);
+                let canary_value =
+                    loader::arm_session(&mut self.machine, &self.program, &self.config, seed)?;
+                self.machine.io_mut().feed_input(0, input);
+                let outcome = self.machine.run(self.fuel);
+                Ok(AttemptOutcome {
+                    outcome,
+                    canary_value,
+                    io: std::mem::take(self.machine.io_mut()),
+                    stats: self.machine.stats(),
+                })
+            }
+            ServeMode::Rebuild => {
+                let mut session = loader::launch_compiled(&self.program, self.config, seed)?;
+                session.machine.io_mut().feed_input(0, input);
+                let outcome = session.run(self.fuel);
+                Ok(AttemptOutcome {
+                    outcome,
+                    canary_value: session.canary_value,
+                    io: std::mem::take(session.machine.io_mut()),
+                    stats: session.machine.stats(),
+                })
+            }
+        }
+    }
+
+    /// Serves attempts in order until `is_hit` accepts one, returning
+    /// the attempt count and the first hit. Deterministic: the same
+    /// `(seed, input)` sequence always yields the same outcome,
+    /// regardless of [`ServeMode`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`run_attempt`](Self::run_attempt) error.
+    pub fn search<I, P>(&mut self, attempts: I, mut is_hit: P) -> Result<SearchOutcome, CompileError>
+    where
+        I: IntoIterator<Item = (u64, Vec<u8>)>,
+        P: FnMut(&AttemptOutcome) -> bool,
+    {
+        let mut served = 0u64;
+        for (seed, input) in attempts {
+            served += 1;
+            let outcome = self.run_attempt(seed, &input)?;
+            if is_hit(&outcome) {
+                return Ok(SearchOutcome {
+                    attempts: served,
+                    hit: Some((served, outcome)),
+                });
+            }
+        }
+        Ok(SearchOutcome {
+            attempts: served,
+            hit: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacker::VICTIM_SMASH;
+
+    fn canary_config() -> DefenseConfig {
+        let mut cfg = DefenseConfig::none();
+        cfg.canary = true;
+        cfg
+    }
+
+    #[test]
+    fn fork_and_rebuild_attempts_are_bit_identical() {
+        let cache = ProgramCache::new();
+        let mut fork =
+            ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 7, ServeMode::Fork).unwrap();
+        let mut rebuild =
+            ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 7, ServeMode::Rebuild)
+                .unwrap();
+        for seed in [7u64, 8, 9, 7] {
+            let input = vec![b'A'; 60]; // smashes past the canary
+            let a = fork.run_attempt(seed, &input).unwrap();
+            let b = rebuild.run_attempt(seed, &input).unwrap();
+            assert_eq!(a.outcome, b.outcome, "seed {seed}");
+            assert_eq!(a.canary_value, b.canary_value, "seed {seed}");
+            assert_eq!(a.io.observable(), b.io.observable(), "seed {seed}");
+            // Cache counters may differ (fork attempts keep warm
+            // caches); the architectural projection must not.
+            assert_eq!(
+                a.stats.architectural(),
+                b.stats.architectural(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn attempts_are_independent() {
+        // A benign attempt after a crashing one sees pristine state.
+        let cache = ProgramCache::new();
+        let mut server =
+            ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 3, ServeMode::Fork).unwrap();
+        let crash = server.run_attempt(3, &[b'A'; 96]).unwrap();
+        assert!(matches!(crash.outcome, RunOutcome::Fault(_)));
+        for _ in 0..3 {
+            let ok = server.run_attempt(3, b"hello").unwrap();
+            assert_eq!(ok.outcome, RunOutcome::Halted(0));
+            assert_eq!(ok.output(1), b"OK");
+        }
+    }
+
+    #[test]
+    fn same_seed_means_same_canary_across_attempts() {
+        // The forking-server property the E14 oracle exploits.
+        let cache = ProgramCache::new();
+        let mut server =
+            ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 11, ServeMode::Fork).unwrap();
+        let a = server.run_attempt(42, b"x").unwrap();
+        let b = server.run_attempt(42, b"y").unwrap();
+        let c = server.run_attempt(43, b"x").unwrap();
+        assert_eq!(a.canary_value, b.canary_value);
+        assert_ne!(a.canary_value, c.canary_value);
+    }
+
+    #[test]
+    fn compiles_and_boots_exactly_once() {
+        let cache = ProgramCache::new();
+        let mut server =
+            ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 5, ServeMode::Fork).unwrap();
+        for seed in 0..50u64 {
+            server.run_attempt(seed, b"ping").unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.parses), (0, 1, 1));
+    }
+
+    #[test]
+    fn mismatched_plan_seed_is_rejected() {
+        let cache = ProgramCache::new();
+        let mut cfg = DefenseConfig::none();
+        cfg.aslr_bits = Some(8);
+        let mut server = ForkServer::boot(&cache, VICTIM_SMASH, cfg, 1, ServeMode::Fork).unwrap();
+        // Same seed: same slide, fine.
+        assert!(server.run_attempt(1, b"x").is_ok());
+        // A different seed would re-randomize the victim — rejected.
+        assert!(server.run_attempt(2, b"x").is_err());
+    }
+
+    #[test]
+    fn search_reports_the_first_hit() {
+        let cache = ProgramCache::new();
+        let mut server =
+            ForkServer::boot(&cache, VICTIM_SMASH, DefenseConfig::none(), 1, ServeMode::Fork)
+                .unwrap();
+        // Benign inputs echo OK; only the third "input" is special to
+        // the predicate.
+        let attempts = (0..5u64).map(|i| (1u64, vec![b'a' + i as u8; 4]));
+        let result = server
+            .search(attempts, |r| r.io.pending_input(0) == 0 && r.output(1) == b"OK")
+            .unwrap();
+        let (index, hit) = result.hit.expect("every benign attempt echoes OK");
+        assert_eq!(index, 1);
+        assert_eq!(result.attempts, 1);
+        assert_eq!(hit.outcome, RunOutcome::Halted(0));
+    }
+}

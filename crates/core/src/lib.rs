@@ -20,6 +20,8 @@
 //!   points and bit flips, plus the test-only fault-demo experiment;
 //! * [`cache`] — compile-once memoization across a campaign's
 //!   thousands of victim launches;
+//! * [`harness`] — the snapshot/restore fork server: boot a victim
+//!   once, serve every attack attempt in O(dirty pages);
 //! * [`report`] — plain-text tables the drivers emit.
 //!
 //! ## Quick start
@@ -46,6 +48,7 @@ pub mod campaign;
 pub mod equiv;
 pub mod experiments;
 pub mod faults;
+pub mod harness;
 pub mod loader;
 pub mod report;
 
@@ -58,6 +61,7 @@ pub mod prelude {
         CampaignTelemetry, CellOutcome, CellProgress, CellRecord,
     };
     pub use crate::faults::{FaultPlan, FaultyExperiment};
+    pub use crate::harness::{AttemptOutcome, ForkServer, SearchOutcome, ServeMode};
     pub use crate::equiv::{compare, Comparison, Verdict};
     pub use crate::experiments::{registry, Experiment};
     pub use crate::loader::{launch, Session};

@@ -151,20 +151,43 @@ pub fn launch_compiled(
     program.load(&mut machine)?;
     machine.mem_mut().set_enforce(config.dep);
     machine.set_shadow_stack(config.shadow_stack);
-    machine.seed_rng(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
-    let canary_value = if config.canary {
-        let value = stream(seed, &[draw::CANARY]).next_u32();
-        program.install_canary(&mut machine, value)?;
-        Some(value)
-    } else {
-        None
-    };
+    let canary_value = arm_session(&mut machine, program, &config, seed)?;
     Ok(Session {
         machine,
         program: program.clone(),
         config,
         canary_value,
     })
+}
+
+/// Applies the per-launch, *seed-dependent* half of a launch to an
+/// already-loaded machine: seeds the machine RNG and installs the
+/// canary drawn from `seed` (when canaries are on), returning the
+/// installed value.
+///
+/// This is the exact tail of [`launch_compiled`], factored out so the
+/// fork-server harness ([`crate::harness::ForkServer`]) can replay it
+/// after a snapshot restore — per-attempt state is then bit-identical
+/// to a fresh launch *by construction*, because both paths run this one
+/// function.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] when canary installation fails.
+pub fn arm_session(
+    machine: &mut Machine,
+    program: &CompiledProgram,
+    config: &DefenseConfig,
+    seed: u64,
+) -> Result<Option<u32>, CompileError> {
+    machine.seed_rng(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    if config.canary {
+        let value = stream(seed, &[draw::CANARY]).next_u32();
+        program.install_canary(machine, value)?;
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
 }
 
 /// Compiles `unit` under `config` and launches it.

@@ -10,7 +10,10 @@
 //! `control_transfer`, `syscall`, `guard_check`, `step`, `cell_failed`)
 //! in the dump;
 //! `--require metric` and `--require meta` demand record families
-//! instead. A summary of record counts per kind goes to stdout.
+//! instead, and `--require metric:NAME` demands a specific metric by
+//! its dotted name (a trailing `*` matches a prefix, e.g.
+//! `metric:vm.snapshot.*`). A summary of record counts per kind goes
+//! to stdout.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -49,6 +52,7 @@ fn main() -> ExitCode {
     };
 
     let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut metric_names: BTreeMap<String, u64> = BTreeMap::new();
     let mut lines = 0u64;
     for (i, line) in text.lines().enumerate() {
         if line.is_empty() {
@@ -57,7 +61,10 @@ fn main() -> ExitCode {
         lines += 1;
         let key = match parse_line(line) {
             Ok(Record::Event(ev)) => ev.kind_name().to_string(),
-            Ok(Record::Metric { .. }) => "metric".to_string(),
+            Ok(Record::Metric { name, .. }) => {
+                *metric_names.entry(name).or_insert(0) += 1;
+                "metric".to_string()
+            }
             Ok(Record::Meta { .. }) => "meta".to_string(),
             Err(e) => {
                 eprintln!("telcheck: {path}:{}: {e}", i + 1);
@@ -74,7 +81,14 @@ fn main() -> ExitCode {
 
     let mut ok = true;
     for kind in &required {
-        if counts.get(kind).copied().unwrap_or(0) == 0 {
+        let present = match kind.strip_prefix("metric:") {
+            Some(name) => match name.strip_suffix('*') {
+                Some(prefix) => metric_names.keys().any(|n| n.starts_with(prefix)),
+                None => metric_names.contains_key(name),
+            },
+            None => counts.get(kind).copied().unwrap_or(0) != 0,
+        };
+        if !present {
             eprintln!("telcheck: required kind {kind:?} absent from {path}");
             ok = false;
         }

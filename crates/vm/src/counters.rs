@@ -21,6 +21,10 @@ static ICACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static ICACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 static TLB_HITS: AtomicU64 = AtomicU64::new(0);
 static TLB_MISSES: AtomicU64 = AtomicU64::new(0);
+static SNAPSHOTS: AtomicU64 = AtomicU64::new(0);
+static RESTORES: AtomicU64 = AtomicU64::new(0);
+static RESTORE_DIRTY_PAGES: AtomicU64 = AtomicU64::new(0);
+static RESTORE_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time reading of the process-wide VM counters.
 ///
@@ -34,10 +38,19 @@ pub struct VmCounters {
     pub icache_hits: u64,
     /// Decoded-instruction-cache misses.
     pub icache_misses: u64,
-    /// One-entry-TLB hits.
+    /// TLB hits.
     pub tlb_hits: u64,
-    /// One-entry-TLB misses.
+    /// TLB misses.
     pub tlb_misses: u64,
+    /// Machine snapshots taken ([`Machine::snapshot`](crate::cpu::Machine::snapshot)).
+    pub snapshots: u64,
+    /// Machine restores performed
+    /// ([`Machine::restore_from`](crate::cpu::Machine::restore_from)).
+    pub restores: u64,
+    /// Dirty pages copied back across all restores.
+    pub restore_dirty_pages: u64,
+    /// Bytes copied back across all restores.
+    pub restore_bytes: u64,
 }
 
 impl VmCounters {
@@ -50,7 +63,19 @@ impl VmCounters {
             icache_misses: self.icache_misses.saturating_sub(earlier.icache_misses),
             tlb_hits: self.tlb_hits.saturating_sub(earlier.tlb_hits),
             tlb_misses: self.tlb_misses.saturating_sub(earlier.tlb_misses),
+            snapshots: self.snapshots.saturating_sub(earlier.snapshots),
+            restores: self.restores.saturating_sub(earlier.restores),
+            restore_dirty_pages: self
+                .restore_dirty_pages
+                .saturating_sub(earlier.restore_dirty_pages),
+            restore_bytes: self.restore_bytes.saturating_sub(earlier.restore_bytes),
         }
+    }
+
+    /// Mean dirty pages copied per restore; `None` when no restore was
+    /// counted.
+    pub fn mean_dirty_pages(self) -> Option<f64> {
+        (self.restores > 0).then(|| self.restore_dirty_pages as f64 / self.restores as f64)
     }
 
     /// Hit fraction of the decoded-instruction cache, in `[0, 1]`;
@@ -79,7 +104,24 @@ pub fn snapshot() -> VmCounters {
         icache_misses: ICACHE_MISSES.load(Ordering::Relaxed),
         tlb_hits: TLB_HITS.load(Ordering::Relaxed),
         tlb_misses: TLB_MISSES.load(Ordering::Relaxed),
+        snapshots: SNAPSHOTS.load(Ordering::Relaxed),
+        restores: RESTORES.load(Ordering::Relaxed),
+        restore_dirty_pages: RESTORE_DIRTY_PAGES.load(Ordering::Relaxed),
+        restore_bytes: RESTORE_BYTES.load(Ordering::Relaxed),
     }
+}
+
+/// Counts one machine snapshot. Called from `Machine::snapshot`.
+pub(crate) fn note_snapshot() {
+    SNAPSHOTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one machine restore and what it copied. Called from
+/// `Machine::restore_from`.
+pub(crate) fn note_restore(dirty_pages: u64, bytes: u64) {
+    RESTORES.fetch_add(1, Ordering::Relaxed);
+    RESTORE_DIRTY_PAGES.fetch_add(dirty_pages, Ordering::Relaxed);
+    RESTORE_BYTES.fetch_add(bytes, Ordering::Relaxed);
 }
 
 /// Folds one machine's lifetime stats into the global totals. Called
@@ -103,13 +145,16 @@ mod tests {
             instructions: 100,
             icache_hits: 90,
             icache_misses: 10,
-            tlb_hits: 0,
-            tlb_misses: 0,
+            restores: 4,
+            restore_dirty_pages: 6,
+            ..VmCounters::default()
         };
         let d = a.since(VmCounters::default());
         assert_eq!(d, a);
         assert_eq!(d.icache_hit_rate(), Some(0.9));
         assert_eq!(d.tlb_hit_rate(), None);
+        assert_eq!(d.mean_dirty_pages(), Some(1.5));
+        assert_eq!(VmCounters::default().mean_dirty_pages(), None);
         // Stale (larger) snapshots saturate instead of underflowing.
         assert_eq!(VmCounters::default().since(a).instructions, 0);
     }

@@ -60,18 +60,35 @@ use crate::trace::{ExecStats, TraceEntry, TraceRing};
 const ICACHE_SLOTS: usize = 1024;
 
 /// One decoded-instruction-cache line: the instruction decoded at `ip`
-/// while the memory's code generation was `gen`. Any change to
-/// fetchable bytes bumps the generation and thereby invalidates every
-/// line at once — self-modifying code (the classic code-corruption
-/// attack) always sees its new bytes on the very next fetch.
+/// while the memory's global code generation was `gen` and the source
+/// page (slot `slot`) had write generation `pgen`.
+///
+/// A hit requires both generations unchanged. The global generation
+/// bumps on every wholesale invalidation — mapping, unmapping,
+/// permission and enforcement changes — so a matching `gen` proves the
+/// layout, the fill-time fetch permission, *and* the slot index are
+/// all still valid; no per-hit page walk or permission check is
+/// needed, only a direct `slot → write generation` load. A write —
+/// including a snapshot restore's copy-back — bumps the written page's
+/// generation, so self-modifying code (the classic code-corruption
+/// attack) always sees its new bytes on the very next fetch while a
+/// stack push leaves decodes from other pages valid.
 #[derive(Clone, Copy)]
 struct ICacheEntry {
     ip: u32,
     gen: u64,
+    /// Slot index of the page `ip` lies in, at decode time.
+    slot: u32,
+    /// Slot index of the second page, for straddling encodings.
+    slot2: u32,
+    /// Write generation of the page `ip` lies in, at decode time.
+    pgen: u64,
+    /// Write generation of the second page, for straddling encodings.
+    pgen2: u64,
     instr: Instr,
     len: u8,
     /// Whether the encoding crosses a page boundary (the second page's
-    /// fetch permission is then re-validated on every hit too).
+    /// write generation is then validated on every hit too).
     straddles: bool,
 }
 
@@ -79,6 +96,10 @@ struct ICacheEntry {
 const ICACHE_EMPTY: ICacheEntry = ICacheEntry {
     ip: 0,
     gen: 0,
+    slot: 0,
+    slot2: 0,
+    pgen: 0,
+    pgen2: 0,
     instr: Instr::Nop,
     len: 1,
     straddles: false,
@@ -586,6 +607,41 @@ impl Machine {
         }
     }
 
+    /// Bulk equivalent of a `store_u8` loop, for syscall buffers when
+    /// no PMA policy needs per-byte checks. Observably identical to the
+    /// loop: each byte counts as one store, a fault lands on the first
+    /// inaccessible byte (counting it, like the loop's pre-increment)
+    /// with earlier bytes left written, and single-byte accesses never
+    /// set the straddle hint.
+    fn copy_in(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        match self.mem.write_bytes(addr, bytes, Access::Write) {
+            Ok(()) => {
+                self.stats.mem_writes += bytes.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.mem_writes += u64::from(e.addr.wrapping_sub(addr)) + 1;
+                self.straddle_hint = false;
+                Err(Fault::Mem(e))
+            }
+        }
+    }
+
+    /// Bulk equivalent of a `load_u8` loop (see [`Self::copy_in`]).
+    fn copy_out(&mut self, addr: u32, buf: &mut [u8]) -> Result<(), Fault> {
+        match self.mem.read_bytes(addr, buf, Access::Read) {
+            Ok(()) => {
+                self.stats.mem_reads += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.mem_reads += u64::from(e.addr.wrapping_sub(addr)) + 1;
+                self.straddle_hint = false;
+                Err(Fault::Mem(e))
+            }
+        }
+    }
+
     /// Delivers one event to the attached sink. Callers check
     /// `sink_mask` first, so unwanted events are never constructed.
     #[inline]
@@ -685,10 +741,14 @@ impl Machine {
 
     /// Fetches the instruction at `ip`, consulting the decoded-
     /// instruction cache first. A line hits only while the memory's
-    /// code generation is unchanged since it was filled, so any write
-    /// that could alter fetchable bytes — self-modifying code, loader
-    /// pokes, permission or mapping changes — forces a fresh decode.
-    /// The page fetch permission (DEP) is re-validated on every hit.
+    /// global code generation *and* the write generation of the page(s)
+    /// it was decoded from are unchanged, so any write that could alter
+    /// these bytes — self-modifying code, loader pokes, a snapshot
+    /// restore, permission or mapping changes — forces a fresh decode,
+    /// while writes to other pages leave the line valid. Fetch
+    /// permission (DEP) needs no per-hit re-check: permission and
+    /// enforcement changes bump the global generation, so a hit proves
+    /// the fill-time check still stands (see [`ICacheEntry`]).
     fn fetch(&mut self) -> Result<(Instr, usize), Fault> {
         if !self.fast_path {
             return self.fetch_decode();
@@ -696,24 +756,37 @@ impl Machine {
         let gen = self.mem.code_generation();
         let idx = (self.ip as usize) & (ICACHE_SLOTS - 1);
         let e = self.icache[idx];
-        if e.gen == gen && e.ip == self.ip {
-            self.mem.check_access(self.ip, Access::Fetch)?;
-            if e.straddles {
-                self.mem
-                    .check_access(self.ip.wrapping_add(u32::from(e.len) - 1), Access::Fetch)?;
-            }
+        // `gen` must match before the slot indices may be trusted: a
+        // matching global generation means no map/unmap has happened
+        // since the fill, so the slots still hold the same pages.
+        if e.gen == gen
+            && e.ip == self.ip
+            && self.mem.slot_gen(e.slot) == e.pgen
+            && (!e.straddles || self.mem.slot_gen(e.slot2) == e.pgen2)
+        {
             self.stats.icache_hits += 1;
             return Ok((e.instr, usize::from(e.len)));
         }
         self.stats.icache_misses += 1;
         let (instr, len) = self.fetch_decode()?;
         let last = self.ip.wrapping_add(len as u32 - 1);
+        let straddles = (self.ip ^ last) >= PAGE_SIZE;
+        let (slot, pgen) = self.mem.fetch_page(self.ip)?;
+        let (slot2, pgen2) = if straddles {
+            self.mem.fetch_page(last)?
+        } else {
+            (0, 0)
+        };
         self.icache[idx] = ICacheEntry {
             ip: self.ip,
             gen,
+            slot,
+            slot2,
+            pgen,
+            pgen2,
             instr,
             len: len as u8,
-            straddles: (self.ip ^ last) >= PAGE_SIZE,
+            straddles,
         };
         Ok((instr, len))
     }
@@ -747,6 +820,10 @@ impl Machine {
         self.pending_transfer = TransferKind::Sequential;
     }
 
+    /// Largest syscall I/O transfer staged through a stack buffer;
+    /// longer transfers fall back to a heap allocation.
+    const SYS_STACK_BUF_LEN: usize = 256;
+
     fn syscall(&mut self, number: u8) -> Result<SysEffect, Fault> {
         self.stats.syscalls += 1;
         match number {
@@ -758,10 +835,26 @@ impl Machine {
                 if self.blocking_reads && len > 0 && self.io.pending_input(fd) == 0 {
                     return Ok(SysEffect::Block(fd));
                 }
-                let mut tmp = vec![0u8; len as usize];
-                let n = self.io.read(fd, &mut tmp);
-                for (i, &b) in tmp[..n].iter().enumerate() {
-                    self.store_u8(buf.wrapping_add(i as u32), b)?;
+                // Small transfers (every harness payload) stage through
+                // the stack: per-attempt heap allocations are measurable
+                // against the fork server's sub-microsecond budget.
+                let mut stack = [0u8; Self::SYS_STACK_BUF_LEN];
+                let mut heap = Vec::new();
+                let tmp: &mut [u8] = if len as usize <= Self::SYS_STACK_BUF_LEN {
+                    &mut stack[..len as usize]
+                } else {
+                    heap.resize(len as usize, 0);
+                    &mut heap
+                };
+                let n = self.io.read(fd, tmp);
+                if self.pma.is_none() {
+                    self.copy_in(buf, &tmp[..n])?;
+                } else {
+                    // PMA policy is per-access: each byte must be
+                    // checked against the instruction's module.
+                    for (i, &b) in tmp[..n].iter().enumerate() {
+                        self.store_u8(buf.wrapping_add(i as u32), b)?;
+                    }
                 }
                 self.set_reg(Reg::R0, n as u32);
                 Ok(SysEffect::Continue)
@@ -770,11 +863,22 @@ impl Machine {
                 let fd = self.reg(Reg::R0);
                 let buf = self.reg(Reg::R1);
                 let len = self.reg(Reg::R2);
-                let mut out = Vec::with_capacity(len as usize);
-                for i in 0..len {
-                    out.push(self.load_u8(buf.wrapping_add(i))?);
+                let mut stack = [0u8; Self::SYS_STACK_BUF_LEN];
+                let mut heap = Vec::new();
+                let out: &mut [u8] = if len as usize <= Self::SYS_STACK_BUF_LEN {
+                    &mut stack[..len as usize]
+                } else {
+                    heap.resize(len as usize, 0);
+                    &mut heap
+                };
+                if self.pma.is_none() {
+                    self.copy_out(buf, out)?;
+                } else {
+                    for (i, b) in out.iter_mut().enumerate() {
+                        *b = self.load_u8(buf.wrapping_add(i as u32))?;
+                    }
                 }
-                self.io.write(fd, &out);
+                self.io.write(fd, out);
                 self.set_reg(Reg::R0, len);
                 Ok(SysEffect::Continue)
             }
@@ -1092,6 +1196,129 @@ impl Machine {
             }
         }
         RunOutcome::OutOfFuel
+    }
+
+    /// Captures the complete architectural state of the machine —
+    /// registers, flags, memory (refcounted page images), I/O queues
+    /// and logs, platform protections (PMA map, shadow stack), RNG
+    /// state and run status — into a [`MachineSnapshot`] that
+    /// [`restore_from`](Machine::restore_from) can rewind to in
+    /// O(dirty pages).
+    ///
+    /// Deliberately **not** captured, because they are observers or
+    /// tuning knobs rather than machine state: the attached event sink,
+    /// the trace ring, accumulated [`ExecStats`], and the fast-path
+    /// switch. A restore leaves the current sink and fast-path setting
+    /// in place and resets the per-run stats, so a restored run is
+    /// *architecturally* indistinguishable from a freshly built machine
+    /// in the same configuration — same outcomes, registers, memory,
+    /// I/O and instruction-level counters. The cache counters are the
+    /// deliberate exception: decodes and translations for pages the
+    /// restore did not have to copy stay warm, so a restored run is
+    /// faster than a fresh build. (Cache counters are excluded from
+    /// rendered reports precisely so accelerator state can never leak
+    /// into experiment output.)
+    pub fn snapshot(&mut self) -> MachineSnapshot {
+        crate::counters::note_snapshot();
+        MachineSnapshot {
+            regs: self.regs,
+            ip: self.ip,
+            flags: self.flags,
+            mem: self.mem.snapshot(),
+            io: self.io.clone(),
+            pma: self.pma.clone(),
+            shadow_stack: self.shadow_stack.clone(),
+            halted: self.halted,
+            rng_state: self.rng_state,
+            prev_ip: self.prev_ip,
+            pending_transfer: self.pending_transfer,
+            blocking_reads: self.blocking_reads,
+        }
+    }
+
+    /// Rewinds the machine to the state captured by `snap`, copying
+    /// back only the memory pages dirtied since that snapshot (see
+    /// [`Memory::restore_from`]). Returns what the restore copied.
+    ///
+    /// Stats discipline: the stats accumulated since the last restore
+    /// (or since construction) are folded into the process-wide
+    /// [`counters`](crate::counters) first — exactly what `Drop` does —
+    /// and then zeroed, so a restored attempt's architectural stats
+    /// match a fresh build's bit-for-bit and nothing is counted twice
+    /// or lost when the machine is eventually dropped. Cache counters
+    /// start from zero too but may count fewer misses than a fresh
+    /// build, because decodes and translations survive the restore
+    /// (see [`snapshot`](Machine::snapshot)).
+    pub fn restore_from(&mut self, snap: &MachineSnapshot) -> crate::mem::RestoreStats {
+        // Absorb the finished attempt's stats, then start from zero
+        // like a fresh machine.
+        crate::counters::absorb(&self.stats());
+        self.stats = ExecStats::default();
+        self.mem.reset_tlb_counts();
+
+        let restore = self.mem.restore_from(&snap.mem);
+        crate::counters::note_restore(restore.dirty_pages, restore.bytes_copied);
+
+        self.regs = snap.regs;
+        self.ip = snap.ip;
+        self.flags = snap.flags;
+        self.io = snap.io.clone();
+        self.pma = snap.pma.clone();
+        self.shadow_stack = snap.shadow_stack.clone();
+        self.halted = snap.halted;
+        self.rng_state = snap.rng_state;
+        self.prev_ip = snap.prev_ip;
+        self.pending_transfer = snap.pending_transfer;
+        self.blocking_reads = snap.blocking_reads;
+        self.straddle_hint = false;
+        // Decoded instructions need no explicit flush: the restore
+        // bumped the write generation of every page it copied back, so
+        // exactly the stale lines miss; decodes from untouched pages
+        // stay warm across attempts.
+        if let Some(trace) = self.trace.as_mut() {
+            let _ = trace.take();
+        }
+        restore
+    }
+}
+
+/// The complete architectural state of a [`Machine`], captured by
+/// [`Machine::snapshot`] and rewound to by [`Machine::restore_from`].
+///
+/// Memory pages are refcounted images shared with every clone of the
+/// snapshot; restoring re-materializes only pages dirtied since the
+/// capture. See the snapshot method docs for what is intentionally not
+/// captured (sink, trace, stats, fast-path switch).
+#[derive(Clone)]
+pub struct MachineSnapshot {
+    regs: [u32; NUM_REGS],
+    ip: u32,
+    flags: Flags,
+    mem: crate::mem::MemorySnapshot,
+    io: IoBus,
+    pma: Option<ProtectionMap>,
+    shadow_stack: Option<Vec<u32>>,
+    halted: Option<u32>,
+    rng_state: u64,
+    prev_ip: u32,
+    pending_transfer: TransferKind,
+    blocking_reads: bool,
+}
+
+impl fmt::Debug for MachineSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MachineSnapshot")
+            .field("ip", &format_args!("{:#010x}", self.ip))
+            .field("pages", &self.mem.page_count())
+            .field("halted", &self.halted)
+            .finish()
+    }
+}
+
+impl MachineSnapshot {
+    /// Number of memory pages captured.
+    pub fn page_count(&self) -> usize {
+        self.mem.page_count()
     }
 }
 

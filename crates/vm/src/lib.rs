@@ -51,9 +51,9 @@ pub mod trace;
 
 /// The names almost every user of this crate needs.
 pub mod prelude {
-    pub use crate::cpu::{Fault, Machine, RunOutcome, StepResult};
+    pub use crate::cpu::{Fault, Machine, MachineSnapshot, RunOutcome, StepResult};
     pub use crate::io::IoBus;
     pub use crate::isa::{Instr, Reg};
-    pub use crate::mem::{Access, Memory, Perm};
+    pub use crate::mem::{Access, Memory, Perm, RestoreStats};
     pub use crate::policy::{ProtectedRegion, ProtectionMap, ReentryPolicy};
 }

@@ -13,9 +13,11 @@
 //!
 //! Pages live in a flat slot vector; a `BTreeMap` maps page bases to
 //! slots only on the *slow* path. Every access resolves its page
-//! **once** (not once per byte) and a pair of one-entry TLBs — one for
-//! data, one for instruction fetch — memoize the last translation so
-//! the common case is a couple of compares. Two generation counters
+//! **once** (not once per byte) and a pair of two-entry TLBs — one for
+//! data, one for instruction fetch, each holding the two most recent
+//! translations with MRU replacement (so code that alternates between
+//! a caller page and a module page keeps both) — memoize translations
+//! so the common case is a couple of compares. Two generation counters
 //! make the caching invisible:
 //!
 //! * the **layout generation** bumps on [`map`](Memory::map) /
@@ -43,6 +45,7 @@ use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Size of one page in bytes.
 pub const PAGE_SIZE: u32 = 4096;
@@ -200,6 +203,19 @@ impl std::error::Error for MapError {}
 struct Page {
     bytes: Box<[u8; PAGE_SIZE as usize]>,
     perm: Perm,
+    /// Whether the page's bytes may differ from the most recent
+    /// [`Memory::snapshot`]. Cleared when a snapshot is taken (the page
+    /// then provably matches its captured image) and set by every write
+    /// path, so [`Memory::restore_from`] copies back exactly the pages
+    /// written since.
+    dirty: bool,
+    /// Write generation: bumped by every mutation of this page's bytes
+    /// (program stores, loader pokes, snapshot restores). Decoded
+    /// instructions cache the generation of the page(s) they were read
+    /// from and stay valid exactly while it is unchanged, so a store to
+    /// one page — a stack push, say — no longer invalidates decodes
+    /// from every other page.
+    gen: u64,
 }
 
 impl Page {
@@ -207,7 +223,17 @@ impl Page {
         Page {
             bytes: Box::new([0; PAGE_SIZE as usize]),
             perm,
+            // A fresh page has no snapshot to match.
+            dirty: true,
+            gen: 0,
         }
+    }
+
+    /// Marks the page's bytes as mutated: snapshot-dirty and decode-stale.
+    #[inline]
+    fn touch(&mut self) {
+        self.dirty = true;
+        self.gen = self.gen.wrapping_add(1);
     }
 }
 
@@ -232,14 +258,105 @@ impl TlbEntry {
     };
 }
 
+/// A two-entry translation cache for one access class, with MRU-victim
+/// replacement: a fill evicts the entry *not* most recently used. Two
+/// entries capture the dominant cross-page pattern — code alternating
+/// between a caller page and a callee/module page — that a single entry
+/// thrashes on.
+struct TlbPair {
+    entries: [Cell<TlbEntry>; 2],
+    mru: Cell<u8>,
+}
+
+impl TlbPair {
+    fn new() -> TlbPair {
+        TlbPair {
+            entries: [Cell::new(TlbEntry::INVALID), Cell::new(TlbEntry::INVALID)],
+            mru: Cell::new(0),
+        }
+    }
+
+    /// The matching entry for `base` under layout generation `gen`, if
+    /// cached; marks it most recently used.
+    #[inline]
+    fn lookup(&self, base: u32, gen: u64) -> Option<TlbEntry> {
+        let m = (self.mru.get() & 1) as usize;
+        let e = self.entries[m].get();
+        if e.base == base && e.gen == gen {
+            return Some(e);
+        }
+        let e = self.entries[1 - m].get();
+        if e.base == base && e.gen == gen {
+            self.mru.set((1 - m) as u8);
+            return Some(e);
+        }
+        None
+    }
+
+    /// Installs `e`, evicting the least recently used entry.
+    #[inline]
+    fn fill(&self, e: TlbEntry) {
+        let victim = 1 - ((self.mru.get() & 1) as usize);
+        self.entries[victim].set(e);
+        self.mru.set(victim as u8);
+    }
+
+    /// Drops both entries.
+    fn clear(&self) {
+        self.entries[0].set(TlbEntry::INVALID);
+        self.entries[1].set(TlbEntry::INVALID);
+        self.mru.set(0);
+    }
+}
+
 /// Translation-cache hit/miss counters, exposed for observability (the
 /// campaign summary) — they never influence program-visible behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
-    /// Accesses served by a one-entry TLB.
+    /// Accesses served by a TLB entry.
     pub hits: u64,
     /// Accesses that fell back to the page-table lookup.
     pub misses: u64,
+}
+
+/// An immutable capture of a [`Memory`]'s mapped pages and enforcement
+/// flag, taken by [`Memory::snapshot`]. Page images are refcounted
+/// (`Arc`), so cloning a snapshot — or holding one while the live
+/// memory diverges — shares them copy-on-restore: only pages dirtied
+/// since the snapshot are re-materialized by
+/// [`Memory::restore_from`].
+#[derive(Clone)]
+pub struct MemorySnapshot {
+    /// `(page base, image, perm)`, sorted by base (page-table order).
+    pages: Vec<(u32, Arc<[u8; PAGE_SIZE as usize]>, Perm)>,
+    enforce: bool,
+}
+
+impl fmt::Debug for MemorySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemorySnapshot")
+            .field("pages", &self.pages.len())
+            .field("enforce", &self.enforce)
+            .finish()
+    }
+}
+
+impl MemorySnapshot {
+    /// Number of pages captured.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// What one [`Memory::restore_from`] call had to copy — the measurable
+/// face of the O(dirty-pages) restore guarantee.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// Pages whose bytes were copied back from the snapshot.
+    pub dirty_pages: u64,
+    /// Bytes copied (`dirty_pages * PAGE_SIZE` — every copy is a whole
+    /// page).
+    pub bytes_copied: u64,
 }
 
 /// Sparse paged memory for one machine.
@@ -263,8 +380,14 @@ pub struct Memory {
     /// Bumped whenever *fetchable* bytes could change; the CPU's
     /// decoded-instruction cache keys on this.
     code_gen: u64,
-    tlb_data: Cell<TlbEntry>,
-    tlb_fetch: Cell<TlbEntry>,
+    /// Whether the page *layout* (the table, permissions, or the
+    /// enforcement flag) may have changed since the last
+    /// [`snapshot`](Memory::snapshot). While set, per-page dirty bits
+    /// cannot prove layout equality, so `restore_from` falls back to a
+    /// wholesale rebuild. A fresh memory has no snapshot: starts true.
+    layout_dirty: bool,
+    tlb_data: TlbPair,
+    tlb_fetch: TlbPair,
     tlb_hits: Cell<u64>,
     tlb_misses: Cell<u64>,
 }
@@ -296,8 +419,9 @@ impl Memory {
             fast_path: true,
             layout_gen: 1,
             code_gen: 1,
-            tlb_data: Cell::new(TlbEntry::INVALID),
-            tlb_fetch: Cell::new(TlbEntry::INVALID),
+            layout_dirty: true,
+            tlb_data: TlbPair::new(),
+            tlb_fetch: TlbPair::new(),
             tlb_hits: Cell::new(0),
             tlb_misses: Cell::new(0),
         }
@@ -319,14 +443,14 @@ impl Memory {
         self.enforce
     }
 
-    /// Enables or disables the translation fast path (the one-entry
+    /// Enables or disables the translation fast path (the two-entry
     /// TLBs). Defaults to on; switching it off forces every access
     /// through the page-table lookup, which the benchmark suite uses as
     /// its baseline. Program-visible behaviour is identical either way.
     pub fn set_fast_path(&mut self, on: bool) {
         self.fast_path = on;
-        self.tlb_data.set(TlbEntry::INVALID);
-        self.tlb_fetch.set(TlbEntry::INVALID);
+        self.tlb_data.clear();
+        self.tlb_fetch.clear();
     }
 
     /// Whether the translation fast path is on.
@@ -334,14 +458,49 @@ impl Memory {
         self.fast_path
     }
 
-    /// The current code generation. It changes whenever the bytes an
-    /// instruction fetch could observe may have changed — on mapping or
-    /// permission changes, on loader pokes, and on program writes to
-    /// pages that are currently fetchable. Decoded-instruction caches
-    /// key their entries on this value.
+    /// The current *global* code generation: bumped by wholesale
+    /// invalidations — mapping, unmapping or permission changes,
+    /// enforcement toggles, and layout-diverged restores. Byte-level
+    /// mutations are tracked per page instead (see
+    /// [`fetch_gen`](Memory::fetch_gen)); a decoded-instruction cache
+    /// line is valid only while **both** this value and the write
+    /// generation of the page(s) it was read from are unchanged.
     #[inline]
     pub fn code_generation(&self) -> u64 {
         self.code_gen
+    }
+
+    /// Checks fetch permission at `addr` and returns the containing
+    /// page's write generation — the per-page half of decoded-
+    /// instruction-cache validation (see
+    /// [`code_generation`](Memory::code_generation)).
+    ///
+    /// # Errors
+    ///
+    /// Faults when `addr` is unmapped or not fetchable.
+    #[inline]
+    pub fn fetch_gen(&self, addr: u32) -> Result<u64, MemError> {
+        self.fetch_page(addr).map(|(_, gen)| gen)
+    }
+
+    /// Resolves `addr` for fetch and returns `(slot, write generation)`
+    /// — what a decoded-instruction-cache fill records so later hits
+    /// can validate with [`slot_gen`](Memory::slot_gen) alone.
+    #[inline]
+    pub(crate) fn fetch_page(&self, addr: u32) -> Result<(u32, u64), MemError> {
+        let slot = self.resolve(addr, Access::Fetch)?;
+        Ok((slot as u32, self.slots[slot].gen))
+    }
+
+    /// The write generation of the page in `slot`. Only meaningful
+    /// while the global code generation is unchanged since `slot` was
+    /// obtained — layout changes may retire or reuse slots (callers
+    /// compare [`code_generation`](Memory::code_generation) first).
+    #[inline]
+    pub(crate) fn slot_gen(&self, slot: u32) -> u64 {
+        self.slots
+            .get(slot as usize)
+            .map_or(u64::MAX, |p| p.gen)
     }
 
     /// Translation-cache counters accumulated so far.
@@ -360,20 +519,9 @@ impl Memory {
     fn invalidate_layout(&mut self) {
         self.layout_gen += 1;
         self.code_gen += 1;
-        self.tlb_data.set(TlbEntry::INVALID);
-        self.tlb_fetch.set(TlbEntry::INVALID);
-    }
-
-    /// Records a write to a page with permission `perm`: bumps the code
-    /// generation iff the written bytes are currently fetchable (any
-    /// mapped byte is, with enforcement off). Writes to plain data
-    /// pages under DEP leave cached decodes valid — they could never
-    /// have been fetched.
-    #[inline]
-    fn note_write(&mut self, perm: Perm) {
-        if !self.enforce || perm.can_exec() {
-            self.code_gen += 1;
-        }
+        self.layout_dirty = true;
+        self.tlb_data.clear();
+        self.tlb_fetch.clear();
     }
 
     /// Resolves the page containing `addr` for `access`: **one** lookup
@@ -386,8 +534,7 @@ impl Memory {
             _ => &self.tlb_data,
         };
         if self.fast_path {
-            let e = tlb.get();
-            if e.base == base && e.gen == self.layout_gen {
+            if let Some(e) = tlb.lookup(base, self.layout_gen) {
                 self.tlb_hits.set(self.tlb_hits.get() + 1);
                 return if !self.enforce || e.perm.allows(access.required()) {
                     Ok(e.slot as usize)
@@ -410,7 +557,7 @@ impl Memory {
             Some(&slot) => {
                 let perm = self.slots[slot as usize].perm;
                 if self.fast_path {
-                    tlb.set(TlbEntry {
+                    tlb.fill(TlbEntry {
                         base,
                         slot,
                         perm,
@@ -482,6 +629,7 @@ impl Memory {
                     let p = &mut self.slots[slot as usize];
                     p.bytes.fill(0);
                     p.perm = perm;
+                    p.touch();
                     slot
                 }
                 None => {
@@ -591,8 +739,9 @@ impl Memory {
     #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8, access: Access) -> Result<(), MemError> {
         let slot = self.resolve(addr, access)?;
-        self.note_write(self.slots[slot].perm);
-        self.slots[slot].bytes[(addr % PAGE_SIZE) as usize] = value;
+        let page = &mut self.slots[slot];
+        page.touch();
+        page.bytes[(addr % PAGE_SIZE) as usize] = value;
         Ok(())
     }
 
@@ -632,8 +781,9 @@ impl Memory {
         let off = (addr % PAGE_SIZE) as usize;
         if self.fast_path && off + 4 <= PAGE_SIZE as usize {
             let slot = self.resolve(addr, access)?;
-            self.note_write(self.slots[slot].perm);
-            self.slots[slot].bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
+            let page = &mut self.slots[slot];
+            page.touch();
+            page.bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
             Ok(())
         } else {
             // Page-straddling store: byte-by-byte so a mid-word fault
@@ -692,8 +842,9 @@ impl Memory {
             let off = (a % PAGE_SIZE) as usize;
             let chunk = (PAGE_SIZE as usize - off).min(bytes.len() - pos);
             let slot = self.resolve(a, access)?;
-            self.note_write(self.slots[slot].perm);
-            self.slots[slot].bytes[off..off + chunk].copy_from_slice(&bytes[pos..pos + chunk]);
+            let page = &mut self.slots[slot];
+            page.touch();
+            page.bytes[off..off + chunk].copy_from_slice(&bytes[pos..pos + chunk]);
             pos += chunk;
         }
         Ok(())
@@ -717,11 +868,13 @@ impl Memory {
             let off = (a % PAGE_SIZE) as usize;
             let chunk = (PAGE_SIZE as usize - off).min(bytes.len() - pos);
             let slot = self.resolve_raw(a, Access::Write)?;
-            self.slots[slot].bytes[off..off + chunk].copy_from_slice(&bytes[pos..pos + chunk]);
+            let page = &mut self.slots[slot];
+            // Pokes bypass permissions, so they can always plant code;
+            // touching the page stales any decode read from it.
+            page.touch();
+            page.bytes[off..off + chunk].copy_from_slice(&bytes[pos..pos + chunk]);
             pos += chunk;
         }
-        // Pokes bypass permissions, so they can always plant code.
-        self.code_gen += 1;
         Ok(())
     }
 
@@ -755,6 +908,111 @@ impl Memory {
     pub fn peek_u32(&self, addr: u32) -> Result<u32, MemError> {
         let bytes = self.peek_bytes(addr, 4)?;
         Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Captures every mapped page (bytes + permission) and the
+    /// enforcement flag into an immutable [`MemorySnapshot`], and arms
+    /// dirty tracking: every page's dirty bit is cleared, so a later
+    /// [`restore_from`](Memory::restore_from) of this snapshot copies
+    /// back exactly the pages written in between.
+    ///
+    /// Takes `&mut self` because arming the tracking mutates the dirty
+    /// bits; the visible memory state is unchanged.
+    pub fn snapshot(&mut self) -> MemorySnapshot {
+        let mut pages = Vec::with_capacity(self.table.len());
+        let slots = &mut self.slots;
+        for (&base, &slot) in &self.table {
+            let page = &mut slots[slot as usize];
+            page.dirty = false;
+            pages.push((base, Arc::new(*page.bytes), page.perm));
+        }
+        self.layout_dirty = false;
+        MemorySnapshot {
+            pages,
+            enforce: self.enforce,
+        }
+    }
+
+    /// Restores the memory to the state captured by `snap`, copying
+    /// back **only the pages dirtied since that snapshot was taken** —
+    /// O(dirty pages), not O(mapped pages). Returns what was copied.
+    ///
+    /// The fast path requires that the page *layout* is unchanged since
+    /// the snapshot (no `map`/`unmap`/`set_perm`/`set_enforce`); when
+    /// it did change, the restore falls back to a wholesale rebuild
+    /// from the snapshot's images (every page counts as copied).
+    ///
+    /// Copied-back pages get their write generation bumped (their
+    /// bytes changed, so decodes read from them must re-validate);
+    /// untouched pages keep their generation, their cached decodes and
+    /// their TLB translations. Architectural state after a restore is
+    /// bit-identical to a fresh build; the cache *counters* are not —
+    /// a restored memory runs warm, which is the point. (The counters
+    /// are observability-only and excluded from rendered reports, so
+    /// determinism of experiment output is unaffected.)
+    ///
+    /// Restoring a snapshot from a *different* memory (one this memory
+    /// never produced with a matching layout) is not meaningful on the
+    /// fast path; debug builds assert the layouts agree.
+    pub fn restore_from(&mut self, snap: &MemorySnapshot) -> RestoreStats {
+        let mut stats = RestoreStats::default();
+        if self.layout_dirty {
+            // Layout diverged (or this memory never snapshotted):
+            // rebuild wholesale from the captured images.
+            self.table.clear();
+            self.slots.clear();
+            self.free.clear();
+            for (base, image, perm) in &snap.pages {
+                let mut page = Page::new(*perm);
+                page.bytes.copy_from_slice(&image[..]);
+                page.dirty = false;
+                self.slots.push(page);
+                self.table.insert(*base, (self.slots.len() - 1) as u32);
+                stats.dirty_pages += 1;
+                stats.bytes_copied += u64::from(PAGE_SIZE);
+            }
+            self.enforce = snap.enforce;
+            self.invalidate_layout();
+            self.layout_dirty = false;
+        } else {
+            debug_assert_eq!(
+                self.table.len(),
+                snap.pages.len(),
+                "clean-layout restore requires the snapshot's page set"
+            );
+            debug_assert_eq!(self.enforce, snap.enforce);
+            let slots = &mut self.slots;
+            for ((&base, &slot), (sbase, image, sperm)) in self.table.iter().zip(&snap.pages) {
+                debug_assert_eq!(base, *sbase, "page layout diverged without layout_dirty");
+                let page = &mut slots[slot as usize];
+                debug_assert_eq!(page.perm, *sperm);
+                if page.dirty {
+                    page.bytes.copy_from_slice(&image[..]);
+                    // The copy-back is a byte mutation like any other:
+                    // bump the page's write generation so decodes read
+                    // from the pre-restore bytes go stale. Untouched
+                    // pages keep their generation — and their cached
+                    // decodes — which is what makes serving attempts
+                    // from a snapshot cheaper than a fresh build, not
+                    // just cheaper than a recompile.
+                    page.gen = page.gen.wrapping_add(1);
+                    page.dirty = false;
+                    stats.dirty_pages += 1;
+                    stats.bytes_copied += u64::from(PAGE_SIZE);
+                }
+            }
+            // The page layout is unchanged, so TLB translations remain
+            // valid and are deliberately kept warm across the restore.
+        }
+        stats
+    }
+
+    /// Zeroes the TLB hit/miss counters (the per-machine [`TlbStats`],
+    /// not the process-wide totals). Used by the machine-level restore
+    /// so a restored run's stats start from zero like a fresh build's.
+    pub(crate) fn reset_tlb_counts(&self) {
+        self.tlb_hits.set(0);
+        self.tlb_misses.set(0);
     }
 }
 
@@ -951,27 +1209,27 @@ mod tests {
     }
 
     #[test]
-    fn code_generation_tracks_fetchable_writes_only() {
+    fn write_generations_are_tracked_per_page() {
         let mut mem = Memory::new();
-        mem.map(0x1000, PAGE_SIZE, Perm::RW).unwrap();
+        mem.map(0x1000, PAGE_SIZE, Perm::RWX).unwrap();
         mem.map(0x2000, PAGE_SIZE, Perm::RWX).unwrap();
-        let g0 = mem.code_generation();
-        // A store to a plain data page under DEP cannot change any
-        // fetchable byte: no bump.
+        let global = mem.code_generation();
+        let a0 = mem.fetch_gen(0x1000).unwrap();
+        let b0 = mem.fetch_gen(0x2000).unwrap();
+        // A store bumps only the written page's generation — decodes
+        // from the other page stay valid — and never the global one.
         mem.write_u32(0x1000, 7, Access::Write).unwrap();
-        assert_eq!(mem.code_generation(), g0);
-        // A store to an executable page must invalidate decodes.
-        mem.write_u32(0x2000, 7, Access::Write).unwrap();
-        assert!(mem.code_generation() > g0);
-        // With enforcement off every mapped byte is fetchable.
-        mem.set_enforce(false);
-        let g1 = mem.code_generation();
-        mem.write_u32(0x1000, 8, Access::Write).unwrap();
-        assert!(mem.code_generation() > g1);
+        assert!(mem.fetch_gen(0x1000).unwrap() > a0);
+        assert_eq!(mem.fetch_gen(0x2000).unwrap(), b0);
+        assert_eq!(mem.code_generation(), global);
+        // Loader pokes plant code the same way.
+        mem.poke_bytes(0x2000, &[1]).unwrap();
+        assert!(mem.fetch_gen(0x2000).unwrap() > b0);
+        assert_eq!(mem.code_generation(), global);
     }
 
     #[test]
-    fn code_generation_bumps_on_layout_changes_and_pokes() {
+    fn code_generation_bumps_on_layout_changes() {
         let mut mem = Memory::new();
         let mut last = mem.code_generation();
         let mut expect_bump = |mem: &Memory, what: &str| {
@@ -981,8 +1239,6 @@ mod tests {
         };
         mem.map(0x1000, PAGE_SIZE, Perm::RW).unwrap();
         expect_bump(&mem, "map");
-        mem.poke_bytes(0x1000, &[1]).unwrap();
-        expect_bump(&mem, "poke_bytes");
         mem.set_perm(0x1000, PAGE_SIZE, Perm::RX);
         expect_bump(&mem, "set_perm");
         mem.set_enforce(false);
@@ -1033,5 +1289,116 @@ mod tests {
         let mut mem = Memory::new();
         mem.map(0x1000, 0, Perm::RW).unwrap();
         assert!(!mem.is_mapped(0x1000));
+    }
+
+    #[test]
+    fn two_entry_tlb_holds_alternating_pages() {
+        // The caller/module pattern: strict alternation between two
+        // pages must hit after the first visit to each — the one-entry
+        // design thrashed (every access a miss).
+        let mut mem = Memory::new();
+        mem.map(0x1000, 2 * PAGE_SIZE, Perm::RW).unwrap();
+        for i in 0..10u32 {
+            let addr = if i % 2 == 0 { 0x1000 } else { 0x2000 };
+            mem.write_u8(addr, i as u8, Access::Write).unwrap();
+        }
+        let stats = mem.tlb_stats();
+        assert_eq!(stats.misses, 2, "one cold miss per page");
+        assert_eq!(stats.hits, 8);
+    }
+
+    #[test]
+    fn two_entry_tlb_evicts_the_lru_entry() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 3 * PAGE_SIZE, Perm::RW).unwrap();
+        // A(miss) B(miss) A(hit) C(miss, evicts B) A(hit) C(hit).
+        let seq = [0x1000u32, 0x2000, 0x1000, 0x3000, 0x1000, 0x3000];
+        for (i, &addr) in seq.iter().enumerate() {
+            mem.write_u8(addr, i as u8, Access::Write).unwrap();
+        }
+        let stats = mem.tlb_stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn restore_copies_exactly_the_dirty_pages() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 4 * PAGE_SIZE, Perm::RW).unwrap();
+        mem.write_u8(0x1000, 0xaa, Access::Write).unwrap();
+        let snap = mem.snapshot();
+        assert_eq!(snap.page_count(), 4);
+
+        // Touch two of the four pages.
+        mem.write_u8(0x2000, 1, Access::Write).unwrap();
+        mem.write_u32(0x3ff0, 2, Access::Write).unwrap();
+        let stats = mem.restore_from(&snap);
+        assert_eq!(stats.dirty_pages, 2);
+        assert_eq!(stats.bytes_copied, 2 * u64::from(PAGE_SIZE));
+
+        // Contents are back, including the pre-snapshot byte.
+        assert_eq!(mem.read_u8(0x1000, Access::Read).unwrap(), 0xaa);
+        assert_eq!(mem.read_u8(0x2000, Access::Read).unwrap(), 0);
+        assert_eq!(mem.read_u32(0x3ff0, Access::Read).unwrap(), 0);
+
+        // A second restore with nothing dirtied copies nothing.
+        let stats = mem.restore_from(&snap);
+        assert_eq!(stats.dirty_pages, 0);
+        assert_eq!(stats.bytes_copied, 0);
+    }
+
+    #[test]
+    fn restore_after_layout_change_rebuilds_wholesale() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 2 * PAGE_SIZE, Perm::RW).unwrap();
+        mem.write_u8(0x1000, 7, Access::Write).unwrap();
+        let snap = mem.snapshot();
+        // Change the layout: the dirty-bit fast path is off the table.
+        mem.map(0x8000, PAGE_SIZE, Perm::RX).unwrap();
+        mem.set_enforce(false);
+        let stats = mem.restore_from(&snap);
+        assert_eq!(stats.dirty_pages, 2, "wholesale restore copies every page");
+        assert!(mem.enforce(), "enforcement flag restored");
+        assert!(!mem.is_mapped(0x8000), "post-snapshot mapping gone");
+        assert_eq!(mem.read_u8(0x1000, Access::Read).unwrap(), 7);
+        // The rebuilt memory is snapshot-consistent again: a dirty-path
+        // restore works and copies only what is written.
+        mem.write_u8(0x2000, 9, Access::Write).unwrap();
+        assert_eq!(mem.restore_from(&snap).dirty_pages, 1);
+    }
+
+    #[test]
+    fn restore_stales_only_the_copied_pages_and_keeps_the_tlb_warm() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE, Perm::RWX).unwrap();
+        mem.map(0x2000, PAGE_SIZE, Perm::RWX).unwrap();
+        let snap = mem.snapshot();
+        mem.write_u8(0x1000, 0x90, Access::Write).unwrap();
+        let touched = mem.fetch_gen(0x1000).unwrap();
+        let untouched = mem.fetch_gen(0x2000).unwrap();
+        mem.restore_from(&snap);
+        // The copy-back stales decodes from the restored page only.
+        assert!(
+            mem.fetch_gen(0x1000).unwrap() > touched,
+            "restored bytes must invalidate cached decodes"
+        );
+        assert_eq!(mem.fetch_gen(0x2000).unwrap(), untouched);
+        // Layout unchanged: translations survive the restore, so the
+        // next access through a previously-warm entry still hits.
+        let before = mem.tlb_stats();
+        mem.read_u8(0x1000, Access::Read).unwrap();
+        assert_eq!(mem.tlb_stats().misses, before.misses);
+        assert_eq!(mem.tlb_stats().hits, before.hits + 1);
+    }
+
+    #[test]
+    fn poke_marks_pages_dirty_for_restore() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 2 * PAGE_SIZE, Perm::RX).unwrap();
+        let snap = mem.snapshot();
+        mem.poke_bytes(0x1ffe, &[1, 2, 3, 4]).unwrap(); // straddles both pages
+        let stats = mem.restore_from(&snap);
+        assert_eq!(stats.dirty_pages, 2);
+        assert_eq!(mem.peek_bytes(0x1ffe, 4).unwrap(), vec![0, 0, 0, 0]);
     }
 }

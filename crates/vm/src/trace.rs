@@ -34,13 +34,27 @@ pub struct ExecStats {
     pub icache_hits: u64,
     /// Fetches that had to decode from memory.
     pub icache_misses: u64,
-    /// Memory accesses translated by a one-entry TLB.
+    /// Memory accesses translated by a TLB entry.
     pub tlb_hits: u64,
     /// Memory accesses that took the page-table lookup.
     pub tlb_misses: u64,
 }
 
 impl ExecStats {
+    /// The architectural projection: these stats with the cache
+    /// counters zeroed. Two runs are *semantically* equivalent iff
+    /// their architectural stats (plus outcome, registers, memory and
+    /// I/O) agree; the cache counters legitimately differ between a
+    /// fresh build and a snapshot-restored attempt, or between
+    /// fast-path settings. Equivalence tests compare this projection.
+    pub fn architectural(mut self) -> ExecStats {
+        self.icache_hits = 0;
+        self.icache_misses = 0;
+        self.tlb_hits = 0;
+        self.tlb_misses = 0;
+        self
+    }
+
     /// A multi-line rendering that *does* include the cache counters —
     /// the diagnostic companion to [`Display`](fmt::Display), for
     /// benchmark output and interactive inspection. Never use this in

@@ -3,7 +3,8 @@
 //! ```sh
 //! cargo run --release --example campaign -- \
 //!     [--workers N] [--seed S] [--quick] [--only N]... [--progress] \
-//!     [--telemetry out.jsonl] [--render-only] [--fault-demo]
+//!     [--telemetry out.jsonl] [--render-only] [--fault-demo] \
+//!     [--no-fork-server]
 //! ```
 //!
 //! Prints every experiment's report (byte-identical for any worker
@@ -20,6 +21,12 @@
 //! the final metric lines (campaign counters, per-cell time
 //! histogram). `--progress` prints a live per-cell progress line to
 //! stderr.
+//!
+//! `--no-fork-server` makes the guessing-attack experiments (E4, E14)
+//! rebuild their victim machine for every attempt instead of serving
+//! attempts from a boot-time snapshot. It exists to demonstrate — and
+//! let CI verify — that the fork server is a pure speedup: stdout is
+//! byte-identical with and without it.
 //!
 //! `--fault-demo` swaps the suite for the test-only fault-demo
 //! experiment under a short cell deadline: its cells panic, stall and
@@ -64,11 +71,13 @@ fn main() {
             "--quick" => {
                 let workers = cfg.workers;
                 let master_seed = cfg.master_seed;
+                let fork_server = cfg.fork_server;
                 let experiments = std::mem::take(&mut cfg.experiments);
                 cfg = CampaignConfig {
                     workers,
                     master_seed,
                     experiments,
+                    fork_server,
                     ..CampaignConfig::quick()
                 };
             }
@@ -85,11 +94,13 @@ fn main() {
             "--progress" => progress = true,
             "--render-only" => render_only = true,
             "--fault-demo" => fault_demo = true,
+            "--no-fork-server" => cfg.fork_server = false,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: campaign [--workers N] [--seed S] [--quick] [--only N]... \
-                     [--progress] [--telemetry out.jsonl] [--render-only] [--fault-demo]"
+                     [--progress] [--telemetry out.jsonl] [--render-only] [--fault-demo] \
+                     [--no-fork-server]"
                 );
                 std::process::exit(2);
             }
@@ -150,6 +161,17 @@ fn main() {
             sink.write_line(&line);
         }
         sink.flush();
+        // The fork-server economy, at a glance: how many attempts were
+        // served from the snapshot and what each restore cost.
+        let mean_dirty = match report.vm.mean_dirty_pages() {
+            Some(mean) => format!("{mean:.1}"),
+            None => "n/a".to_string(),
+        };
+        eprintln!(
+            "campaign: vm snapshot/restore: {} snapshots, {} restores, \
+             {} dirty pages/restore mean, {} bytes copied",
+            report.vm.snapshots, report.vm.restores, mean_dirty, report.vm.restore_bytes,
+        );
     }
 
     print!("{}", report.render());

@@ -8,6 +8,7 @@
 
 use swsec::cache;
 use swsec::experiments::{analysis, aslr, canary_oracle, catalogue, matrix, overhead};
+use swsec::harness::ServeMode;
 
 fn main() {
     // One process-wide compile cache: every victim/options pair below
@@ -22,12 +23,12 @@ fn main() {
 
     // Keep the sweep small outside --release; the bench harness runs
     // the full version.
-    println!("{}", aslr::compute(&[2, 4, 6], 5, 7, cache).table());
+    println!("{}", aslr::compute(&[2, 4, 6], 5, 7, cache, ServeMode::Fork).table());
 
     println!("{}", overhead::compute().table());
 
     println!("{}", analysis::compute().table());
 
     // E14: the crash-oracle canary brute force against a forking server.
-    println!("{}", canary_oracle::compute(31, 2048, cache).table());
+    println!("{}", canary_oracle::compute(31, 2048, cache, ServeMode::Fork).table());
 }

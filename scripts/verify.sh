@@ -12,7 +12,11 @@
 #   5. telemetry smoke: a quick campaign with the JSONL sink attached,
 #      validated line-by-line by telcheck, and a render byte-identity
 #      check against a sink-less run;
-#   6. fault-injection smoke: the E16 crash matrix standalone, plus a
+#   6. snapshot smoke: the same quick campaign with --no-fork-server
+#      must render byte-identically to the fork-served run (the
+#      architectural-equivalence contract, DESIGN.md §10), and the
+#      fork-served run's telemetry must carry vm.snapshot.* metrics;
+#   7. fault-injection smoke: the E16 crash matrix standalone, plus a
 #      --fault-demo run that must exit non-zero, report its failed
 #      cells, and emit cell_failed telemetry.
 set -eu
@@ -49,6 +53,22 @@ cmp "$TELDIR/render_with_sink.txt" "$TELDIR/render_no_sink.txt" || {
 target/release/telcheck "$TELDIR/campaign.jsonl" \
     --require pma_violation --require canary_trip \
     --require metric --require meta
+
+echo "==> snapshot smoke"
+# Fork-served and rebuild-per-attempt campaigns must render the same
+# bytes: restored machines are architecturally identical to freshly
+# built ones, and rendered reports exclude the (warm) cache counters.
+target/release/examples/campaign --quick --render-only --no-fork-server \
+    > "$TELDIR/render_no_fork.txt"
+cmp "$TELDIR/render_with_sink.txt" "$TELDIR/render_no_fork.txt" || {
+    echo "verify: render differs with the fork server disabled" >&2
+    exit 1
+}
+# The fork-served run must have actually snapshotted and restored.
+target/release/telcheck "$TELDIR/campaign.jsonl" \
+    --require "metric:vm.snapshot.snapshots" \
+    --require "metric:vm.snapshot.restores" \
+    --require "metric:vm.snapshot.dirty_pages"
 
 echo "==> fault-injection smoke"
 FAULTDIR="target/fault-smoke"
