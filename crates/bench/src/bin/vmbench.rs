@@ -27,10 +27,11 @@ use std::time::{Duration, Instant};
 use swsec::attacker::VICTIM_SMASH;
 use swsec::cache::ProgramCache;
 use swsec::campaign::{run_campaign_with, CampaignConfig, CampaignTelemetry};
-use swsec::harness::{ForkServer, ServeMode};
+use swsec::harness::{AttackTarget, ForkServer, ServeMode};
 use swsec::loader;
 use swsec::report::ExperimentId;
 use swsec_defenses::DefenseConfig;
+use swsec_fuzz::targets::{FuzzTarget, VictimTarget};
 use swsec_obs::jsonl::meta_line;
 use swsec_obs::{
     clear_default_sink, set_default_sink, CountingSink, EventMask, EventSink, JsonlSink,
@@ -286,12 +287,13 @@ fn measure_attempts(
 ) -> Duration {
     let mut best: Option<Duration> = None;
     for _ in 0..reps.max(1) {
-        let mut server = ForkServer::boot(cache, VICTIM_SMASH, case.config, case.plan_seed, mode)
-            .expect("victim compiles");
+        let mut server = ForkServer::boot(cache, VICTIM_SMASH, case.config, case.plan_seed)
+            .expect("victim compiles")
+            .with_mode(mode);
         let started = Instant::now();
         for _ in 0..attempts {
             let outcome = server
-                .run_attempt(case.plan_seed, &case.payload)
+                .execute(case.plan_seed, &case.payload)
                 .expect("plan seed matches");
             std::hint::black_box(&outcome);
         }
@@ -331,6 +333,86 @@ fn measure_rebuild(
         }
     }
     best.expect("reps >= 1")
+}
+
+/// Times the serving cost of a fuzzing campaign: a deterministic
+/// corpus of mutated attack inputs (the fuzzer's own mutators over its
+/// victim seeds and dictionary, so the attempt mix — benign runs,
+/// early faults, wild jumps — is what a real campaign produces) is
+/// replayed through [`swsec_fuzz::targets::VictimTarget`] under each
+/// serve mode. Mutation happens before the clock starts and no
+/// coverage sink is attached: in-VM execution under instrumentation is
+/// identical across modes and would only dilute the ratio this leg
+/// exists to isolate — what serving an attempt costs, fork-restore vs
+/// rebuild.
+fn measure_fuzz_replay(
+    cache: &ProgramCache,
+    mode: ServeMode,
+    corpus: &[Vec<u8>],
+    reps: u32,
+) -> Duration {
+    let mut best: Option<Duration> = None;
+    for _ in 0..reps.max(1) {
+        let mut target = VictimTarget::new(cache, 7, mode);
+        let started = Instant::now();
+        for input in corpus {
+            let outcome = target.execute(7, input).expect("attempt runs");
+            std::hint::black_box(&outcome);
+        }
+        let elapsed = started.elapsed();
+        if best.is_none_or(|b| elapsed < b) {
+            best = Some(elapsed);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// The replay corpus for [`measure_fuzz_replay`]: the fuzzer's
+/// mutators applied to the victim target's seeds and dictionary with
+/// derived seeds — a pure function of `attempts`.
+///
+/// Expensive candidates are screened out before the clock starts:
+/// hang-class attempts (fuel exhaustion) and wild-code spins (a
+/// corrupted return address lands in executable attacker bytes and
+/// runs tens of thousands of instructions before faulting). Both are
+/// pure in-VM execution, identical in either serve mode, and a real
+/// campaign bounds them with its per-attempt execution budget — left
+/// in, they swamp the serving cost this leg exists to isolate. Kept
+/// attempts (benign runs, quick crashes) stay within an order of
+/// magnitude of the victim's clean-run instruction count, the same
+/// regime the aslr/canary legs measure in.
+fn fuzz_replay_corpus(cache: &ProgramCache, attempts: u64) -> Vec<Vec<u8>> {
+    let mut probe = VictimTarget::new(cache, 7, ServeMode::Fork);
+    let seeds = probe.seeds();
+    let dict = probe.dictionary();
+    let max_len = probe.max_len();
+    let benign = probe
+        .execute(7, &seeds[0])
+        .expect("benign seed runs")
+        .stats
+        .instructions;
+    let cap = benign.max(1) * 16;
+    let mut corpus = Vec::with_capacity(attempts as usize);
+    let mut i = 0u64;
+    while (corpus.len() as u64) < attempts {
+        let parent = &seeds[i as usize % seeds.len()];
+        let donor = &seeds[(i as usize + 1) % seeds.len()];
+        let input = swsec_fuzz::mutate::mutate(
+            swsec_rng::derive(7, &[100, i]),
+            parent,
+            donor,
+            &dict,
+            max_len,
+        );
+        i += 1;
+        let outcome = probe.execute(7, &input).expect("attempt runs");
+        let quick = !matches!(outcome.outcome, RunOutcome::OutOfFuel)
+            && outcome.stats.instructions <= cap;
+        if quick {
+            corpus.push(input);
+        }
+    }
+    corpus
 }
 
 struct CaseResult {
@@ -491,6 +573,35 @@ fn main() {
         let rebuild = measure_rebuild(&cache, case, attempts, reps);
         let r = HarnessResult {
             name: case.name,
+            attempts,
+            fork,
+            rebuild,
+            dirty_per_restore: delta.mean_dirty_pages(),
+        };
+        println!(
+            "{:<16} {:>10} {:>12.3e} {:>13.3e} {:>8.2}x {:>14}",
+            r.name,
+            r.attempts,
+            r.fork_aps(),
+            r.rebuild_aps(),
+            r.speedup(),
+            r.dirty_per_restore
+                .map_or("n/a".into(), |v| format!("{v:.1}")),
+        );
+        harness_results.push(r);
+    }
+
+    // Fuzz throughput: a pre-mutated attack corpus (the fuzzer's own
+    // operators, so the attempt mix is a real campaign's) replayed
+    // through the victim fuzz target, fork-served vs rebuilt.
+    {
+        let corpus = fuzz_replay_corpus(&cache, attempts);
+        let before = swsec_vm::counters::snapshot();
+        let fork = measure_fuzz_replay(&cache, ServeMode::Fork, &corpus, reps);
+        let delta = swsec_vm::counters::snapshot().since(before);
+        let rebuild = measure_fuzz_replay(&cache, ServeMode::Rebuild, &corpus, reps);
+        let r = HarnessResult {
+            name: "fuzz-replay",
             attempts,
             fork,
             rebuild,

@@ -128,6 +128,23 @@ pub fn compare(
     })
 }
 
+/// Classifies a machine observation (outcome + observable I/O) against
+/// a reference-interpreter observation of the same program and input.
+///
+/// This is exactly the judgement [`compare`] applies; it is public so
+/// harnesses that must run the two sides themselves — e.g. the fuzzer's
+/// compiler-conformance target, which attaches a coverage sink to the
+/// machine before running — reuse the same semantics instead of
+/// approximating them.
+pub fn classify_observations(
+    ref_outcome: &InterpOutcome,
+    ref_io: &[(u32, Vec<u8>)],
+    vm_outcome: &RunOutcome,
+    vm_io: &[(u32, Vec<u8>)],
+) -> Verdict {
+    classify(ref_outcome, ref_io, vm_outcome, vm_io)
+}
+
 fn classify(
     ref_outcome: &InterpOutcome,
     ref_io: &[(u32, Vec<u8>)],

@@ -221,12 +221,6 @@ pub fn compute() -> AnalysisReport {
 }
 
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `AnalysisExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run() -> AnalysisReport {
-    compute()
-}
-
 /// E6 under the campaign API.
 pub struct AnalysisExperiment;
 

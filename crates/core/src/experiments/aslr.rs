@@ -16,7 +16,7 @@ use crate::attacker::{attacker_view, run_technique_cached, Technique, VICTIM_SMA
 use crate::cache::ProgramCache;
 use crate::campaign::{CampaignConfig, CampaignCtx};
 use crate::experiments::Experiment;
-use crate::harness::{ForkServer, ServeMode};
+use crate::harness::{AttackTarget, ForkServer, ServeMode};
 use crate::loader::plan_options;
 use crate::report::{ExperimentId, Report, Table};
 
@@ -92,8 +92,9 @@ pub fn brute_force_once<R: Rng>(
     let mut config = DefenseConfig::none();
     config.aslr_bits = Some(bits);
     let victim_seed = rng.next_u64();
-    let mut server = ForkServer::boot(cache, VICTIM_SMASH, config, victim_seed, mode)
-        .expect("victim compiles");
+    let mut server = ForkServer::boot(cache, VICTIM_SMASH, config, victim_seed)
+        .expect("victim compiles")
+        .with_mode(mode);
     // The attacker's local copy sits at the default layout; each guess
     // re-slides the payload's target by a speculated ASLR draw. A guess
     // lands exactly when its text slide matches the victim's — one in
@@ -109,8 +110,7 @@ pub fn brute_force_once<R: Rng>(
             .build();
         (victim_seed, payload)
     });
-    let result = server
-        .search(guesses, |r| r.emitted(1, b"SECRET"))
+    let result = AttackTarget::search(&mut server, guesses, |r| r.emitted(1, b"SECRET"))
         .expect("attempts run");
     match result.hit {
         Some((attempt, _)) => attempt,
@@ -165,18 +165,6 @@ pub fn compute(
         })
         .collect();
     AslrSweep { rows }
-}
-
-/// Legacy sequential entry point.
-#[deprecated(note = "use `AslrExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run(bits_levels: &[u8], base_trials: u32, master_seed: u64) -> AslrSweep {
-    compute(
-        bits_levels,
-        base_trials,
-        master_seed,
-        crate::cache::global(),
-        ServeMode::Fork,
-    )
 }
 
 /// E4 under the campaign API: one cell per (entropy level, campaign)

@@ -128,12 +128,6 @@ pub fn compute() -> AttestReport {
 }
 
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `AttestExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run() -> AttestReport {
-    compute()
-}
-
 /// E10 under the campaign API.
 pub struct AttestExperiment;
 

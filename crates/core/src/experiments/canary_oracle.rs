@@ -25,7 +25,7 @@ use crate::attacker::VICTIM_SMASH;
 use crate::cache::ProgramCache;
 use crate::campaign::{CampaignConfig, CampaignCtx};
 use crate::experiments::Experiment;
-use crate::harness::{ForkServer, ServeMode};
+use crate::harness::{AttackTarget, ForkServer, ServeMode};
 use crate::report::{ExperimentId, Report, Table};
 
 /// Result of a byte-by-byte canary recovery campaign.
@@ -60,9 +60,10 @@ pub fn brute_force_canary_cached(
 ) -> OracleResult {
     let mut cfg = DefenseConfig::none();
     cfg.canary = true;
-    let mut server = ForkServer::boot(cache, VICTIM_SMASH, cfg, base_seed, mode)
+    let mut server = ForkServer::boot(cache, VICTIM_SMASH, cfg, base_seed)
         .expect("compiles")
-        .with_fuel(ORACLE_FUEL);
+        .with_fuel(ORACLE_FUEL)
+        .with_mode(mode);
     let mut known: Vec<u8> = Vec::new();
     let mut attempts = 0u32;
     'bytes: for _pos in 0..4 {
@@ -79,7 +80,7 @@ pub fn brute_force_canary_cached(
             let mut payload = vec![b'A'; FILLER];
             payload.extend_from_slice(&known);
             payload.push(guess as u8);
-            let attempt = server.run_attempt(seed, &payload).expect("attempt runs");
+            let attempt = server.execute(seed, &payload).expect("attempt runs");
             let crashed_on_canary = matches!(
                 attempt.outcome,
                 RunOutcome::Fault(Fault::SoftwareTrap { code, .. }) if code == trap::CANARY
@@ -109,7 +110,7 @@ pub fn brute_force_canary_cached(
         payload.extend_from_slice(&canary.to_le_bytes());
         payload.extend_from_slice(&0xbfff_0000u32.to_le_bytes()); // saved bp
         payload.extend_from_slice(&grant.to_le_bytes());
-        let attempt = server.run_attempt(base_seed, &payload).expect("attempt runs");
+        let attempt = server.execute(base_seed, &payload).expect("attempt runs");
         smash_succeeded = attempt.emitted(1, b"SECRET");
     }
     OracleResult {
@@ -118,18 +119,6 @@ pub fn brute_force_canary_cached(
         attempts,
         smash_succeeded,
     }
-}
-
-/// Legacy recovery entry point (process-wide cache).
-#[deprecated(note = "use `brute_force_canary_cached`")]
-pub fn brute_force_canary(base_seed: u64, fork_semantics: bool, budget: u32) -> OracleResult {
-    brute_force_canary_cached(
-        crate::cache::global(),
-        base_seed,
-        fork_semantics,
-        budget,
-        ServeMode::Fork,
-    )
 }
 
 /// Full E14 results.
@@ -206,12 +195,6 @@ pub fn compute(seed: u64, budget: u32, cache: &ProgramCache, mode: ServeMode) ->
         fresh: brute_force_canary_cached(cache, seed, false, budget, mode),
         actual_canary,
     }
-}
-
-/// Legacy sequential entry point.
-#[deprecated(note = "use `CanaryOracleExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run(seed: u64) -> CanaryOracleReport {
-    compute(seed, 2048, crate::cache::global(), ServeMode::Fork)
 }
 
 /// E14 under the campaign API: one cell per server model, so the two

@@ -136,12 +136,6 @@ pub fn compute(seed: u64, cache: &ProgramCache) -> Catalogue {
     }
 }
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `CatalogueExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run(seed: u64) -> Catalogue {
-    compute(seed, crate::cache::global())
-}
-
 /// E2 under the campaign API.
 pub struct CatalogueExperiment;
 

@@ -390,12 +390,6 @@ pub fn compute() -> ContinuityReport {
 }
 
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `ContinuityExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run() -> ContinuityReport {
-    compute()
-}
-
 /// E11 under the campaign API.
 pub struct ContinuityExperiment;
 

@@ -181,12 +181,6 @@ pub fn compute(cache: &ProgramCache, seed: u64) -> Fig1Report {
     }
 }
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `Fig1Experiment` via the `Experiment` trait, or `compute`")]
-pub fn run() -> Fig1Report {
-    compute(crate::cache::global(), 1)
-}
-
 /// E1 under the campaign API.
 pub struct Fig1Experiment;
 

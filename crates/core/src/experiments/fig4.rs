@@ -402,12 +402,6 @@ pub fn compute() -> Fig4Report {
 }
 
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `Fig4Experiment` via the `Experiment` trait, or `compute`")]
-pub fn run() -> Fig4Report {
-    compute()
-}
-
 /// E9 under the campaign API.
 pub struct Fig4Experiment;
 

@@ -132,12 +132,6 @@ pub fn compute() -> UafReport {
 }
 
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `HeapUafExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run() -> UafReport {
-    compute()
-}
-
 /// E15 under the campaign API.
 pub struct HeapUafExperiment;
 

@@ -129,12 +129,6 @@ pub fn compute(seed: u64, cache: &ProgramCache) -> Matrix {
     Matrix { configs, rows }
 }
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `MatrixExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run(seed: u64) -> Matrix {
-    compute(seed, crate::cache::global())
-}
-
 /// E3 under the campaign API: one cell per technique × configuration
 /// pair (7 × 8 = 56), so the matrix fans out across the campaign pool.
 pub struct MatrixExperiment;

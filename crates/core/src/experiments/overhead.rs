@@ -137,12 +137,6 @@ pub fn compute() -> OverheadReport {
     OverheadReport { rows }
 }
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `OverheadExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run() -> OverheadReport {
-    compute()
-}
-
 /// E5 under the campaign API: one cell per benchmark workload.
 pub struct OverheadExperiment;
 

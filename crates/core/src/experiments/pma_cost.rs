@@ -83,12 +83,6 @@ pub fn compute() -> PmaCostReport {
 }
 
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `PmaCostExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run() -> PmaCostReport {
-    compute()
-}
-
 /// E12 under the campaign API.
 pub struct PmaCostExperiment;
 

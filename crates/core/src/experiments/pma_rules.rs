@@ -267,12 +267,6 @@ pub fn compute() -> RulesReport {
 }
 
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `PmaRulesExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run() -> RulesReport {
-    compute()
-}
-
 /// E8 under the campaign API.
 pub struct PmaRulesExperiment;
 

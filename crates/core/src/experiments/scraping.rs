@@ -169,12 +169,6 @@ pub fn compute() -> ScrapeReport {
 }
 
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `ScrapingExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run() -> ScrapeReport {
-    compute()
-}
-
 /// E7 under the campaign API.
 pub struct ScrapingExperiment;
 

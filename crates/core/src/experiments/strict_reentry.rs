@@ -182,12 +182,6 @@ pub fn compute() -> StrictReport {
 }
 
 
-/// Legacy sequential entry point.
-#[deprecated(note = "use `StrictReentryExperiment` via the `Experiment` trait, or `compute`")]
-pub fn run() -> StrictReport {
-    compute()
-}
-
 /// E13 under the campaign API.
 pub struct StrictReentryExperiment;
 

@@ -1,4 +1,5 @@
-//! The fork server: snapshot a booted victim once, restore per attempt.
+//! The attack harness: one `execute(seed, input)` surface for every
+//! attacker, served by a snapshotting fork server.
 //!
 //! The paper's §III-C probabilistic countermeasures (ASLR, canaries)
 //! are only as strong as the attacker's cost per guess. A real attacker
@@ -25,11 +26,25 @@
 //! cache counters in [`ExecStats`] (fork attempts keep the icache and
 //! TLBs warm across restores); those are excluded from every rendered
 //! report, so experiment output is identical either way.
+//!
+//! # The `AttackTarget` surface
+//!
+//! Everything that consumes attempts — the E4 ASLR brute force, the
+//! E14 canary oracle, campaign cells, and the `swsec-fuzz`
+//! coverage-guided fuzzer — drives its victim through one trait:
+//! [`AttackTarget::execute`] maps `(seed, input)` to an
+//! [`AttemptOutcome`], and the provided [`AttackTarget::search`] folds
+//! a guess sequence over it. [`ForkServer`] is the canonical
+//! implementation; the fuzzer adds synthetic targets (compiler
+//! differential, fast-path-vs-baseline VM differential) behind the
+//! same signature, so a search strategy written once runs against any
+//! of them.
 
 use std::sync::Arc;
 
 use swsec_defenses::DefenseConfig;
 use swsec_minc::{CompileError, CompileOptions, CompiledProgram};
+use swsec_obs::EventSink;
 use swsec_vm::cpu::{Machine, MachineSnapshot, RunOutcome};
 use swsec_vm::io::IoBus;
 use swsec_vm::trace::ExecStats;
@@ -91,7 +106,7 @@ impl AttemptOutcome {
     }
 }
 
-/// Result of a batched [`ForkServer::search`].
+/// Result of a batched [`AttackTarget::search`].
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
     /// Attempts served (equals the number of inputs when no hit).
@@ -101,9 +116,69 @@ pub struct SearchOutcome {
     pub hit: Option<(u64, AttemptOutcome)>,
 }
 
+/// Anything an attacker can throw guesses at.
+///
+/// One attempt is a pure function of `(seed, input)`: `seed` re-arms
+/// whatever per-launch randomness the target models (ASLR slide draw,
+/// canary draw, machine RNG) and `input` is the attacker-controlled
+/// byte string. Implementations must be deterministic — the same
+/// `(seed, input)` always yields the same [`AttemptOutcome`] — and
+/// attempts must be independent (no state leaks from one attempt into
+/// the next).
+///
+/// [`ForkServer`] is the canonical implementation; the `swsec-fuzz`
+/// crate plugs its compiler and VM-differential targets in behind the
+/// same trait, so brute-force loops, campaign cells and the fuzzer all
+/// share one execution surface.
+pub trait AttackTarget {
+    /// Serves one attempt: feed `input` to the target armed with
+    /// `seed`, run to completion or fuel exhaustion.
+    ///
+    /// Fuel exhaustion is an ordinary outcome
+    /// ([`RunOutcome::OutOfFuel`] inside the [`AttemptOutcome`]), not
+    /// an error: a search treats it as a miss, a fuzzer as a
+    /// hang-class signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] when the attempt cannot be staged at
+    /// all (e.g. the seed implies a different victim binary than the
+    /// booted one, or a generated program fails to compile).
+    fn execute(&mut self, seed: u64, input: &[u8]) -> Result<AttemptOutcome, CompileError>;
+
+    /// Serves attempts in order until `is_hit` accepts one, returning
+    /// the attempt count and the first hit. Deterministic: the same
+    /// `(seed, input)` sequence always yields the same outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`execute`](AttackTarget::execute) error.
+    fn search<I, P>(&mut self, attempts: I, mut is_hit: P) -> Result<SearchOutcome, CompileError>
+    where
+        Self: Sized,
+        I: IntoIterator<Item = (u64, Vec<u8>)>,
+        P: FnMut(&AttemptOutcome) -> bool,
+    {
+        let mut served = 0u64;
+        for (seed, input) in attempts {
+            served += 1;
+            let outcome = self.execute(seed, &input)?;
+            if is_hit(&outcome) {
+                return Ok(SearchOutcome {
+                    attempts: served,
+                    hit: Some((served, outcome)),
+                });
+            }
+        }
+        Ok(SearchOutcome {
+            attempts: served,
+            hit: None,
+        })
+    }
+}
+
 /// A compiled-once, booted-once victim serving attack attempts from a
 /// snapshot (see the [module docs](self)).
-#[derive(Debug)]
 pub struct ForkServer {
     program: Arc<CompiledProgram>,
     config: DefenseConfig,
@@ -112,13 +187,28 @@ pub struct ForkServer {
     snapshot: MachineSnapshot,
     mode: ServeMode,
     fuel: u64,
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for ForkServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForkServer")
+            .field("config", &self.config)
+            .field("mode", &self.mode)
+            .field("fuel", &self.fuel)
+            .field("sink", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ForkServer {
     /// Compiles `source` under `config` (layout drawn from
     /// `plan_seed`), boots it once, and snapshots at the attack
     /// surface: program loaded, DEP and shadow stack applied, no
-    /// seed-dependent state yet.
+    /// seed-dependent state yet. Attempts are served from the snapshot
+    /// ([`ServeMode::Fork`]) with [`DEFAULT_FUEL`] per attempt; chain
+    /// [`with_mode`](Self::with_mode) and [`with_fuel`](Self::with_fuel)
+    /// to override.
     ///
     /// Every subsequent attempt seed must imply the same compile plan
     /// as `plan_seed` — automatically true without ASLR (the plan is
@@ -134,7 +224,6 @@ impl ForkServer {
         source: &str,
         config: DefenseConfig,
         plan_seed: u64,
-        mode: ServeMode,
     ) -> Result<ForkServer, CompileError> {
         let opts = plan_options(&config, plan_seed);
         let program = cache.compile(source, &opts)?;
@@ -149,15 +238,40 @@ impl ForkServer {
             opts,
             machine,
             snapshot,
-            mode,
+            mode: ServeMode::Fork,
             fuel: DEFAULT_FUEL,
+            sink: None,
         })
     }
 
     /// Replaces the per-attempt fuel budget.
+    ///
+    /// Fuel is charged per attempt and restored in full before the
+    /// next: a hung or looping attempt ends in
+    /// [`RunOutcome::OutOfFuel`] without starving its successors.
+    /// Fuzz runs rely on this — one pathological input costs at most
+    /// one fuel budget, and the out-of-fuel outcome is itself a
+    /// classifiable signal.
     pub fn with_fuel(mut self, fuel: u64) -> ForkServer {
         self.fuel = fuel;
         self
+    }
+
+    /// Replaces the serve mode (snapshot-restore vs rebuild).
+    pub fn with_mode(mut self, mode: ServeMode) -> ForkServer {
+        self.mode = mode;
+        self
+    }
+
+    /// Attaches (or with `None`, detaches) a security-event sink
+    /// observing every attempt, in either [`ServeMode`]. Snapshots do
+    /// not capture sinks, so the attachment survives every
+    /// [`ServeMode::Fork`] restore; [`ServeMode::Rebuild`] re-attaches
+    /// it to each fresh machine. The `swsec-fuzz` coverage map is fed
+    /// through exactly this hook.
+    pub fn set_event_sink(&mut self, sink: Option<Arc<dyn EventSink>>) {
+        self.machine.set_event_sink(sink.clone());
+        self.sink = sink;
     }
 
     /// The compiled victim image (layout as loaded).
@@ -175,6 +289,35 @@ impl ForkServer {
         self.mode
     }
 
+    /// The per-attempt fuel budget.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Serves one attempt.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the `AttackTarget::execute` trait surface instead"
+    )]
+    pub fn run_attempt(&mut self, seed: u64, input: &[u8]) -> Result<AttemptOutcome, CompileError> {
+        self.execute(seed, input)
+    }
+
+    /// Serves attempts until `is_hit` accepts one.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the `AttackTarget::search` trait surface instead"
+    )]
+    pub fn search<I, P>(&mut self, attempts: I, is_hit: P) -> Result<SearchOutcome, CompileError>
+    where
+        I: IntoIterator<Item = (u64, Vec<u8>)>,
+        P: FnMut(&AttemptOutcome) -> bool,
+    {
+        AttackTarget::search(self, attempts, is_hit)
+    }
+}
+
+impl AttackTarget for ForkServer {
     /// Serves one attempt: rewind (or rebuild), re-arm the
     /// seed-dependent launch state from `seed`, feed `input` on
     /// channel 0, and run to completion or fuel exhaustion.
@@ -184,7 +327,7 @@ impl ForkServer {
     /// Returns a [`CompileError`] when `seed` implies a different
     /// compile plan than the boot seed (the snapshot would be the wrong
     /// binary), or when canary installation fails.
-    pub fn run_attempt(&mut self, seed: u64, input: &[u8]) -> Result<AttemptOutcome, CompileError> {
+    fn execute(&mut self, seed: u64, input: &[u8]) -> Result<AttemptOutcome, CompileError> {
         if plan_options(&self.config, seed) != self.opts {
             return Err(CompileError {
                 message: format!(
@@ -209,6 +352,9 @@ impl ForkServer {
             }
             ServeMode::Rebuild => {
                 let mut session = loader::launch_compiled(&self.program, self.config, seed)?;
+                if self.sink.is_some() {
+                    session.machine.set_event_sink(self.sink.clone());
+                }
                 session.machine.io_mut().feed_input(0, input);
                 let outcome = session.run(self.fuel);
                 Ok(AttemptOutcome {
@@ -219,36 +365,6 @@ impl ForkServer {
                 })
             }
         }
-    }
-
-    /// Serves attempts in order until `is_hit` accepts one, returning
-    /// the attempt count and the first hit. Deterministic: the same
-    /// `(seed, input)` sequence always yields the same outcome,
-    /// regardless of [`ServeMode`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first [`run_attempt`](Self::run_attempt) error.
-    pub fn search<I, P>(&mut self, attempts: I, mut is_hit: P) -> Result<SearchOutcome, CompileError>
-    where
-        I: IntoIterator<Item = (u64, Vec<u8>)>,
-        P: FnMut(&AttemptOutcome) -> bool,
-    {
-        let mut served = 0u64;
-        for (seed, input) in attempts {
-            served += 1;
-            let outcome = self.run_attempt(seed, &input)?;
-            if is_hit(&outcome) {
-                return Ok(SearchOutcome {
-                    attempts: served,
-                    hit: Some((served, outcome)),
-                });
-            }
-        }
-        Ok(SearchOutcome {
-            attempts: served,
-            hit: None,
-        })
     }
 }
 
@@ -266,15 +382,14 @@ mod tests {
     #[test]
     fn fork_and_rebuild_attempts_are_bit_identical() {
         let cache = ProgramCache::new();
-        let mut fork =
-            ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 7, ServeMode::Fork).unwrap();
-        let mut rebuild =
-            ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 7, ServeMode::Rebuild)
-                .unwrap();
+        let mut fork = ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 7).unwrap();
+        let mut rebuild = ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 7)
+            .unwrap()
+            .with_mode(ServeMode::Rebuild);
         for seed in [7u64, 8, 9, 7] {
             let input = vec![b'A'; 60]; // smashes past the canary
-            let a = fork.run_attempt(seed, &input).unwrap();
-            let b = rebuild.run_attempt(seed, &input).unwrap();
+            let a = fork.execute(seed, &input).unwrap();
+            let b = rebuild.execute(seed, &input).unwrap();
             assert_eq!(a.outcome, b.outcome, "seed {seed}");
             assert_eq!(a.canary_value, b.canary_value, "seed {seed}");
             assert_eq!(a.io.observable(), b.io.observable(), "seed {seed}");
@@ -292,12 +407,11 @@ mod tests {
     fn attempts_are_independent() {
         // A benign attempt after a crashing one sees pristine state.
         let cache = ProgramCache::new();
-        let mut server =
-            ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 3, ServeMode::Fork).unwrap();
-        let crash = server.run_attempt(3, &[b'A'; 96]).unwrap();
+        let mut server = ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 3).unwrap();
+        let crash = server.execute(3, &[b'A'; 96]).unwrap();
         assert!(matches!(crash.outcome, RunOutcome::Fault(_)));
         for _ in 0..3 {
-            let ok = server.run_attempt(3, b"hello").unwrap();
+            let ok = server.execute(3, b"hello").unwrap();
             assert_eq!(ok.outcome, RunOutcome::Halted(0));
             assert_eq!(ok.output(1), b"OK");
         }
@@ -307,11 +421,10 @@ mod tests {
     fn same_seed_means_same_canary_across_attempts() {
         // The forking-server property the E14 oracle exploits.
         let cache = ProgramCache::new();
-        let mut server =
-            ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 11, ServeMode::Fork).unwrap();
-        let a = server.run_attempt(42, b"x").unwrap();
-        let b = server.run_attempt(42, b"y").unwrap();
-        let c = server.run_attempt(43, b"x").unwrap();
+        let mut server = ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 11).unwrap();
+        let a = server.execute(42, b"x").unwrap();
+        let b = server.execute(42, b"y").unwrap();
+        let c = server.execute(43, b"x").unwrap();
         assert_eq!(a.canary_value, b.canary_value);
         assert_ne!(a.canary_value, c.canary_value);
     }
@@ -319,10 +432,9 @@ mod tests {
     #[test]
     fn compiles_and_boots_exactly_once() {
         let cache = ProgramCache::new();
-        let mut server =
-            ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 5, ServeMode::Fork).unwrap();
+        let mut server = ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 5).unwrap();
         for seed in 0..50u64 {
-            server.run_attempt(seed, b"ping").unwrap();
+            server.execute(seed, b"ping").unwrap();
         }
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.parses), (0, 1, 1));
@@ -333,28 +445,73 @@ mod tests {
         let cache = ProgramCache::new();
         let mut cfg = DefenseConfig::none();
         cfg.aslr_bits = Some(8);
-        let mut server = ForkServer::boot(&cache, VICTIM_SMASH, cfg, 1, ServeMode::Fork).unwrap();
+        let mut server = ForkServer::boot(&cache, VICTIM_SMASH, cfg, 1).unwrap();
         // Same seed: same slide, fine.
-        assert!(server.run_attempt(1, b"x").is_ok());
+        assert!(server.execute(1, b"x").is_ok());
         // A different seed would re-randomize the victim — rejected.
-        assert!(server.run_attempt(2, b"x").is_err());
+        assert!(server.execute(2, b"x").is_err());
     }
 
     #[test]
     fn search_reports_the_first_hit() {
         let cache = ProgramCache::new();
-        let mut server =
-            ForkServer::boot(&cache, VICTIM_SMASH, DefenseConfig::none(), 1, ServeMode::Fork)
-                .unwrap();
+        let mut server = ForkServer::boot(&cache, VICTIM_SMASH, DefenseConfig::none(), 1).unwrap();
         // Benign inputs echo OK; only the third "input" is special to
         // the predicate.
         let attempts = (0..5u64).map(|i| (1u64, vec![b'a' + i as u8; 4]));
-        let result = server
-            .search(attempts, |r| r.io.pending_input(0) == 0 && r.output(1) == b"OK")
-            .unwrap();
+        let result = AttackTarget::search(&mut server, attempts, |r| {
+            r.io.pending_input(0) == 0 && r.output(1) == b"OK"
+        })
+        .unwrap();
         let (index, hit) = result.hit.expect("every benign attempt echoes OK");
         assert_eq!(index, 1);
         assert_eq!(result.attempts, 1);
         assert_eq!(hit.outcome, RunOutcome::Halted(0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_serve() {
+        // The pre-redesign inherent methods stay as thin wrappers over
+        // the `AttackTarget` surface until downstream callers migrate.
+        let cache = ProgramCache::new();
+        let mut server = ForkServer::boot(&cache, VICTIM_SMASH, DefenseConfig::none(), 1).unwrap();
+        let via_shim = server.run_attempt(1, b"hi").unwrap();
+        let via_trait = server.execute(1, b"hi").unwrap();
+        assert_eq!(via_shim.outcome, via_trait.outcome);
+        let result = server
+            .search([(1u64, b"hi".to_vec())], |r| r.output(1) == b"OK")
+            .unwrap();
+        assert!(result.hit.is_some());
+    }
+
+    #[test]
+    fn rebuild_attempts_see_the_attached_sink() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use swsec_obs::{EventMask, SecurityEvent};
+
+        struct Counter(AtomicUsize);
+        impl EventSink for Counter {
+            fn record(&self, _event: &SecurityEvent) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+            fn interests(&self) -> EventMask {
+                EventMask::CONTROL
+            }
+        }
+
+        let cache = ProgramCache::new();
+        for mode in [ServeMode::Fork, ServeMode::Rebuild] {
+            let mut server = ForkServer::boot(&cache, VICTIM_SMASH, DefenseConfig::none(), 1)
+                .unwrap()
+                .with_mode(mode);
+            let counter = Arc::new(Counter(AtomicUsize::new(0)));
+            server.set_event_sink(Some(counter.clone()));
+            server.execute(1, b"hi").unwrap();
+            assert!(
+                counter.0.load(Ordering::Relaxed) > 0,
+                "no control transfers observed in {mode:?}"
+            );
+        }
     }
 }

@@ -61,7 +61,7 @@ pub mod prelude {
         CampaignTelemetry, CellOutcome, CellProgress, CellRecord,
     };
     pub use crate::faults::{FaultPlan, FaultyExperiment};
-    pub use crate::harness::{AttemptOutcome, ForkServer, SearchOutcome, ServeMode};
+    pub use crate::harness::{AttackTarget, AttemptOutcome, ForkServer, SearchOutcome, ServeMode};
     pub use crate::equiv::{compare, Comparison, Verdict};
     pub use crate::experiments::{registry, Experiment};
     pub use crate::loader::{launch, Session};

@@ -88,7 +88,7 @@ impl fmt::Display for Table {
 }
 
 /// Identifies one of the experiment drivers (`E1`–`E16`, plus the
-/// reserved test-only id `E17`).
+/// reserved test-only id `E17` and the fuzzing experiment `E18`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ExperimentId(u8);
 
@@ -101,6 +101,12 @@ impl ExperimentId {
     /// and flake on purpose to exercise the campaign failure model.
     pub const FAULT_DEMO: ExperimentId = ExperimentId(17);
 
+    /// The id of the coverage-guided fuzzing experiment, implemented in
+    /// the `swsec-fuzz` crate. Not in the registry — the registry lives
+    /// below `swsec-fuzz` in the crate graph — but runnable through
+    /// [`crate::campaign::run_campaign_on`] like any experiment.
+    pub const FUZZ: ExperimentId = ExperimentId(18);
+
     /// All registered experiment ids, in presentation order.
     pub const ALL: [ExperimentId; ExperimentId::REGISTERED] = {
         let mut ids = [ExperimentId(0); ExperimentId::REGISTERED];
@@ -112,18 +118,19 @@ impl ExperimentId {
         ids
     };
 
-    /// The id for experiment number `n` (1–17; 17 is the reserved
-    /// test-only [`FAULT_DEMO`](ExperimentId::FAULT_DEMO) id).
+    /// The id for experiment number `n` (1–18; 17 is the reserved
+    /// test-only [`FAULT_DEMO`](ExperimentId::FAULT_DEMO) id, 18 the
+    /// [`FUZZ`](ExperimentId::FUZZ) experiment).
     ///
     /// # Panics
     ///
-    /// Panics when `n` is outside `1..=17`.
+    /// Panics when `n` is outside `1..=18`.
     pub fn new(n: u8) -> ExperimentId {
-        assert!((1..=17).contains(&n), "experiment number {n} out of range");
+        assert!((1..=18).contains(&n), "experiment number {n} out of range");
         ExperimentId(n)
     }
 
-    /// The experiment number (1–17).
+    /// The experiment number (1–18).
     pub fn number(self) -> u8 {
         self.0
     }
@@ -207,9 +214,12 @@ mod tests {
         assert_eq!(ExperimentId::ALL[0].to_string(), "E1");
         assert_eq!(ExperimentId::ALL[15].to_string(), "E16");
         assert_eq!(ExperimentId::new(3).index(), 2);
-        // The fault-demo id exists but is not a registered id.
+        // The fault-demo and fuzz ids exist but are not registered ids.
         assert_eq!(ExperimentId::FAULT_DEMO.to_string(), "E17");
         assert!(!ExperimentId::ALL.contains(&ExperimentId::FAULT_DEMO));
+        assert_eq!(ExperimentId::FUZZ.to_string(), "E18");
+        assert_eq!(ExperimentId::new(18), ExperimentId::FUZZ);
+        assert!(!ExperimentId::ALL.contains(&ExperimentId::FUZZ));
     }
 
     #[test]

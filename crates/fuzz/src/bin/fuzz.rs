@@ -1,0 +1,139 @@
+//! The `fuzz` campaign mode: runs E18 — coverage-guided fuzzing of the
+//! three attack targets — through the campaign runner.
+//!
+//! ```sh
+//! cargo run --release -p swsec-fuzz --bin fuzz -- \
+//!     [--workers N] [--seed S] [--budget N] [--minimize-budget N] \
+//!     [--progress] [--telemetry out.jsonl] [--render-only] \
+//!     [--no-fork-server]
+//! ```
+//!
+//! The schedule is bounded and deterministic: a fixed attempt budget
+//! per target, every mutation seed derived from `--seed` via SplitMix64
+//! paths. Stdout (`--render-only`) is **byte-identical for any worker
+//! count and either serve mode** — `scripts/verify.sh` diffs a 1-worker
+//! against a 4-worker run and asserts the report rediscovers the E2
+//! stack smash with zero fast-vs-baseline divergences. Exits non-zero
+//! when a campaign cell failed.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::sync::Arc;
+
+use swsec::campaign::{run_campaign_on, CampaignConfig, CampaignTelemetry};
+use swsec_fuzz::FuzzExperiment;
+use swsec_obs::jsonl::meta_line;
+use swsec_obs::{clear_default_sink, set_default_sink, EventMask, JsonlSink, MetricsRegistry};
+
+fn main() {
+    let mut cfg = CampaignConfig::quick();
+    let mut exp = FuzzExperiment::smoke();
+    let mut telemetry_path: Option<String> = None;
+    let mut progress = false;
+    let mut render_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                cfg.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers takes a number");
+            }
+            "--seed" => {
+                cfg.master_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes a number");
+            }
+            "--budget" => {
+                exp.budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--budget takes a number");
+            }
+            "--minimize-budget" => {
+                exp.minimize_budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--minimize-budget takes a number");
+            }
+            "--telemetry" => {
+                telemetry_path = Some(args.next().expect("--telemetry takes a path"));
+            }
+            "--progress" => progress = true,
+            "--render-only" => render_only = true,
+            "--no-fork-server" => cfg.fork_server = false,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: fuzz [--workers N] [--seed S] [--budget N] \
+                     [--minimize-budget N] [--progress] [--telemetry out.jsonl] \
+                     [--render-only] [--no-fork-server]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Security events only, as in the campaign example: fuzzing-scale
+    // control-transfer traffic goes to the coverage sinks, not the
+    // telemetry dump.
+    let security = EventMask::FAULT
+        .union(EventMask::CANARY)
+        .union(EventMask::PMA)
+        .union(EventMask::GUARD)
+        .union(EventMask::CELL);
+
+    let mut telemetry = CampaignTelemetry::none();
+    let mut sink = None;
+    if let Some(path) = telemetry_path.as_deref() {
+        let file = File::create(path)
+            .unwrap_or_else(|e| panic!("cannot create telemetry file {path}: {e}"));
+        let jsonl = Arc::new(JsonlSink::with_interests(
+            Box::new(BufWriter::new(file)),
+            security,
+        ));
+        jsonl.write_line(&meta_line("source", "swsec-fuzz/bin/fuzz"));
+        jsonl.write_line(&meta_line("master_seed", &cfg.master_seed.to_string()));
+        set_default_sink(jsonl.clone());
+        let registry = Arc::new(MetricsRegistry::new());
+        telemetry.metrics = Some(registry.clone());
+        sink = Some((jsonl, registry));
+    }
+    if progress {
+        telemetry = telemetry.on_progress(|p| {
+            eprintln!(
+                "[{:>3}/{:>3}] {} cell {} ({:.1}ms){}",
+                p.completed,
+                p.total,
+                p.experiment,
+                p.cell,
+                p.elapsed.as_secs_f64() * 1e3,
+                if p.ok { "" } else { " FAILED" },
+            );
+        });
+    }
+
+    let report = run_campaign_on(&cfg, &[exp.leaked()], &telemetry);
+
+    if let Some((sink, registry)) = sink {
+        clear_default_sink();
+        for line in registry.export_jsonl() {
+            sink.write_line(&line);
+        }
+        sink.flush();
+    }
+
+    print!("{}", report.render());
+    if !render_only {
+        println!("{}", report.summary());
+    }
+    if !report.all_ok() {
+        eprintln!(
+            "fuzz: {} cell(s) failed — see the failed-cells table",
+            report.failed_cells().len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,9 @@
 //!   (bounded ring buffer, per-kind counters, hot-address profile,
 //!   fanout) and the process-wide default sink the VM attaches to new
 //!   machines.
+//! - [`coverage`] — an AFL-style edge/event coverage map over the
+//!   event stream: the novelty signal behind the `swsec-fuzz`
+//!   coverage-guided fuzzer.
 //! - [`jsonl`] — the versioned, round-trippable JSONL wire schema and
 //!   a streaming export sink.
 //! - [`metrics`] — a registry of named counters and fixed-bucket
@@ -32,12 +35,14 @@
 
 #![warn(missing_docs)]
 
+pub mod coverage;
 pub mod event;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
 pub mod sink;
 
+pub use coverage::{CoverageGain, CoverageMap, CoverageSink, GlobalCoverage};
 pub use event::{ControlKind, EventMask, FaultKind, PmaRule, SecurityEvent};
 pub use jsonl::{JsonlSink, LineError, Record, SCHEMA_VERSION};
 pub use metrics::{Histogram, MetricsRegistry};

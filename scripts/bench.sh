@@ -10,11 +10,13 @@
 # The full run measures instructions/sec on four workloads
 # (tight-loop, call-heavy, memory-heavy, PMA-crossing) with the
 # decoded-instruction cache + TLBs enabled vs disabled, attack
-# attempts/sec on two harness workloads (aslr-bruteforce,
-# canary-oracle) through the fork server vs per-attempt rebuild, plus
-# campaign wall time. It fails if the tight-loop speedup drops below
-# 5x or either harness speedup below 10x; --smoke runs the same
-# workloads (harness ones included) at reduced sizes with a >1x floor.
+# attempts/sec on three harness workloads (aslr-bruteforce,
+# canary-oracle, and fuzz-replay — a pre-mutated swsec-fuzz corpus
+# served through the victim target) through the fork server vs
+# per-attempt rebuild, plus campaign wall time. It fails if the
+# tight-loop speedup drops below 5x or any harness speedup below 10x;
+# --smoke runs the same workloads (harness ones included) at reduced
+# sizes with a >1x floor.
 #
 # It also re-times the tight loop with event sinks attached (the
 # telemetry overhead guard): an attached sink with no interests must

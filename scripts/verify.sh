@@ -18,7 +18,12 @@
 #      fork-served run's telemetry must carry vm.snapshot.* metrics;
 #   7. fault-injection smoke: the E16 crash matrix standalone, plus a
 #      --fault-demo run that must exit non-zero, report its failed
-#      cells, and emit cell_failed telemetry.
+#      cells, and emit cell_failed telemetry;
+#   8. fuzz smoke: the E18 coverage-guided campaign (swsec-fuzz) at a
+#      fixed seed and budget must rediscover the E2 stack smash, see
+#      zero fast-path-vs-baseline divergences, and render byte-identical
+#      reports at 1 and 4 workers (deterministic findings contract,
+#      DESIGN.md §11).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -95,5 +100,34 @@ grep -q "failed cells" "$FAULTDIR/fault_demo.txt" || {
 }
 target/release/telcheck "$FAULTDIR/fault_demo.jsonl" \
     --require cell_failed --require metric --require meta
+
+echo "==> fuzz smoke"
+cargo build -q --release --offline -p swsec-fuzz --bin fuzz
+FUZZDIR="target/fuzz-smoke"
+mkdir -p "$FUZZDIR"
+target/release/fuzz --seed 9 --workers 1 --render-only \
+    > "$FUZZDIR/render_w1.txt"
+target/release/fuzz --seed 9 --workers 4 --render-only \
+    > "$FUZZDIR/render_w4.txt"
+cmp "$FUZZDIR/render_w1.txt" "$FUZZDIR/render_w4.txt" || {
+    echo "verify: fuzz render differs across worker counts" >&2
+    exit 1
+}
+# The known-vulnerable victim must yield the exploit-path finding ...
+grep -q "SECRET" "$FUZZDIR/render_w1.txt" || {
+    echo "verify: fuzz smoke did not rediscover the E2 stack smash" >&2
+    exit 1
+}
+grep -Eq "known exploit path rediscovered \(victim-smash\) +yes" \
+    "$FUZZDIR/render_w1.txt" || {
+    echo "verify: fuzz verdict table is missing the exploit row" >&2
+    exit 1
+}
+# ... and the fast-path VM must agree with the baseline on every input.
+grep -Eq "fast-path vs baseline divergences +0[[:space:]]*$" \
+    "$FUZZDIR/render_w1.txt" || {
+    echo "verify: fuzz smoke saw fast-vs-baseline divergences" >&2
+    exit 1
+}
 
 echo "verify: all checks passed"

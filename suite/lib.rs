@@ -19,6 +19,7 @@ pub use swsec_asm;
 pub use swsec_attacks;
 pub use swsec_crypto;
 pub use swsec_defenses;
+pub use swsec_fuzz;
 pub use swsec_minc;
 pub use swsec_pma;
 pub use swsec_vm;

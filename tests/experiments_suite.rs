@@ -2,15 +2,13 @@
 //! driver and asserts the *shape* of the result the paper claims.
 //! `EXPERIMENTS.md` documents the same shapes in prose.
 
-// Exercises the legacy per-experiment entry points, kept as
-// deprecated wrappers around the campaign API.
-#![allow(deprecated)]
-
+use swsec::cache::ProgramCache;
 use swsec::experiments::*;
+use swsec::harness::ServeMode;
 
 #[test]
 fn e1_figure1_layout() {
-    let report = fig1::run();
+    let report = fig1::compute(&ProgramCache::new(), 1);
     assert_eq!(report.facts.saved_bp_slot, report.facts.buf_addr + 16);
     assert_eq!(report.facts.ret_slot, report.facts.saved_bp_slot + 4);
     assert_eq!(report.facts.buf_word0, 0x4443_4241); // "ABCD" little-endian
@@ -18,14 +16,14 @@ fn e1_figure1_layout() {
 
 #[test]
 fn e2_catalogue() {
-    let c = catalogue::run(42);
+    let c = catalogue::compute(42, &ProgramCache::new());
     assert!(c.vulnerabilities.iter().all(|v| v.source_trapped));
     assert!(c.attacks.iter().all(|(_, ok, _)| *ok));
 }
 
 #[test]
 fn e3_matrix_shape() {
-    let m = matrix::run(42);
+    let m = matrix::compute(42, &ProgramCache::new());
     let per_config = m.compromises_per_config();
     // none > modern > bounds; every single mitigation leaks something.
     assert_eq!(*per_config.first().unwrap(), 7);
@@ -35,14 +33,14 @@ fn e3_matrix_shape() {
 
 #[test]
 fn e4_aslr_scaling() {
-    let sweep = aslr::run(&[2, 4], 6, 11);
+    let sweep = aslr::compute(&[2, 4], 6, 11, &ProgramCache::new(), ServeMode::Fork);
     assert!(sweep.rows[1].mean_attempts > sweep.rows[0].mean_attempts);
     assert_eq!(sweep.rows[0].leak_attempts, 1);
 }
 
 #[test]
 fn e5_overhead_shape() {
-    let report = overhead::run();
+    let report = overhead::compute();
     for r in report
         .rows
         .iter()
@@ -54,7 +52,7 @@ fn e5_overhead_shape() {
 
 #[test]
 fn e6_analysis_tradeoffs() {
-    let r = analysis::run();
+    let r = analysis::compute();
     assert_eq!(r.precise.false_positives, 0);
     assert!(r.paranoid.true_positives >= r.precise.true_positives);
     assert!(r.runtime_with_trigger.true_positives > r.runtime_benign_only.true_positives);
@@ -62,19 +60,19 @@ fn e6_analysis_tradeoffs() {
 
 #[test]
 fn e7_scraping() {
-    let r = scraping::run();
+    let r = scraping::compute();
     assert!(r.trials.iter().filter(|t| !t.protected).all(|t| t.found_secret));
     assert!(r.trials.iter().filter(|t| t.protected).all(|t| !t.found_secret));
 }
 
 #[test]
 fn e8_rules() {
-    assert!(pma_rules::run().all_match());
+    assert!(pma_rules::compute().all_match());
 }
 
 #[test]
 fn e9_secure_compilation() {
-    let r = fig4::run();
+    let r = fig4::compute();
     assert!(!r.honest_brute.found);
     assert!(r.naive_brute.found);
     assert!(r.secure_brute.trapped && !r.secure_brute.found);
@@ -82,12 +80,12 @@ fn e9_secure_compilation() {
 
 #[test]
 fn e10_attestation() {
-    assert!(attest::run().all_match());
+    assert!(attest::compute().all_match());
 }
 
 #[test]
 fn e11_continuity() {
-    let r = continuity::run();
+    let r = continuity::compute();
     let naive = r.rollback.iter().find(|(s, _)| *s == continuity::Scheme::Naive).unwrap();
     assert!(naive.1.found);
     for (s, result) in r.rollback.iter().filter(|(s, _)| *s != continuity::Scheme::Naive) {
@@ -110,12 +108,12 @@ fn e11_continuity() {
 
 #[test]
 fn e13_strict_reentry() {
-    assert!(strict_reentry::run().all_ok());
+    assert!(strict_reentry::compute().all_ok());
 }
 
 #[test]
 fn e14_canary_oracle() {
-    let r = canary_oracle::run(31);
+    let r = canary_oracle::compute(31, 2048, &ProgramCache::new(), ServeMode::Fork);
     assert!(r.forking.recovered && r.forking.smash_succeeded);
     assert!(r.forking.attempts <= 1024);
     assert!(!r.fresh.smash_succeeded);
@@ -123,7 +121,7 @@ fn e14_canary_oracle() {
 
 #[test]
 fn e15_heap_uaf() {
-    let r = heap_uaf::run();
+    let r = heap_uaf::compute();
     assert!(r.trials.iter().any(|t| t.compromised));
     assert!(r
         .trials
@@ -134,32 +132,37 @@ fn e15_heap_uaf() {
 
 #[test]
 fn e12_pma_cost() {
-    let r = pma_cost::run();
+    let r = pma_cost::compute();
     assert!(r.cost.secure_instructions > r.cost.naive_instructions);
 }
 
 #[test]
 fn all_tables_render_nonempty() {
+    let cache = ProgramCache::new();
     let mut rendered = String::new();
-    for t in catalogue::run(42).tables() {
+    for t in catalogue::compute(42, &cache).tables() {
         rendered.push_str(&t.to_string());
     }
-    rendered.push_str(&matrix::run(42).table().to_string());
-    rendered.push_str(&overhead::run().table().to_string());
-    rendered.push_str(&analysis::run().table().to_string());
-    rendered.push_str(&scraping::run().table().to_string());
-    rendered.push_str(&pma_rules::run().table().to_string());
-    for t in fig4::run().tables() {
+    rendered.push_str(&matrix::compute(42, &cache).table().to_string());
+    rendered.push_str(&overhead::compute().table().to_string());
+    rendered.push_str(&analysis::compute().table().to_string());
+    rendered.push_str(&scraping::compute().table().to_string());
+    rendered.push_str(&pma_rules::compute().table().to_string());
+    for t in fig4::compute().tables() {
         rendered.push_str(&t.to_string());
     }
-    rendered.push_str(&attest::run().table().to_string());
-    for t in continuity::run().tables() {
+    rendered.push_str(&attest::compute().table().to_string());
+    for t in continuity::compute().tables() {
         rendered.push_str(&t.to_string());
     }
-    rendered.push_str(&pma_cost::run().table().to_string());
-    rendered.push_str(&strict_reentry::run().table().to_string());
-    rendered.push_str(&canary_oracle::run(31).table().to_string());
-    rendered.push_str(&heap_uaf::run().table().to_string());
+    rendered.push_str(&pma_cost::compute().table().to_string());
+    rendered.push_str(&strict_reentry::compute().table().to_string());
+    rendered.push_str(
+        &canary_oracle::compute(31, 2048, &cache, ServeMode::Fork)
+            .table()
+            .to_string(),
+    );
+    rendered.push_str(&heap_uaf::compute().table().to_string());
     assert!(rendered.len() > 2000);
     assert!(rendered.contains("COMPROMISED"));
     assert!(rendered.contains("BRICKED"));

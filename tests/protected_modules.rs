@@ -2,10 +2,6 @@
 //! module compilation, platform loading, isolation, secure compilation,
 //! attestation and continuity working together.
 
-// Exercises the legacy per-experiment entry points, kept as
-// deprecated wrappers around the campaign API.
-#![allow(deprecated)]
-
 use swsec::experiments::{fig4, scraping};
 use swsec_attacks::Scraper;
 use swsec_pma::platform::Measurement;
