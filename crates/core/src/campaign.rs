@@ -431,6 +431,7 @@ impl CampaignReport {
                 "campaign: {} workers, {:.2}s wall, {} failed cells, \
                  cache {} hits / {} misses / {} parses, \
                  vm {} instr, icache {} hit, tlb {} hit, \
+                 tier2 {} blocks / {} entries / {} instr, \
                  snapshot {} restores ({} dirty pages/restore)",
                 self.workers,
                 self.elapsed.as_secs_f64(),
@@ -441,6 +442,9 @@ impl CampaignReport {
                 self.vm.instructions,
                 pct(self.vm.icache_hit_rate()),
                 pct(self.vm.tlb_hit_rate()),
+                self.vm.tier2_compiled,
+                self.vm.tier2_hits,
+                self.vm.tier2_instructions,
                 self.vm.restores,
                 mean_dirty,
             ),
@@ -462,7 +466,10 @@ impl CampaignReport {
     ///   `campaign.cells_failed`, `campaign.cells_retried`,
     ///   `cache.hits` / `cache.misses` / `cache.parses`, and
     ///   `vm.instructions` / `vm.icache.hits` / `vm.icache.misses` /
-    ///   `vm.tlb.hits` / `vm.tlb.misses`, and `vm.snapshot.snapshots` /
+    ///   `vm.tlb.hits` / `vm.tlb.misses`,
+    ///   `vm.tier2.blocks_compiled` / `vm.tier2.block_hits` /
+    ///   `vm.tier2.instructions` / `vm.tier2.side_exits` /
+    ///   `vm.tier2.invalidations`, and `vm.snapshot.snapshots` /
     ///   `vm.snapshot.restores` / `vm.snapshot.dirty_pages` /
     ///   `vm.snapshot.bytes_copied`;
     /// * histogram `campaign.cell_micros` with one observation per cell.
@@ -489,6 +496,11 @@ impl CampaignReport {
         registry.counter("vm.icache.misses", self.vm.icache_misses);
         registry.counter("vm.tlb.hits", self.vm.tlb_hits);
         registry.counter("vm.tlb.misses", self.vm.tlb_misses);
+        registry.counter("vm.tier2.blocks_compiled", self.vm.tier2_compiled);
+        registry.counter("vm.tier2.block_hits", self.vm.tier2_hits);
+        registry.counter("vm.tier2.instructions", self.vm.tier2_instructions);
+        registry.counter("vm.tier2.side_exits", self.vm.tier2_side_exits);
+        registry.counter("vm.tier2.invalidations", self.vm.tier2_invalidations);
         registry.counter("vm.snapshot.snapshots", self.vm.snapshots);
         registry.counter("vm.snapshot.restores", self.vm.restores);
         registry.counter("vm.snapshot.dirty_pages", self.vm.restore_dirty_pages);

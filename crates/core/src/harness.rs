@@ -293,28 +293,6 @@ impl ForkServer {
     pub fn fuel(&self) -> u64 {
         self.fuel
     }
-
-    /// Serves one attempt.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use the `AttackTarget::execute` trait surface instead"
-    )]
-    pub fn run_attempt(&mut self, seed: u64, input: &[u8]) -> Result<AttemptOutcome, CompileError> {
-        self.execute(seed, input)
-    }
-
-    /// Serves attempts until `is_hit` accepts one.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use the `AttackTarget::search` trait surface instead"
-    )]
-    pub fn search<I, P>(&mut self, attempts: I, is_hit: P) -> Result<SearchOutcome, CompileError>
-    where
-        I: IntoIterator<Item = (u64, Vec<u8>)>,
-        P: FnMut(&AttemptOutcome) -> bool,
-    {
-        AttackTarget::search(self, attempts, is_hit)
-    }
 }
 
 impl AttackTarget for ForkServer {
@@ -467,22 +445,6 @@ mod tests {
         assert_eq!(index, 1);
         assert_eq!(result.attempts, 1);
         assert_eq!(hit.outcome, RunOutcome::Halted(0));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_serve() {
-        // The pre-redesign inherent methods stay as thin wrappers over
-        // the `AttackTarget` surface until downstream callers migrate.
-        let cache = ProgramCache::new();
-        let mut server = ForkServer::boot(&cache, VICTIM_SMASH, DefenseConfig::none(), 1).unwrap();
-        let via_shim = server.run_attempt(1, b"hi").unwrap();
-        let via_trait = server.execute(1, b"hi").unwrap();
-        assert_eq!(via_shim.outcome, via_trait.outcome);
-        let result = server
-            .search([(1u64, b"hi".to_vec())], |r| r.output(1) == b"OK")
-            .unwrap();
-        assert!(result.hit.is_some());
     }
 
     #[test]

@@ -299,9 +299,10 @@ impl FuzzTarget for CompilerTarget {
 
 // ------------------------------------------------------------ diff (VM)
 
-/// Differential execution: the same victim and input on a fast-path
-/// and a baseline machine. The two must agree on outcome, observable
-/// I/O and architectural statistics; a divergence is a crash-class
+/// Differential execution: the same victim and input on a tier-2
+/// machine, a fast-path (tier 1 only) machine and an uncached
+/// baseline machine. The three must agree on outcome, observable I/O
+/// and architectural statistics; a divergence is a crash-class
 /// finding in the VM itself.
 pub struct DiffTarget {
     program: Arc<CompiledProgram>,
@@ -334,36 +335,54 @@ impl DiffTarget {
 impl AttackTarget for DiffTarget {
     fn execute(&mut self, seed: u64, input: &[u8]) -> Result<AttemptOutcome, CompileError> {
         self.last_finding = None;
+        let mut tiered = loader::launch_compiled(&self.program, self.config, seed)?;
         let mut fast = loader::launch_compiled(&self.program, self.config, seed)?;
         let mut base = loader::launch_compiled(&self.program, self.config, seed)?;
+        tiered.machine.set_fast_path(true);
+        tiered.machine.set_tier2(true);
         fast.machine.set_fast_path(true);
+        fast.machine.set_tier2(false);
         base.machine.set_fast_path(false);
+        base.machine.set_tier2(false);
         if let Some(sink) = &self.sink {
-            fast.machine
+            tiered
+                .machine
                 .set_event_sink(Some(Arc::clone(sink) as Arc<dyn EventSink>));
         }
+        tiered.machine.io_mut().feed_input(0, input);
         fast.machine.io_mut().feed_input(0, input);
         base.machine.io_mut().feed_input(0, input);
+        let tiered_outcome = tiered.run(TARGET_FUEL);
         let fast_outcome = fast.run(TARGET_FUEL);
         let base_outcome = base.run(TARGET_FUEL);
+        let tiered_io = tiered.machine.io().observable();
         let fast_io = fast.machine.io().observable();
         let base_io = base.machine.io().observable();
+        let tiered_stats = tiered.machine.stats().architectural();
         let fast_stats = fast.machine.stats().architectural();
         let base_stats = base.machine.stats().architectural();
-        if fast_outcome != base_outcome || fast_io != base_io || fast_stats != base_stats {
+        let pairs_agree = tiered_outcome == fast_outcome
+            && fast_outcome == base_outcome
+            && tiered_io == fast_io
+            && fast_io == base_io
+            && tiered_stats == fast_stats
+            && fast_stats == base_stats;
+        if !pairs_agree {
             self.divergences += 1;
             self.last_finding = Some(format!(
-                "divergence: fast-path {fast_outcome:?} vs baseline {base_outcome:?} \
-                 (io equal: {}, stats equal: {})",
+                "divergence: tier-2 {tiered_outcome:?} vs fast-path {fast_outcome:?} \
+                 vs baseline {base_outcome:?} (io equal: {}/{}, stats equal: {}/{})",
+                tiered_io == fast_io,
                 fast_io == base_io,
+                tiered_stats == fast_stats,
                 fast_stats == base_stats,
             ));
         }
-        let stats = fast.machine.stats();
-        let io = std::mem::take(fast.machine.io_mut());
+        let stats = tiered.machine.stats();
+        let io = std::mem::take(tiered.machine.io_mut());
         Ok(AttemptOutcome {
-            outcome: fast_outcome,
-            canary_value: fast.canary_value,
+            outcome: tiered_outcome,
+            canary_value: tiered.canary_value,
             io,
             stats,
         })

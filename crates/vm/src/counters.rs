@@ -21,6 +21,11 @@ static ICACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static ICACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 static TLB_HITS: AtomicU64 = AtomicU64::new(0);
 static TLB_MISSES: AtomicU64 = AtomicU64::new(0);
+static TIER2_COMPILED: AtomicU64 = AtomicU64::new(0);
+static TIER2_HITS: AtomicU64 = AtomicU64::new(0);
+static TIER2_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+static TIER2_SIDE_EXITS: AtomicU64 = AtomicU64::new(0);
+static TIER2_INVALIDATIONS: AtomicU64 = AtomicU64::new(0);
 static SNAPSHOTS: AtomicU64 = AtomicU64::new(0);
 static RESTORES: AtomicU64 = AtomicU64::new(0);
 static RESTORE_DIRTY_PAGES: AtomicU64 = AtomicU64::new(0);
@@ -42,6 +47,17 @@ pub struct VmCounters {
     pub tlb_hits: u64,
     /// TLB misses.
     pub tlb_misses: u64,
+    /// Tier-2 superinstruction blocks compiled.
+    pub tier2_compiled: u64,
+    /// Tier-2 block-cache hits (block entries).
+    pub tier2_hits: u64,
+    /// Instructions retired inside tier-2 blocks.
+    pub tier2_instructions: u64,
+    /// Early exits from tier-2 blocks (fault, fuel, self-modifying
+    /// store).
+    pub tier2_side_exits: u64,
+    /// Tier-2 blocks dropped on a failed generation check.
+    pub tier2_invalidations: u64,
     /// Machine snapshots taken ([`Machine::snapshot`](crate::cpu::Machine::snapshot)).
     pub snapshots: u64,
     /// Machine restores performed
@@ -63,6 +79,15 @@ impl VmCounters {
             icache_misses: self.icache_misses.saturating_sub(earlier.icache_misses),
             tlb_hits: self.tlb_hits.saturating_sub(earlier.tlb_hits),
             tlb_misses: self.tlb_misses.saturating_sub(earlier.tlb_misses),
+            tier2_compiled: self.tier2_compiled.saturating_sub(earlier.tier2_compiled),
+            tier2_hits: self.tier2_hits.saturating_sub(earlier.tier2_hits),
+            tier2_instructions: self
+                .tier2_instructions
+                .saturating_sub(earlier.tier2_instructions),
+            tier2_side_exits: self.tier2_side_exits.saturating_sub(earlier.tier2_side_exits),
+            tier2_invalidations: self
+                .tier2_invalidations
+                .saturating_sub(earlier.tier2_invalidations),
             snapshots: self.snapshots.saturating_sub(earlier.snapshots),
             restores: self.restores.saturating_sub(earlier.restores),
             restore_dirty_pages: self
@@ -104,6 +129,11 @@ pub fn snapshot() -> VmCounters {
         icache_misses: ICACHE_MISSES.load(Ordering::Relaxed),
         tlb_hits: TLB_HITS.load(Ordering::Relaxed),
         tlb_misses: TLB_MISSES.load(Ordering::Relaxed),
+        tier2_compiled: TIER2_COMPILED.load(Ordering::Relaxed),
+        tier2_hits: TIER2_HITS.load(Ordering::Relaxed),
+        tier2_instructions: TIER2_INSTRUCTIONS.load(Ordering::Relaxed),
+        tier2_side_exits: TIER2_SIDE_EXITS.load(Ordering::Relaxed),
+        tier2_invalidations: TIER2_INVALIDATIONS.load(Ordering::Relaxed),
         snapshots: SNAPSHOTS.load(Ordering::Relaxed),
         restores: RESTORES.load(Ordering::Relaxed),
         restore_dirty_pages: RESTORE_DIRTY_PAGES.load(Ordering::Relaxed),
@@ -125,14 +155,19 @@ pub(crate) fn note_restore(dirty_pages: u64, bytes: u64) {
 }
 
 /// Folds one machine's lifetime stats into the global totals. Called
-/// from `Machine::drop`; cheap (five relaxed adds per machine, not per
-/// instruction).
+/// from `Machine::drop`; cheap (a handful of relaxed adds per machine,
+/// not per instruction).
 pub(crate) fn absorb(stats: &ExecStats) {
     INSTRUCTIONS.fetch_add(stats.instructions, Ordering::Relaxed);
     ICACHE_HITS.fetch_add(stats.icache_hits, Ordering::Relaxed);
     ICACHE_MISSES.fetch_add(stats.icache_misses, Ordering::Relaxed);
     TLB_HITS.fetch_add(stats.tlb_hits, Ordering::Relaxed);
     TLB_MISSES.fetch_add(stats.tlb_misses, Ordering::Relaxed);
+    TIER2_COMPILED.fetch_add(stats.tier2_compiled, Ordering::Relaxed);
+    TIER2_HITS.fetch_add(stats.tier2_hits, Ordering::Relaxed);
+    TIER2_INSTRUCTIONS.fetch_add(stats.tier2_instructions, Ordering::Relaxed);
+    TIER2_SIDE_EXITS.fetch_add(stats.tier2_side_exits, Ordering::Relaxed);
+    TIER2_INVALIDATIONS.fetch_add(stats.tier2_invalidations, Ordering::Relaxed);
 }
 
 #[cfg(test)]

@@ -16,13 +16,20 @@
 //! Data Execution Prevention is a property of [`Memory`] (page
 //! permissions plus the enforcement switch).
 //!
-//! The fetch/decode/execute loop is accelerated by a direct-mapped
-//! **decoded-instruction cache** keyed on `ip` and validated against
-//! the memory's code generation (see [`mem`](crate::mem) and
-//! `DESIGN.md` §"VM performance model"); it is semantically invisible
-//! and can be switched off per machine ([`Machine::set_fast_path`])
-//! or process-wide ([`set_default_fast_path`]) for baseline
-//! measurements.
+//! The fetch/decode/execute loop is accelerated by a two-way
+//! set-associative **decoded-instruction cache** keyed on `ip` and
+//! validated against the memory's code generation (see
+//! [`mem`](crate::mem) and `DESIGN.md` §"VM performance model"); it is
+//! semantically invisible and can be switched off per machine
+//! ([`Machine::set_fast_path`]) or process-wide
+//! ([`set_default_fast_path`]) for baseline measurements.
+//!
+//! Above it sits an optional second tier ([`tier`](crate::tier)):
+//! hot straight-line regions are fused into superinstruction blocks
+//! that execute as a tight micro-op loop with the per-instruction
+//! dispatch ceremony hoisted out. Tier 2 is also semantically
+//! invisible and has its own switches ([`Machine::set_tier2`],
+//! [`set_default_tier2`]).
 //!
 //! # Examples
 //!
@@ -51,13 +58,21 @@ use swsec_obs::{ControlKind, EventMask, EventSink, FaultKind, PmaRule, SecurityE
 
 use crate::isa::{self, AluOp, Cond, DecodeError, Instr, Reg, NUM_REGS};
 use crate::io::IoBus;
-use crate::mem::{Access, MemError, MemErrorKind, Memory, PAGE_SIZE};
+use crate::mem::{Access, DataLine, MemError, MemErrorKind, Memory, PAGE_SIZE};
 use crate::policy::{PmaViolation, PmaViolationKind, ProtectionMap, TransferKind};
+use crate::tier::{Block, MicroOp, TierEngine};
 use crate::trace::{ExecStats, TraceEntry, TraceRing};
 
-/// Number of direct-mapped slots in the decoded-instruction cache.
-/// A power of two so indexing is a mask of the low `ip` bits.
+/// Total entries in the decoded-instruction cache. Organized as
+/// [`ICACHE_SETS`] two-way sets: way 0 of set `s` is entry `2 * s`,
+/// way 1 is entry `2 * s + 1`, most-recently-used kept in way 0.
 const ICACHE_SLOTS: usize = 1024;
+
+/// Number of two-way sets in the decoded-instruction cache. A power
+/// of two so indexing is a mask of the low `ip` bits. Two ways per
+/// set keep regions whose addresses alias in the low bits (program
+/// text and a protected module, say) from thrashing a shared slot.
+const ICACHE_SETS: usize = ICACHE_SLOTS / 2;
 
 /// One decoded-instruction-cache line: the instruction decoded at `ip`
 /// while the memory's global code generation was `gen` and the source
@@ -120,6 +135,22 @@ pub fn set_default_fast_path(on: bool) {
 /// [`set_default_fast_path`]).
 pub fn default_fast_path() -> bool {
     DEFAULT_FAST_PATH.load(Ordering::Relaxed)
+}
+
+static DEFAULT_TIER2: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide default for the tier-2 block engine (see
+/// [`tier`](crate::tier)) that every subsequently created [`Machine`]
+/// inherits. Tier 2 is semantically invisible; this switch exists so
+/// benchmark baselines and determinism audits can compare whole
+/// campaigns with and without it.
+pub fn set_default_tier2(on: bool) {
+    DEFAULT_TIER2.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide tier-2 default (see [`set_default_tier2`]).
+pub fn default_tier2() -> bool {
+    DEFAULT_TIER2.load(Ordering::Relaxed)
 }
 
 /// Comparison flags set by `cmp`/`cmpi`.
@@ -318,6 +349,11 @@ pub struct Machine {
     blocking_reads: bool,
     icache: Box<[ICacheEntry]>,
     fast_path: bool,
+    tier2: bool,
+    /// Tier-2 block cache and hotness table; allocated lazily on the
+    /// first eligible control transfer (`None` until then and while
+    /// tier 2 is off).
+    tier: Option<Box<TierEngine>>,
     /// Attached security-event sink, if any; `sink_mask` caches its
     /// interest mask so the hot path tests a single byte.
     sink: Option<Arc<dyn EventSink>>,
@@ -380,6 +416,8 @@ impl Machine {
             blocking_reads: false,
             icache: vec![ICACHE_EMPTY; ICACHE_SLOTS].into_boxed_slice(),
             fast_path,
+            tier2: default_tier2(),
+            tier: None,
             sink,
             sink_mask,
             straddle_hint: false,
@@ -419,6 +457,26 @@ impl Machine {
     /// Whether the interpreter fast path is on.
     pub fn fast_path(&self) -> bool {
         self.fast_path
+    }
+
+    /// Enables or disables the tier-2 block engine for this machine
+    /// (see [`tier`](crate::tier)). On by default (subject to
+    /// [`set_default_tier2`]); it only ever engages on top of the fast
+    /// path, and machines with a PMA policy, tracing, or a per-step
+    /// event sink never enter it. Program-visible behaviour is
+    /// bit-for-bit identical either way — the switch exists for
+    /// benchmark baselines and determinism audits. Switching it off
+    /// discards all compiled blocks.
+    pub fn set_tier2(&mut self, on: bool) {
+        self.tier2 = on;
+        if !on {
+            self.tier = None;
+        }
+    }
+
+    /// Whether the tier-2 block engine is enabled.
+    pub fn tier2(&self) -> bool {
+        self.tier2
     }
 
     /// Reads a register.
@@ -739,6 +797,86 @@ impl Machine {
         Ok(value)
     }
 
+    // --- tier-2 block-local memory path ---------------------------
+    // These mirror load_u32/store_u32/push/pop exactly, but serve
+    // repeat accesses to one page through a chain-local [`DataLine`],
+    // skipping the TLB probe. Only the block loop may call them:
+    // tier-2 eligibility guarantees no PMA policy is attached (so the
+    // skipped `check_pma_data` would be a no-op), and micro-ops cannot
+    // remap, reprotect or restore memory, so a filled line stays valid
+    // for the whole dispatch chain. Line writes bump the page's write
+    // generation and dirty flag exactly like `store_u32`, keeping SMC
+    // detection and snapshot dirty tracking intact.
+
+    #[inline]
+    fn bc_load_u32(&mut self, line: &mut DataLine, addr: u32) -> Result<u32, Fault> {
+        if line.serves_word(addr, false) {
+            self.stats.mem_reads += 1;
+            return Ok(self.mem.line_read_u32(*line, addr));
+        }
+        let v = self.load_u32(addr)?;
+        if let Some(l) = self.mem.data_line(addr) {
+            *line = l;
+        }
+        Ok(v)
+    }
+
+    #[inline]
+    fn bc_store_u32(&mut self, line: &mut DataLine, addr: u32, value: u32) -> Result<(), Fault> {
+        if line.serves_word(addr, true) {
+            self.stats.mem_writes += 1;
+            self.mem.line_write_u32(*line, addr, value);
+            return Ok(());
+        }
+        self.store_u32(addr, value)?;
+        if let Some(l) = self.mem.data_line(addr) {
+            *line = l;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn bc_load_u8(&mut self, line: &mut DataLine, addr: u32) -> Result<u8, Fault> {
+        if line.serves_byte(addr, false) {
+            self.stats.mem_reads += 1;
+            return Ok(self.mem.line_read_u8(*line, addr));
+        }
+        let v = self.load_u8(addr)?;
+        if let Some(l) = self.mem.data_line(addr) {
+            *line = l;
+        }
+        Ok(v)
+    }
+
+    #[inline]
+    fn bc_store_u8(&mut self, line: &mut DataLine, addr: u32, value: u8) -> Result<(), Fault> {
+        if line.serves_byte(addr, true) {
+            self.stats.mem_writes += 1;
+            self.mem.line_write_u8(*line, addr, value);
+            return Ok(());
+        }
+        self.store_u8(addr, value)?;
+        if let Some(l) = self.mem.data_line(addr) {
+            *line = l;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn bc_push(&mut self, line: &mut DataLine, value: u32) -> Result<(), Fault> {
+        let sp = self.reg(Reg::Sp).wrapping_sub(4);
+        self.set_reg(Reg::Sp, sp);
+        self.bc_store_u32(line, sp, value)
+    }
+
+    #[inline]
+    fn bc_pop(&mut self, line: &mut DataLine) -> Result<u32, Fault> {
+        let sp = self.reg(Reg::Sp);
+        let value = self.bc_load_u32(line, sp)?;
+        self.set_reg(Reg::Sp, sp.wrapping_add(4));
+        Ok(value)
+    }
+
     /// Fetches the instruction at `ip`, consulting the decoded-
     /// instruction cache first. A line hits only while the memory's
     /// global code generation *and* the write generation of the page(s)
@@ -754,16 +892,25 @@ impl Machine {
             return self.fetch_decode();
         }
         let gen = self.mem.code_generation();
-        let idx = (self.ip as usize) & (ICACHE_SLOTS - 1);
-        let e = self.icache[idx];
+        let way0 = ((self.ip as usize) & (ICACHE_SETS - 1)) * 2;
         // `gen` must match before the slot indices may be trusted: a
         // matching global generation means no map/unmap has happened
         // since the fill, so the slots still hold the same pages.
-        if e.gen == gen
-            && e.ip == self.ip
-            && self.mem.slot_gen(e.slot) == e.pgen
-            && (!e.straddles || self.mem.slot_gen(e.slot2) == e.pgen2)
-        {
+        let valid = |e: &ICacheEntry, ip: u32| {
+            e.gen == gen
+                && e.ip == ip
+                && self.mem.slot_gen(e.slot) == e.pgen
+                && (!e.straddles || self.mem.slot_gen(e.slot2) == e.pgen2)
+        };
+        let e = self.icache[way0];
+        if valid(&e, self.ip) {
+            self.stats.icache_hits += 1;
+            return Ok((e.instr, usize::from(e.len)));
+        }
+        let e = self.icache[way0 + 1];
+        if valid(&e, self.ip) {
+            // Promote to way 0 so the set evicts least-recently-used.
+            self.icache.swap(way0, way0 + 1);
             self.stats.icache_hits += 1;
             return Ok((e.instr, usize::from(e.len)));
         }
@@ -777,7 +924,8 @@ impl Machine {
         } else {
             (0, 0)
         };
-        self.icache[idx] = ICacheEntry {
+        self.icache[way0 + 1] = self.icache[way0];
+        self.icache[way0] = ICacheEntry {
             ip: self.ip,
             gen,
             slot,
@@ -1186,16 +1334,648 @@ impl Machine {
     /// Runs up to `fuel` instructions. With blocking reads enabled, the
     /// run pauses (returning [`RunOutcome::Blocked`]) when input runs
     /// dry; feed the channel and call `run` again to resume.
+    ///
+    /// When the tier-2 block engine is eligible (see
+    /// [`Machine::set_tier2`]), control-transfer targets are candidates
+    /// for superinstruction blocks: hot ones are compiled and then
+    /// served from the block cache, retiring many instructions per
+    /// dispatch. Everything observable — outcomes, registers, memory,
+    /// I/O, events, architectural stats, fuel accounting — is
+    /// bit-for-bit identical to stepping.
     pub fn run(&mut self, fuel: u64) -> RunOutcome {
-        for _ in 0..fuel {
+        let mut remaining = fuel;
+        while remaining > 0 {
+            // Blocks begin at control-transfer targets, so tier 2 is
+            // only consulted when the last instruction transferred.
+            if self.tier2
+                && self.pending_transfer != TransferKind::Sequential
+                && self.halted.is_none()
+                && self.tier2_eligible()
+            {
+                if let Some((retired, fault)) = self.tier2_enter(remaining) {
+                    remaining -= retired;
+                    if let Some(f) = fault {
+                        self.emit_fault(&f);
+                        return RunOutcome::Fault(f);
+                    }
+                    continue;
+                }
+            }
             match self.step() {
                 StepResult::Continue => {}
                 StepResult::Halted(code) => return RunOutcome::Halted(code),
                 StepResult::Fault(f) => return RunOutcome::Fault(f),
                 StepResult::Blocked { fd } => return RunOutcome::Blocked { fd },
             }
+            remaining -= 1;
         }
         RunOutcome::OutOfFuel
+    }
+
+    /// Whether this machine may execute tier-2 blocks at all. PMA
+    /// machines need the per-fetch entry-rule check, tracing needs a
+    /// per-instruction ring push, and a sink interested in `Step`
+    /// events needs one event per instruction — all of which the block
+    /// loop hoists away — so those machines stay on tier 1, which is
+    /// observably equivalent. (`ControlTransfer` interest needs no
+    /// exclusion: the terminal call/ret/indirect-jump micro-ops emit
+    /// the same events their tier-1 instructions would.)
+    #[inline]
+    fn tier2_eligible(&self) -> bool {
+        self.fast_path
+            && self.pma.is_none()
+            && self.trace.is_none()
+            && !self.sink_mask.contains(EventMask::STEP)
+    }
+
+    /// Tries to serve the current instruction pointer (a transfer
+    /// target) from the tier-2 block cache, compiling a block if the
+    /// target just crossed the hotness threshold. Returns `None` when
+    /// no valid block exists (the caller steps normally), otherwise
+    /// `(instructions retired, fault)` with at least one instruction
+    /// retired and the machine left in the exact architectural state
+    /// the equivalent `step` sequence would have produced.
+    fn tier2_enter(&mut self, budget: u64) -> Option<(u64, Option<Fault>)> {
+        // Move the engine out so the block borrow cannot alias the
+        // machine state the micro-op loop mutates (a pointer move, not
+        // a reallocation).
+        let mut engine = match self.tier.take() {
+            Some(engine) => engine,
+            None => Box::new(TierEngine::new()),
+        };
+        let result = self.tier2_dispatch(&mut engine, budget);
+        self.tier = Some(engine);
+        result
+    }
+
+    fn tier2_dispatch(
+        &mut self,
+        engine: &mut TierEngine,
+        budget: u64,
+    ) -> Option<(u64, Option<Fault>)> {
+        let mut total: u64 = 0;
+        let mut chain_fault: Option<Fault> = None;
+        // One data translation shared by the whole chain: block stores
+        // and loads cluster on one page (the stack, a data buffer), and
+        // nothing a micro-op can do invalidates a resolved page.
+        let mut line = DataLine::INVALID;
+        // Block chaining: as long as each block ends in a transfer
+        // whose target is itself compiled and still valid, keep
+        // executing blocks back-to-back without surfacing to the run
+        // loop. Every chained entry re-validates its block against the
+        // current write generations (a store in block A must stop a
+        // stale block B from running) and re-checks fuel, so the chain
+        // is observably identical to dispatching each block alone.
+        loop {
+            let ip = self.ip;
+            let gen = self.mem.code_generation();
+            let slot = match engine.lookup_slot(ip) {
+                Some(slot) => slot,
+                None => {
+                    if !engine.note_hot(ip) || !engine.compile_into(&self.mem, ip) {
+                        break;
+                    }
+                    self.stats.tier2_compiled += 1;
+                    engine.lookup_slot(ip).expect("block just compiled")
+                }
+            };
+            let valid = {
+                let b = engine.block(slot);
+                b.gen == gen && b.pages_valid(&self.mem)
+            };
+            if !valid {
+                // Stale block: drop it and make the region prove
+                // itself hot again before recompiling, so an
+                // SMC-heavy region cannot thrash the compiler.
+                self.stats.tier2_invalidations += 1;
+                engine.invalidate(ip);
+                break;
+            }
+            let block = engine.block(slot);
+            if u64::from(block.ops[0].n) > budget - total {
+                // Not enough fuel for the leading superinstruction: the
+                // remaining budget is served one stepped instruction at
+                // a time, exactly as tier 1 would.
+                break;
+            }
+            self.stats.tier2_hits += 1;
+            let (retired, fault) = self.exec_block(block, budget - total, &mut line);
+            total += retired;
+            if fault.is_some() {
+                chain_fault = fault;
+                break;
+            }
+            // A sequential pending transfer means the block side-exited
+            // into stepped code (SMC patch or mid-block stall); the
+            // step loop must serve the next instruction.
+            if total == budget || self.pending_transfer == TransferKind::Sequential {
+                break;
+            }
+        }
+        if total == 0 {
+            return None;
+        }
+        // Fold the chain's retired instructions into the counters the
+        // tier-1 loop would have produced; block-served instructions
+        // count as icache hits (their decodes came from cached state).
+        self.stats.instructions += total;
+        self.stats.icache_hits += total;
+        self.stats.tier2_instructions += total;
+        Some((total, chain_fault))
+    }
+
+    /// Executes one validated block. Returns `(instructions retired,
+    /// fault)`; `retired` never exceeds `budget` (which is ≥ 1).
+    ///
+    /// The contract is exact equivalence with the `step` loop: every
+    /// micro-op reproduces its instruction's execution effects
+    /// (including fault identity and order), and on any exit —
+    /// natural end, taken jump, exhausted budget, self-modifying
+    /// store, fault — `ip`, `prev_ip` and `pending_transfer` hold
+    /// precisely what stepping would have left, so the next `step` or
+    /// block entry continues indistinguishably.
+    fn exec_block(
+        &mut self,
+        block: &Block,
+        budget: u64,
+        line: &mut DataLine,
+    ) -> (u64, Option<Fault>) {
+        debug_assert_eq!(self.ip, block.start_ip);
+        debug_assert!(u64::from(block.ops[0].n) <= budget);
+        debug_assert!(self.pma.is_none());
+        let ops = &block.ops[..];
+        let start_ip = block.start_ip;
+        let pages = &block.pages[..usize::from(block.npages)];
+        let mut i = 0usize;
+        let mut executed: u64 = 0;
+        // How op 0 was most recently entered: `None` means the
+        // machine's own (prev_ip, pending_transfer) still describe it;
+        // `Some(ip)` means an in-block backedge jumped from `ip`.
+        let mut backedge_from: Option<u32> = None;
+        // Exit state for the terminal/natural exits, installed after
+        // the loop (the initial values are never read: every such
+        // break assigns all three).
+        let mut exit_prev: u32 = 0;
+        let mut exit_ip: u32 = 0;
+        let mut exit_kind = TransferKind::Sequential;
+        let mut side_exit = false;
+        // Fuel ran out at op `i` *before* executing it (a fused op may
+        // retire more instructions than the budget has left).
+        let mut stall = false;
+        let mut fault: Option<Fault> = None;
+
+        'blk: loop {
+            let op = ops[i];
+            if executed + u64::from(op.n) > budget {
+                // Stop exactly where stepping would have: at this op,
+                // unexecuted. The dispatcher guarantees op 0 fits, so
+                // a stall always has history to reconstruct from.
+                stall = true;
+                break 'blk;
+            }
+            executed += u64::from(op.n);
+            match op.kind {
+                MicroOp::Nop => {}
+                MicroOp::MovI { dst, imm } => self.regs[usize::from(dst)] = imm,
+                MicroOp::Mov { dst, src } => {
+                    self.regs[usize::from(dst)] = self.regs[usize::from(src)];
+                }
+                MicroOp::Load { dst, base, disp } => {
+                    let addr = self.regs[usize::from(base)].wrapping_add(disp);
+                    match self.bc_load_u32(line, addr) {
+                        Ok(v) => self.regs[usize::from(dst)] = v,
+                        Err(f) => {
+                            self.ip = op.ip;
+                            fault = Some(f);
+                            break 'blk;
+                        }
+                    }
+                }
+                MicroOp::Store { base, disp, src } => {
+                    let addr = self.regs[usize::from(base)].wrapping_add(disp);
+                    let v = self.regs[usize::from(src)];
+                    if let Err(f) = self.bc_store_u32(line, addr, v) {
+                        self.ip = op.ip;
+                        fault = Some(f);
+                        break 'blk;
+                    }
+                }
+                MicroOp::LoadB { dst, base, disp } => {
+                    let addr = self.regs[usize::from(base)].wrapping_add(disp);
+                    match self.bc_load_u8(line, addr) {
+                        Ok(v) => self.regs[usize::from(dst)] = u32::from(v),
+                        Err(f) => {
+                            self.ip = op.ip;
+                            fault = Some(f);
+                            break 'blk;
+                        }
+                    }
+                }
+                MicroOp::StoreB { base, disp, src } => {
+                    let addr = self.regs[usize::from(base)].wrapping_add(disp);
+                    let v = self.regs[usize::from(src)] as u8;
+                    if let Err(f) = self.bc_store_u8(line, addr, v) {
+                        self.ip = op.ip;
+                        fault = Some(f);
+                        break 'blk;
+                    }
+                }
+                MicroOp::Push { src } => {
+                    let v = self.regs[usize::from(src)];
+                    if let Err(f) = self.bc_push(line, v) {
+                        self.ip = op.ip;
+                        fault = Some(f);
+                        break 'blk;
+                    }
+                }
+                MicroOp::Pop { dst } => match self.bc_pop(line) {
+                    Ok(v) => self.regs[usize::from(dst)] = v,
+                    Err(f) => {
+                        self.ip = op.ip;
+                        fault = Some(f);
+                        break 'blk;
+                    }
+                },
+                MicroOp::PushI { imm } => {
+                    if let Err(f) = self.bc_push(line, imm) {
+                        self.ip = op.ip;
+                        fault = Some(f);
+                        break 'blk;
+                    }
+                }
+                MicroOp::Alu { op: alu_op, dst, src } => {
+                    let (d, s) = (usize::from(dst), usize::from(src));
+                    let (a, b) = (self.regs[d], self.regs[s]);
+                    // Mirrors `Machine::alu`, on pre-resolved indices.
+                    let result = match alu_op {
+                        AluOp::Add => a.wrapping_add(b),
+                        AluOp::Sub => a.wrapping_sub(b),
+                        AluOp::Mul => a.wrapping_mul(b),
+                        AluOp::DivU | AluOp::DivS | AluOp::ModU | AluOp::ModS if b == 0 => {
+                            self.ip = op.ip;
+                            fault = Some(Fault::DivideByZero { ip: op.ip });
+                            break 'blk;
+                        }
+                        AluOp::DivU => a / b,
+                        AluOp::DivS => (a as i32).wrapping_div(b as i32) as u32,
+                        AluOp::ModU => a % b,
+                        AluOp::ModS => (a as i32).wrapping_rem(b as i32) as u32,
+                        AluOp::And => a & b,
+                        AluOp::Or => a | b,
+                        AluOp::Xor => a ^ b,
+                        AluOp::Shl => a.wrapping_shl(b),
+                        AluOp::Shr => a.wrapping_shr(b),
+                        AluOp::Sar => ((a as i32).wrapping_shr(b)) as u32,
+                    };
+                    self.regs[d] = result;
+                }
+                MicroOp::AddI { dst, imm } => {
+                    let d = usize::from(dst);
+                    self.regs[d] = self.regs[d].wrapping_add(imm);
+                }
+                MicroOp::Cmp { a, b } => {
+                    let (x, y) = (self.regs[usize::from(a)], self.regs[usize::from(b)]);
+                    self.set_cmp_flags(x, y);
+                }
+                MicroOp::CmpI { a, imm } => {
+                    let x = self.regs[usize::from(a)];
+                    self.set_cmp_flags(x, imm);
+                }
+                MicroOp::Lea { dst, base, disp } => {
+                    self.regs[usize::from(dst)] =
+                        self.regs[usize::from(base)].wrapping_add(disp);
+                }
+                MicroOp::Enter { frame } => {
+                    let bp = self.reg(Reg::Bp);
+                    if let Err(f) = self.bc_push(line, bp) {
+                        self.ip = op.ip;
+                        fault = Some(f);
+                        break 'blk;
+                    }
+                    let sp = self.reg(Reg::Sp);
+                    self.set_reg(Reg::Bp, sp);
+                    self.set_reg(Reg::Sp, sp.wrapping_sub(frame));
+                }
+                MicroOp::Leave => {
+                    let bp = self.reg(Reg::Bp);
+                    self.set_reg(Reg::Sp, bp);
+                    match self.bc_pop(line) {
+                        Ok(v) => self.set_reg(Reg::Bp, v),
+                        Err(f) => {
+                            self.ip = op.ip;
+                            fault = Some(f);
+                            break 'blk;
+                        }
+                    }
+                }
+                MicroOp::Jmp { target } => {
+                    if target == start_ip {
+                        // The tight-loop superinstruction: a backward
+                        // jump to the block's own head stays in-block
+                        // (the loop-top fuel check bounds it).
+                        backedge_from = Some(op.ip);
+                        i = 0;
+                        continue 'blk;
+                    }
+                    exit_prev = op.ip;
+                    exit_ip = target;
+                    exit_kind = TransferKind::Jump;
+                    break 'blk;
+                }
+                MicroOp::JCond { cond, target } => {
+                    if self.flags.test(cond) {
+                        if target == start_ip {
+                            backedge_from = Some(op.ip);
+                            i = 0;
+                            continue 'blk;
+                        }
+                        exit_prev = op.ip;
+                        exit_ip = target;
+                        exit_kind = TransferKind::Jump;
+                        break 'blk;
+                    }
+                }
+                MicroOp::Call { target } => {
+                    let ret = op.next_ip;
+                    if let Err(f) = self.bc_push(line, ret) {
+                        self.ip = op.ip;
+                        fault = Some(f);
+                        break 'blk;
+                    }
+                    if let Some(shadow) = &mut self.shadow_stack {
+                        shadow.push(ret);
+                    }
+                    self.stats.calls += 1;
+                    if self.sink_mask.contains(EventMask::CONTROL) {
+                        self.emit(SecurityEvent::ControlTransfer {
+                            kind: ControlKind::Call,
+                            from: op.ip,
+                            to: target,
+                        });
+                    }
+                    if !op.linked() {
+                        exit_prev = op.ip;
+                        exit_ip = target;
+                        exit_kind = TransferKind::Call;
+                        break 'blk;
+                    }
+                    // Linked call: the next op is the callee's first
+                    // instruction — fall through (the SMC check below
+                    // still guards the pushed return address).
+                }
+                MicroOp::CallR { src } => {
+                    let target = self.regs[usize::from(src)];
+                    let ret = op.next_ip;
+                    if let Err(f) = self.bc_push(line, ret) {
+                        self.ip = op.ip;
+                        fault = Some(f);
+                        break 'blk;
+                    }
+                    if let Some(shadow) = &mut self.shadow_stack {
+                        shadow.push(ret);
+                    }
+                    self.stats.calls += 1;
+                    if self.sink_mask.contains(EventMask::CONTROL) {
+                        self.emit(SecurityEvent::ControlTransfer {
+                            kind: ControlKind::CallIndirect,
+                            from: op.ip,
+                            to: target,
+                        });
+                    }
+                    exit_prev = op.ip;
+                    exit_ip = target;
+                    exit_kind = TransferKind::Call;
+                    break 'blk;
+                }
+                MicroOp::Ret => {
+                    let target = match self.bc_pop(line) {
+                        Ok(v) => v,
+                        Err(f) => {
+                            self.ip = op.ip;
+                            fault = Some(f);
+                            break 'blk;
+                        }
+                    };
+                    if let Some(shadow) = &mut self.shadow_stack {
+                        match shadow.pop() {
+                            None => {
+                                self.ip = op.ip;
+                                fault = Some(Fault::ShadowStackUnderflow { ip: op.ip });
+                                break 'blk;
+                            }
+                            Some(expected) if expected != target => {
+                                self.ip = op.ip;
+                                fault = Some(Fault::ShadowStackMismatch {
+                                    expected,
+                                    got: target,
+                                });
+                                break 'blk;
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    self.stats.rets += 1;
+                    if self.sink_mask.contains(EventMask::CONTROL) {
+                        self.emit(SecurityEvent::ControlTransfer {
+                            kind: ControlKind::Ret,
+                            from: op.ip,
+                            to: target,
+                        });
+                    }
+                    if !op.linked() || target != op.cont_ip {
+                        exit_prev = op.ip;
+                        exit_ip = target;
+                        exit_kind = TransferKind::Ret;
+                        break 'blk;
+                    }
+                    // Linked return: the popped target equals the
+                    // matching in-block call's return site, which is
+                    // the next op — keep running in-block. A return
+                    // address the program (or an attacker) rewrote
+                    // fails the compare above and exits with the
+                    // actual target pending, exactly like stepping.
+                }
+                MicroOp::JmpR { src } => {
+                    let target = self.regs[usize::from(src)];
+                    if self.sink_mask.contains(EventMask::CONTROL) {
+                        self.emit(SecurityEvent::ControlTransfer {
+                            kind: ControlKind::JmpIndirect,
+                            from: op.ip,
+                            to: target,
+                        });
+                    }
+                    exit_prev = op.ip;
+                    exit_ip = target;
+                    exit_kind = TransferKind::Jump;
+                    break 'blk;
+                }
+                MicroOp::FusedLoopI { dst, add_imm, a, cmp_imm, cond, target } => {
+                    let d = usize::from(dst);
+                    self.regs[d] = self.regs[d].wrapping_add(add_imm);
+                    let x = self.regs[usize::from(a)];
+                    self.set_cmp_flags(x, cmp_imm);
+                    if self.flags.test(cond) {
+                        if target == start_ip {
+                            if ops.len() == 1 && usize::from(a) == d {
+                                // The whole block is this one
+                                // superinstruction branching to itself:
+                                // iterate in place. Intermediate
+                                // register/flag states are unobservable
+                                // (no faults, no events, no memory), so
+                                // only the per-pass fuel accounting and
+                                // the final state need to be
+                                // architectural.
+                                let n = u64::from(op.n);
+                                let v1 = self.regs[d];
+                                if cond == Cond::Nz && (add_imm == 1 || add_imm == u32::MAX) {
+                                    // Counted ±1 loop: the remaining
+                                    // trip count is closed-form. v1 !=
+                                    // cmp_imm here (the branch was
+                                    // taken), so `left` is in
+                                    // [1, 2^32-1].
+                                    let left = u64::from(if add_imm == 1 {
+                                        cmp_imm.wrapping_sub(v1)
+                                    } else {
+                                        v1.wrapping_sub(cmp_imm)
+                                    });
+                                    let by_fuel = (budget - executed) / n;
+                                    if left <= by_fuel {
+                                        executed += left * n;
+                                        self.regs[d] = cmp_imm;
+                                        self.set_cmp_flags(cmp_imm, cmp_imm);
+                                        // Falls through to the
+                                        // sequential completion below.
+                                    } else {
+                                        let k = by_fuel as u32;
+                                        let v = if add_imm == 1 {
+                                            v1.wrapping_add(k)
+                                        } else {
+                                            v1.wrapping_sub(k)
+                                        };
+                                        executed += by_fuel * n;
+                                        self.regs[d] = v;
+                                        self.set_cmp_flags(v, cmp_imm);
+                                        backedge_from = Some(op.last_ip);
+                                        i = 0;
+                                        stall = true;
+                                        break 'blk;
+                                    }
+                                } else {
+                                    loop {
+                                        if executed + n > budget {
+                                            backedge_from = Some(op.last_ip);
+                                            i = 0;
+                                            stall = true;
+                                            break 'blk;
+                                        }
+                                        executed += n;
+                                        let v = self.regs[d].wrapping_add(add_imm);
+                                        self.regs[d] = v;
+                                        self.set_cmp_flags(v, cmp_imm);
+                                        if !self.flags.test(cond) {
+                                            // Falls through to the
+                                            // sequential completion
+                                            // below.
+                                            break;
+                                        }
+                                    }
+                                }
+                            } else {
+                                backedge_from = Some(op.last_ip);
+                                i = 0;
+                                continue 'blk;
+                            }
+                        } else {
+                            exit_prev = op.last_ip;
+                            exit_ip = target;
+                            exit_kind = TransferKind::Jump;
+                            break 'blk;
+                        }
+                    }
+                }
+                MicroOp::FusedCmpIJ { a, imm, cond, target } => {
+                    let x = self.regs[usize::from(a)];
+                    self.set_cmp_flags(x, imm);
+                    if self.flags.test(cond) {
+                        if target == start_ip {
+                            backedge_from = Some(op.last_ip);
+                            i = 0;
+                            continue 'blk;
+                        }
+                        exit_prev = op.last_ip;
+                        exit_ip = target;
+                        exit_kind = TransferKind::Jump;
+                        break 'blk;
+                    }
+                }
+                MicroOp::FusedCmpJ { a, b, cond, target } => {
+                    let (x, y) = (self.regs[usize::from(a)], self.regs[usize::from(b)]);
+                    self.set_cmp_flags(x, y);
+                    if self.flags.test(cond) {
+                        if target == start_ip {
+                            backedge_from = Some(op.last_ip);
+                            i = 0;
+                            continue 'blk;
+                        }
+                        exit_prev = op.last_ip;
+                        exit_ip = target;
+                        exit_kind = TransferKind::Jump;
+                        break 'blk;
+                    }
+                }
+            }
+            // Completion of op `i` without an exit. A memory-writing op
+            // may have patched the block's own encodings (self-
+            // modifying code); nothing decoded from these pages may run
+            // past it. The continuation fields make this exact even
+            // after a linked call (exit lands at the callee with the
+            // call pending).
+            if op.kind.writes_memory() && !self.mem.page_gens_valid(pages) {
+                exit_prev = op.last_ip;
+                exit_ip = op.cont_ip;
+                exit_kind = op.cont_kind;
+                side_exit = true;
+                break 'blk;
+            }
+            i += 1;
+            if i == ops.len() {
+                exit_prev = op.last_ip;
+                exit_ip = op.cont_ip;
+                exit_kind = op.cont_kind;
+                break 'blk;
+            }
+        }
+
+        if fault.is_some() || stall {
+            // A fault arm already pointed `self.ip` at the faulting
+            // instruction; a stall stops *at* op `i`, unexecuted.
+            // Either way, restore the (prev_ip, pending_transfer) the
+            // op's tier-1 step would have seen on entry.
+            if stall {
+                self.ip = ops[i].ip;
+            }
+            if i > 0 {
+                self.prev_ip = ops[i - 1].last_ip;
+                self.pending_transfer = ops[i - 1].cont_kind;
+            } else if let Some(from) = backedge_from {
+                self.prev_ip = from;
+                self.pending_transfer = TransferKind::Jump;
+            }
+            // First entry to op 0: the machine's own state already
+            // describes it — leave it untouched.
+            side_exit = true;
+        } else {
+            self.prev_ip = exit_prev;
+            self.ip = exit_ip;
+            self.pending_transfer = exit_kind;
+        }
+        // Instruction counters are folded once per dispatch chain (see
+        // `tier2_dispatch`); only the rare side-exit counter is
+        // per-block.
+        if side_exit {
+            self.stats.tier2_side_exits += 1;
+        }
+        (executed, fault)
     }
 
     /// Captures the complete architectural state of the machine —
@@ -1207,8 +1987,12 @@ impl Machine {
     ///
     /// Deliberately **not** captured, because they are observers or
     /// tuning knobs rather than machine state: the attached event sink,
-    /// the trace ring, accumulated [`ExecStats`], and the fast-path
-    /// switch. A restore leaves the current sink and fast-path setting
+    /// the trace ring, accumulated [`ExecStats`], the fast-path switch,
+    /// and the tier-2 engine (compiled blocks are re-validated against
+    /// page write generations on every entry, so a restore that
+    /// changed code pages makes the stale blocks unusable
+    /// automatically). A restore leaves the current sink and fast-path
+    /// setting
     /// in place and resets the per-run stats, so a restored run is
     /// *architecturally* indistinguishable from a freshly built machine
     /// in the same configuration — same outcomes, registers, memory,
@@ -1271,10 +2055,11 @@ impl Machine {
         self.pending_transfer = snap.pending_transfer;
         self.blocking_reads = snap.blocking_reads;
         self.straddle_hint = false;
-        // Decoded instructions need no explicit flush: the restore
-        // bumped the write generation of every page it copied back, so
-        // exactly the stale lines miss; decodes from untouched pages
-        // stay warm across attempts.
+        // Decoded instructions and tier-2 blocks need no explicit
+        // flush: the restore bumped the write generation of every page
+        // it copied back, so exactly the stale lines and blocks fail
+        // validation; decodes and blocks from untouched pages stay
+        // warm across attempts.
         if let Some(trace) = self.trace.as_mut() {
             let _ = trace.take();
         }
@@ -2006,5 +2791,148 @@ mod tests {
         assert_eq!(m.run(10), RunOutcome::Halted(0));
         assert_eq!(m.step(), StepResult::Halted(0));
         assert_eq!(m.exit_code(), Some(0));
+    }
+
+    /// A countdown loop hot enough (100 trips ≫ threshold) to be
+    /// promoted into a tier-2 block.
+    fn hot_countdown(trips: u32) -> Vec<Instr> {
+        vec![
+            Instr::MovI { dst: Reg::R1, imm: trips },
+            // TEXT + 6: the loop head, and the tier-2 block head.
+            Instr::AddI { dst: Reg::R1, imm: (-1i32) as u32 },
+            Instr::CmpI { a: Reg::R1, imm: 0 },
+            Instr::JCond { cond: Cond::Nz, target: TEXT + 6 },
+            Instr::Mov { dst: Reg::R0, src: Reg::R1 },
+            Instr::Sys(sys::EXIT),
+        ]
+    }
+
+    #[test]
+    fn tier2_tight_loop_matches_both_baselines_bit_for_bit() {
+        let prog = hot_countdown(100);
+        let mut tiered = machine_with(&prog);
+        tiered.set_tier2(true);
+        let mut fast = machine_with(&prog);
+        fast.set_tier2(false);
+        let mut base = machine_with(&prog);
+        base.set_tier2(false);
+        base.set_fast_path(false);
+
+        let outcome = tiered.run(100_000);
+        assert_eq!(outcome, fast.run(100_000));
+        assert_eq!(outcome, base.run(100_000));
+        assert_eq!(outcome, RunOutcome::Halted(0));
+        for r in [Reg::R0, Reg::R1, Reg::Sp, Reg::Bp] {
+            assert_eq!(tiered.reg(r), fast.reg(r));
+            assert_eq!(tiered.reg(r), base.reg(r));
+        }
+        assert_eq!(tiered.ip(), fast.ip());
+        assert_eq!(tiered.flags(), fast.flags());
+        assert_eq!(
+            tiered.stats().architectural(),
+            fast.stats().architectural()
+        );
+        assert_eq!(
+            tiered.stats().architectural(),
+            base.stats().architectural()
+        );
+        // And the tier actually engaged.
+        let stats = tiered.stats();
+        assert!(stats.tier2_compiled >= 1, "no block compiled");
+        assert!(stats.tier2_hits >= 1, "no block entered");
+        assert!(
+            stats.tier2_instructions > stats.instructions / 2,
+            "block retired too few: {} of {}",
+            stats.tier2_instructions,
+            stats.instructions
+        );
+        assert_eq!(fast.stats().tier2_hits, 0);
+    }
+
+    #[test]
+    fn tier2_fuel_accounting_is_exact_mid_block() {
+        // Stop the run inside the hot loop: the tiered machine must
+        // retire exactly `fuel` instructions and park on the same
+        // instruction as the stepping machine.
+        for fuel in [1, 17, 50, 63, 64, 65, 200] {
+            let prog = hot_countdown(100);
+            let mut tiered = machine_with(&prog);
+            tiered.set_tier2(true);
+            let mut fast = machine_with(&prog);
+            fast.set_tier2(false);
+            assert_eq!(tiered.run(fuel), fast.run(fuel), "fuel {fuel}");
+            assert_eq!(tiered.ip(), fast.ip(), "fuel {fuel}");
+            assert_eq!(tiered.flags(), fast.flags(), "fuel {fuel}");
+            assert_eq!(tiered.reg(Reg::R1), fast.reg(Reg::R1), "fuel {fuel}");
+            assert_eq!(
+                tiered.stats().instructions,
+                fast.stats().instructions,
+                "fuel {fuel}"
+            );
+            // Resuming after the pause converges to the same exit.
+            assert_eq!(tiered.run(100_000), fast.run(100_000));
+            assert_eq!(tiered.stats().instructions, fast.stats().instructions);
+        }
+    }
+
+    #[test]
+    fn tier2_fault_mid_block_is_identical_to_stepping() {
+        // An ascending store loop that runs off the top of the stack
+        // mapping: hot enough to run as a block, and the 65th trip
+        // faults on an unmapped store *mid-block*.
+        let prog = vec![
+            Instr::MovI { dst: Reg::R1, imm: STACK_TOP - 0x100 },
+            Instr::MovI { dst: Reg::R2, imm: 0x5a5a_5a5a },
+            // TEXT + 12: loop head.
+            Instr::Store { base: Reg::R1, disp: 0, src: Reg::R2 },
+            Instr::AddI { dst: Reg::R1, imm: 4 },
+            Instr::Jmp(TEXT + 12),
+        ];
+        let mut tiered = machine_with(&prog);
+        tiered.set_tier2(true);
+        let mut fast = machine_with(&prog);
+        fast.set_tier2(false);
+        let mut base = machine_with(&prog);
+        base.set_tier2(false);
+        base.set_fast_path(false);
+
+        let outcome = tiered.run(100_000);
+        assert_eq!(outcome, fast.run(100_000));
+        assert_eq!(outcome, base.run(100_000));
+        let fault = outcome.fault().expect("store must fault");
+        match fault {
+            Fault::Mem(e) => assert_eq!(e.addr, STACK_TOP),
+            other => panic!("unexpected fault {other:?}"),
+        }
+        // The machine parks on the faulting instruction either way.
+        assert_eq!(tiered.ip(), fast.ip());
+        assert_eq!(tiered.ip(), TEXT + 12);
+        assert_eq!(tiered.reg(Reg::R1), fast.reg(Reg::R1));
+        assert_eq!(
+            tiered.stats().architectural(),
+            fast.stats().architectural()
+        );
+        assert!(tiered.stats().tier2_instructions > 0);
+    }
+
+    #[test]
+    fn two_way_icache_keeps_low_bit_aliases_resident() {
+        // 0x1000 and 0x1200 share their set index; with one way each
+        // would evict the other on every trip. Two ways keep both
+        // resident: two cold fills, hits forever after.
+        let mut m = Machine::new();
+        m.mem_mut().map(TEXT, 0x1000, Perm::RX).unwrap();
+        let mut a = Vec::new();
+        Instr::Jmp(TEXT + 0x200).encode(&mut a);
+        let mut b = Vec::new();
+        Instr::Jmp(TEXT).encode(&mut b);
+        m.mem_mut().poke_bytes(TEXT, &a).unwrap();
+        m.mem_mut().poke_bytes(TEXT + 0x200, &b).unwrap();
+        m.set_tier2(false); // measure the icache, not the block cache
+        m.set_ip(TEXT);
+        assert_eq!(m.run(100), RunOutcome::OutOfFuel);
+        let stats = m.stats();
+        assert_eq!(stats.icache_misses, 2, "aliasing ips must coexist");
+        assert_eq!(stats.icache_hits, 98);
     }
 }

@@ -47,6 +47,7 @@ pub mod io;
 pub mod isa;
 pub mod mem;
 pub mod policy;
+pub mod tier;
 pub mod trace;
 
 /// The names almost every user of this crate needs.

@@ -309,6 +309,53 @@ impl TlbPair {
     }
 }
 
+/// A memoized data translation private to one tier-2 dispatch chain:
+/// the page the block loop's stack and data traffic lands on, resolved
+/// once and then read/written directly. Valid for at most one chain —
+/// block execution cannot remap, reprotect or restore memory (no
+/// syscalls compile into blocks), so a line filled during a chain
+/// cannot go stale within it. A write through the line still bumps the
+/// page's dirty flag and write generation exactly like
+/// [`Memory::write_u32`], so SMC detection and snapshot dirty tracking
+/// see block stores and stepped stores identically. Accesses served by
+/// a line bypass the TLB probe and its hit/miss counters; cache
+/// counters are observability-only by contract, so this is invisible
+/// to rendered reports.
+#[derive(Clone, Copy)]
+pub(crate) struct DataLine {
+    base: u32,
+    slot: u32,
+    read_ok: bool,
+    write_ok: bool,
+}
+
+impl DataLine {
+    /// A line that can never serve an access (both permission bits
+    /// clear), used as the pre-fill state.
+    pub(crate) const INVALID: DataLine = DataLine {
+        base: 0,
+        slot: 0,
+        read_ok: false,
+        write_ok: false,
+    };
+
+    /// Whether a 4-byte access at `addr` lands wholly inside this
+    /// line's page with sufficient permission.
+    #[inline]
+    pub(crate) fn serves_word(self, addr: u32, write: bool) -> bool {
+        addr.wrapping_sub(self.base) <= PAGE_SIZE - 4
+            && if write { self.write_ok } else { self.read_ok }
+    }
+
+    /// Whether a byte access at `addr` lands inside this line's page
+    /// with sufficient permission.
+    #[inline]
+    pub(crate) fn serves_byte(self, addr: u32, write: bool) -> bool {
+        addr.wrapping_sub(self.base) < PAGE_SIZE
+            && if write { self.write_ok } else { self.read_ok }
+    }
+}
+
 /// Translation-cache hit/miss counters, exposed for observability (the
 /// campaign summary) — they never influence program-visible behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -501,6 +548,72 @@ impl Memory {
         self.slots
             .get(slot as usize)
             .map_or(u64::MAX, |p| p.gen)
+    }
+
+    /// Whether every `(slot, write generation)` pair still stands —
+    /// the per-page half of tier-2 block validation (see
+    /// [`tier`](crate::tier)). Like [`slot_gen`](Memory::slot_gen),
+    /// only meaningful while the global code generation is unchanged
+    /// since the pairs were recorded.
+    #[inline]
+    pub(crate) fn page_gens_valid(&self, pages: &[(u32, u64)]) -> bool {
+        pages.iter().all(|&(slot, gen)| self.slot_gen(slot) == gen)
+    }
+
+    /// Fills a [`DataLine`] for the page containing `addr`, if mapped.
+    /// Permission bits are evaluated once at fill time (enforcement
+    /// cannot change while a tier-2 chain runs — no micro-op remaps,
+    /// reprotects or restores memory).
+    #[inline]
+    pub(crate) fn data_line(&self, addr: u32) -> Option<DataLine> {
+        let base = Self::page_base(addr);
+        self.table.get(&base).map(|&slot| {
+            let perm = self.slots[slot as usize].perm;
+            DataLine {
+                base,
+                slot,
+                read_ok: !self.enforce || perm.allows(Perm::R),
+                write_ok: !self.enforce || perm.allows(Perm::W),
+            }
+        })
+    }
+
+    /// Reads a word through a [`DataLine`]. The caller proved
+    /// `line.serves_word(addr, false)` first.
+    #[inline]
+    pub(crate) fn line_read_u32(&self, line: DataLine, addr: u32) -> u32 {
+        let off = (addr % PAGE_SIZE) as usize;
+        let b = &self.slots[line.slot as usize].bytes[off..off + 4];
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Writes a word through a [`DataLine`] (see
+    /// [`line_read_u32`](Memory::line_read_u32)): same dirty-tracking
+    /// and write-generation effects as [`write_u32`](Memory::write_u32).
+    #[inline]
+    pub(crate) fn line_write_u32(&mut self, line: DataLine, addr: u32, value: u32) {
+        let off = (addr % PAGE_SIZE) as usize;
+        let page = &mut self.slots[line.slot as usize];
+        page.touch();
+        page.bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads a byte through a [`DataLine`]; caller proved
+    /// `line.serves_byte(addr, false)`.
+    #[inline]
+    pub(crate) fn line_read_u8(&self, line: DataLine, addr: u32) -> u8 {
+        let off = (addr % PAGE_SIZE) as usize;
+        self.slots[line.slot as usize].bytes[off]
+    }
+
+    /// Writes a byte through a [`DataLine`]; caller proved
+    /// `line.serves_byte(addr, true)`.
+    #[inline]
+    pub(crate) fn line_write_u8(&mut self, line: DataLine, addr: u32, value: u8) {
+        let off = (addr % PAGE_SIZE) as usize;
+        let page = &mut self.slots[line.slot as usize];
+        page.touch();
+        page.bytes[off] = value;
     }
 
     /// Translation-cache counters accumulated so far.

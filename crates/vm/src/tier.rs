@@ -1,0 +1,746 @@
+//! Tier-2 execution: superinstruction blocks compiled from hot
+//! straight-line regions.
+//!
+//! The tier-1 fast path (decoded-instruction cache + TLBs, see
+//! [`cpu`](crate::cpu)) removes decode cost but still pays the full
+//! fetch/dispatch ceremony on every instruction. This module adds a
+//! second tier above it: when a control-transfer target proves hot
+//! (executed [`HOT_THRESHOLD`] times), the straight-line region
+//! starting there is fused into a **block** — a flat array of
+//! pre-resolved [`MicroOp`]s that the CPU executes in a tight loop
+//! with the per-instruction fetch, PMA test, sink test and trace test
+//! all hoisted out.
+//!
+//! Safety of the hoisting is generational, exactly like the icache:
+//! a block records the memory's global code generation plus the write
+//! generation of every page its encodings were decoded from, and is
+//! executed only while all of them are unchanged. Any map/unmap,
+//! permission or enforcement change bumps the global generation; any
+//! byte write — self-modifying code, a loader poke, a snapshot
+//! restore's copy-back — bumps the written page's generation. A store
+//! executed *inside* a block re-checks the block's own pages and
+//! side-exits before the next micro-op if the block patched itself,
+//! so SMC is byte-for-byte identical to the interpreter.
+//!
+//! What a block may contain is deliberately conservative: only
+//! instructions whose effects the micro-op loop reproduces exactly.
+//! Syscalls, traps and `halt` terminate compilation and run through
+//! the ordinary [`step`](crate::cpu::Machine::step) path, which keeps
+//! syscall, blocking-read and halt semantics in one place. Control
+//! transfers *are* included: `jmp` and conditional jumps mid-block
+//! (a backward jump to the block's own head loops without leaving the
+//! block at all — the tight-loop superinstruction), and the indirect
+//! transfers `callr` and `jmpr` as block **terminators** that
+//! reproduce the push/pop, shadow-stack check, call/ret counting and
+//! [`ControlTransfer`](swsec_obs::SecurityEvent::ControlTransfer)
+//! emission of their tier-1 instruction before exiting with the
+//! transfer pending.
+//!
+//! Static `call`s go further: compilation **links** the call — pushes
+//! its return address on a compile-time call stack and continues
+//! straight into the callee — and links the callee's matching `ret`
+//! back to the call site, so a call-shaped loop body compiles into
+//! one block. The linked return is a prediction, not an assumption:
+//! the runtime op pops the actual return address and compares it to
+//! the compile-time continuation, and a mismatch — a smashed return
+//! address — exits the block with the attacker's target pending,
+//! bit-for-bit what stepping does. A `call`/`ret` with no in-block
+//! partner stays a terminator as above.
+//!
+//! Beyond predecoding, compilation runs a peephole pass that fuses
+//! the classic loop-closing sequences — `addi; cmpi; jcc`, `cmpi;
+//! jcc`, `cmp; jcc` — into single **superinstruction** micro-ops, so
+//! a counted loop retires three instructions per dispatch; a block
+//! that is *nothing but* a ±1 counted self-loop is executed in closed
+//! form (the remaining trip count is arithmetic — intermediate states
+//! of a pure ALU self-loop are unobservable — with fuel accounting
+//! kept exact). Each [`Op`] records how many architectural
+//! instructions it retires (`n`), the address of its last constituent
+//! (`last_ip`), and where execution continues when it completes
+//! without exiting (`cont_ip`/`cont_kind`), which keeps fuel
+//! accounting and `prev_ip`/`pending_transfer` reconstruction exact
+//! on every exit path.
+//!
+//! Machines with a PMA policy installed, tracing on, or a sink
+//! interested in per-step events never enter tier 2 (the per-step
+//! checks those require are exactly what the tier hoists away); they
+//! run tier 1, which is bit-for-bit equivalent.
+
+use crate::isa::{self, AluOp, Cond, Instr};
+use crate::mem::{Access, Memory};
+use crate::policy::TransferKind;
+
+/// Number of direct-mapped block-cache slots per machine.
+pub const BLOCK_SLOTS: usize = 512;
+
+/// Number of direct-mapped hotness counters for transfer targets.
+pub const HOT_SLOTS: usize = 512;
+
+/// Control transfers to an address before the region starting there
+/// is compiled into a block. Low enough that short campaign victims
+/// (a few dozen loop trips) get promoted, high enough that one-shot
+/// straight-line code never pays a compile.
+pub const HOT_THRESHOLD: u32 = 16;
+
+/// Maximum micro-ops fused into one block.
+pub const MAX_BLOCK_OPS: usize = 64;
+
+/// Maximum distinct pages a block's encodings may span. A block is at
+/// most `MAX_BLOCK_OPS * MAX_INSTR_LEN` = 384 bytes, so two pages
+/// always suffice; compilation stops early rather than track more.
+pub const MAX_BLOCK_PAGES: usize = 2;
+
+/// One pre-resolved micro-op. Operands are extracted at compile time
+/// (register indices widened, displacements sign-extended) so the
+/// execution loop does no per-op decoding — just a jump-table dispatch
+/// on this enum.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MicroOp {
+    Nop,
+    MovI { dst: u8, imm: u32 },
+    Mov { dst: u8, src: u8 },
+    Load { dst: u8, base: u8, disp: u32 },
+    Store { base: u8, disp: u32, src: u8 },
+    LoadB { dst: u8, base: u8, disp: u32 },
+    StoreB { base: u8, disp: u32, src: u8 },
+    Push { src: u8 },
+    Pop { dst: u8 },
+    PushI { imm: u32 },
+    Alu { op: AluOp, dst: u8, src: u8 },
+    AddI { dst: u8, imm: u32 },
+    Cmp { a: u8, b: u8 },
+    CmpI { a: u8, imm: u32 },
+    Lea { dst: u8, base: u8, disp: u32 },
+    Enter { frame: u32 },
+    Leave,
+    Jmp { target: u32 },
+    JCond { cond: Cond, target: u32 },
+    /// Terminal: push the return address (`Op::next_ip`), then
+    /// transfer to `target`.
+    Call { target: u32 },
+    /// Terminal: like [`MicroOp::Call`] with the target in a register.
+    CallR { src: u8 },
+    /// Terminal: pop the return address (with the shadow-stack check)
+    /// and transfer to it.
+    Ret,
+    /// Terminal: transfer to the address in a register.
+    JmpR { src: u8 },
+    /// Superinstruction: `addi dst, add_imm; cmpi a, cmp_imm;
+    /// jcc cond, target` — the counted-loop step, three instructions
+    /// in one dispatch.
+    FusedLoopI { dst: u8, add_imm: u32, a: u8, cmp_imm: u32, cond: Cond, target: u32 },
+    /// Superinstruction: `cmpi a, imm; jcc cond, target`.
+    FusedCmpIJ { a: u8, imm: u32, cond: Cond, target: u32 },
+    /// Superinstruction: `cmp a, b; jcc cond, target`.
+    FusedCmpJ { a: u8, b: u8, cond: Cond, target: u32 },
+}
+
+impl MicroOp {
+    /// Whether executing this op can write memory — after such an op
+    /// the block re-validates its own code pages (SMC side exit).
+    /// `call`/`callr` push, but are terminal, so nothing decoded from
+    /// the block runs after them anyway.
+    #[inline]
+    pub(crate) fn writes_memory(self) -> bool {
+        matches!(
+            self,
+            MicroOp::Store { .. }
+                | MicroOp::StoreB { .. }
+                | MicroOp::Push { .. }
+                | MicroOp::PushI { .. }
+                | MicroOp::Enter { .. }
+                | MicroOp::Call { .. }
+                | MicroOp::CallR { .. }
+        )
+    }
+
+    /// Whether this op ends its block unconditionally (the transfer
+    /// kinds whose successor is not the next sequential instruction).
+    #[inline]
+    fn terminal(self) -> bool {
+        matches!(
+            self,
+            MicroOp::Jmp { .. }
+                | MicroOp::Call { .. }
+                | MicroOp::CallR { .. }
+                | MicroOp::Ret
+                | MicroOp::JmpR { .. }
+        )
+    }
+}
+
+/// One micro-op plus the addresses the equivalent tier-1 steps would
+/// have seen: `ip` is where the (first fused) instruction lives
+/// (fault payloads and stall exits), `last_ip` the last constituent
+/// instruction (`prev_ip` reconstruction for the *following* op),
+/// `next_ip` the sequential successor of the whole op, and `n` how
+/// many architectural instructions the op retires (fuel accounting).
+///
+/// `cont_ip`/`cont_kind` describe where execution continues when the
+/// op completes without exiting the block: for ordinary ops that is
+/// `(next_ip, Sequential)`; for a **linked call** — a static `call`
+/// that compilation followed into the callee — it is `(target, Call)`,
+/// and the following op in the block lives at the callee's entry. Any
+/// exit *between* ops (SMC side exit, stall, fault in the next op)
+/// restores `(prev_ip, pending_transfer)` from these fields, so the
+/// machine is indistinguishable from one that stepped the transfer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Op {
+    pub ip: u32,
+    pub last_ip: u32,
+    pub next_ip: u32,
+    pub cont_ip: u32,
+    pub cont_kind: TransferKind,
+    pub n: u8,
+    pub kind: MicroOp,
+}
+
+impl Op {
+    /// Whether this is a linked call: control falls through into the
+    /// next op (the callee's first instruction) instead of exiting.
+    #[inline]
+    pub(crate) fn linked(&self) -> bool {
+        self.cont_kind != TransferKind::Sequential
+    }
+}
+
+/// A compiled superinstruction block: straight-line micro-ops starting
+/// at `start_ip`, valid while the recorded generations stand.
+#[derive(Debug)]
+pub(crate) struct Block {
+    pub start_ip: u32,
+    /// Global code generation at compile time; a match proves the
+    /// layout, fetch permissions and slot indices below are current.
+    pub gen: u64,
+    /// `(slot, write_generation)` of each page the encodings occupy.
+    pub pages: [(u32, u64); MAX_BLOCK_PAGES],
+    pub npages: u8,
+    pub ops: Vec<Op>,
+}
+
+impl Block {
+    /// Whether every page this block was compiled from is unchanged.
+    /// The caller must have checked the global generation first — a
+    /// stale global generation means the slot indices cannot be
+    /// trusted.
+    #[inline]
+    pub(crate) fn pages_valid(&self, mem: &Memory) -> bool {
+        mem.page_gens_valid(&self.pages[..usize::from(self.npages)])
+    }
+}
+
+/// One hotness counter: transfers seen to `ip` since the slot was
+/// last claimed.
+#[derive(Debug, Clone, Copy, Default)]
+struct HotSlot {
+    ip: u32,
+    count: u32,
+}
+
+/// The per-machine tier-2 state: the block cache and the hotness
+/// table. Allocated lazily on the first eligible control transfer, so
+/// machines that never run hot code (or run with tier 2 off) pay
+/// nothing.
+#[derive(Debug)]
+pub(crate) struct TierEngine {
+    blocks: Box<[Option<Block>]>,
+    hot: Box<[HotSlot]>,
+}
+
+/// Mixes high address bits into a table index so regions that share
+/// low bits (e.g. code at 0x1000 and a module at 0x0040_0000) do not
+/// collide systematically.
+#[inline]
+fn mix(ip: u32) -> usize {
+    (ip ^ (ip >> 9) ^ (ip >> 18)) as usize
+}
+
+impl TierEngine {
+    pub(crate) fn new() -> TierEngine {
+        TierEngine {
+            blocks: (0..BLOCK_SLOTS).map(|_| None).collect(),
+            hot: vec![HotSlot::default(); HOT_SLOTS].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn block_slot(ip: u32) -> usize {
+        mix(ip) & (BLOCK_SLOTS - 1)
+    }
+
+    /// The table slot of the block starting at `ip`, if one exists, so
+    /// the dispatcher can re-borrow the block with a plain index (see
+    /// [`block`](TierEngine::block)) instead of paying the index-mix
+    /// and tag compare twice per chain entry.
+    #[inline]
+    pub(crate) fn lookup_slot(&self, ip: u32) -> Option<usize> {
+        let slot = Self::block_slot(ip);
+        match &self.blocks[slot] {
+            Some(b) if b.start_ip == ip => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// The block in `slot`, which [`lookup_slot`](TierEngine::lookup_slot)
+    /// proved occupied.
+    #[inline]
+    pub(crate) fn block(&self, slot: usize) -> &Block {
+        self.blocks[slot].as_ref().expect("slot holds a block")
+    }
+
+    /// Drops the block starting at `ip` (it failed validation) and
+    /// resets its hotness so recompilation waits for the region to
+    /// prove hot again — hysteresis against SMC recompile storms.
+    pub(crate) fn invalidate(&mut self, ip: u32) {
+        let slot = Self::block_slot(ip);
+        if self.blocks[slot].as_ref().is_some_and(|b| b.start_ip == ip) {
+            self.blocks[slot] = None;
+        }
+        self.reset_hot(ip);
+    }
+
+    /// Counts one transfer to `ip`; returns `true` when the target has
+    /// crossed the promotion threshold.
+    #[inline]
+    pub(crate) fn note_hot(&mut self, ip: u32) -> bool {
+        let slot = &mut self.hot[mix(ip) & (HOT_SLOTS - 1)];
+        if slot.ip == ip {
+            slot.count += 1;
+            slot.count >= HOT_THRESHOLD
+        } else {
+            // Direct-mapped: the newcomer claims the slot.
+            *slot = HotSlot { ip, count: 1 };
+            false
+        }
+    }
+
+    /// Resets the hotness counter for `ip` (after an invalidation or a
+    /// failed compile).
+    pub(crate) fn reset_hot(&mut self, ip: u32) {
+        let slot = &mut self.hot[mix(ip) & (HOT_SLOTS - 1)];
+        if slot.ip == ip {
+            slot.count = 0;
+        }
+    }
+
+    /// Compiles the region at `ip` and installs it, evicting any
+    /// colliding block. Returns whether a block was produced.
+    pub(crate) fn compile_into(&mut self, mem: &Memory, ip: u32) -> bool {
+        match compile(mem, ip) {
+            Some(block) => {
+                self.blocks[Self::block_slot(ip)] = Some(block);
+                true
+            }
+            None => {
+                self.reset_hot(ip);
+                false
+            }
+        }
+    }
+}
+
+/// Decodes one instruction at `addr` without touching any machine
+/// state. Mirrors the CPU's uncached fetch; any fault (unmapped, DEP,
+/// undecodable) simply ends the region.
+fn decode_at(mem: &Memory, addr: u32) -> Option<(Instr, usize)> {
+    let first = mem.read_u8(addr, Access::Fetch).ok()?;
+    let len = isa::instr_len(first)?;
+    let mut buf = [0u8; isa::MAX_INSTR_LEN];
+    buf[0] = first;
+    if len > 1 {
+        mem.read_bytes(addr.wrapping_add(1), &mut buf[1..len], Access::Fetch)
+            .ok()?;
+    }
+    let (instr, _) = Instr::decode(&buf[..len]).ok()?;
+    Some((instr, len))
+}
+
+/// Translates one decodable instruction into a micro-op, or `None`
+/// for the instruction classes that must run through `step`
+/// (syscalls, traps, halt).
+fn lower(instr: Instr) -> Option<MicroOp> {
+    let r = |reg: isa::Reg| reg as u8;
+    let sx = |disp: i16| disp as i32 as u32;
+    Some(match instr {
+        Instr::Nop => MicroOp::Nop,
+        Instr::MovI { dst, imm } => MicroOp::MovI { dst: r(dst), imm },
+        Instr::Mov { dst, src } => MicroOp::Mov { dst: r(dst), src: r(src) },
+        Instr::Load { dst, base, disp } => MicroOp::Load { dst: r(dst), base: r(base), disp: sx(disp) },
+        Instr::Store { base, disp, src } => MicroOp::Store { base: r(base), disp: sx(disp), src: r(src) },
+        Instr::LoadB { dst, base, disp } => MicroOp::LoadB { dst: r(dst), base: r(base), disp: sx(disp) },
+        Instr::StoreB { base, disp, src } => MicroOp::StoreB { base: r(base), disp: sx(disp), src: r(src) },
+        Instr::Push(src) => MicroOp::Push { src: r(src) },
+        Instr::Pop(dst) => MicroOp::Pop { dst: r(dst) },
+        Instr::PushI(imm) => MicroOp::PushI { imm },
+        Instr::Alu { op, dst, src } => MicroOp::Alu { op, dst: r(dst), src: r(src) },
+        Instr::AddI { dst, imm } => MicroOp::AddI { dst: r(dst), imm },
+        Instr::Cmp { a, b } => MicroOp::Cmp { a: r(a), b: r(b) },
+        Instr::CmpI { a, imm } => MicroOp::CmpI { a: r(a), imm },
+        Instr::Lea { dst, base, disp } => MicroOp::Lea { dst: r(dst), base: r(base), disp: sx(disp) },
+        Instr::Enter(frame) => MicroOp::Enter { frame },
+        Instr::Leave => MicroOp::Leave,
+        Instr::Jmp(target) => MicroOp::Jmp { target },
+        Instr::JCond { cond, target } => MicroOp::JCond { cond, target },
+        Instr::Call(target) => MicroOp::Call { target },
+        Instr::CallR(src) => MicroOp::CallR { src: r(src) },
+        Instr::Ret => MicroOp::Ret,
+        Instr::JmpR(src) => MicroOp::JmpR { src: r(src) },
+        Instr::Halt | Instr::Sys(_) | Instr::Trap(_) => return None,
+    })
+}
+
+/// The peephole pass: collapses the loop-closing compare-and-branch
+/// idioms into single superinstruction micro-ops. Only fault-free
+/// constituents (register ALU, flag set, direct branch) are fused, so
+/// a fused op never needs a mid-superinstruction fault state.
+fn fuse(ops: Vec<Op>) -> Vec<Op> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut j = 0;
+    while j < ops.len() {
+        if j + 2 < ops.len() {
+            if let (
+                MicroOp::AddI { dst, imm: add_imm },
+                MicroOp::CmpI { a, imm: cmp_imm },
+                MicroOp::JCond { cond, target },
+            ) = (ops[j].kind, ops[j + 1].kind, ops[j + 2].kind)
+            {
+                out.push(Op {
+                    ip: ops[j].ip,
+                    last_ip: ops[j + 2].ip,
+                    next_ip: ops[j + 2].next_ip,
+                    cont_ip: ops[j + 2].cont_ip,
+                    cont_kind: ops[j + 2].cont_kind,
+                    n: 3,
+                    kind: MicroOp::FusedLoopI { dst, add_imm, a, cmp_imm, cond, target },
+                });
+                j += 3;
+                continue;
+            }
+        }
+        if j + 1 < ops.len() {
+            let pair = match (ops[j].kind, ops[j + 1].kind) {
+                (MicroOp::CmpI { a, imm }, MicroOp::JCond { cond, target }) => {
+                    Some(MicroOp::FusedCmpIJ { a, imm, cond, target })
+                }
+                (MicroOp::Cmp { a, b }, MicroOp::JCond { cond, target }) => {
+                    Some(MicroOp::FusedCmpJ { a, b, cond, target })
+                }
+                _ => None,
+            };
+            if let Some(kind) = pair {
+                out.push(Op {
+                    ip: ops[j].ip,
+                    last_ip: ops[j + 1].ip,
+                    next_ip: ops[j + 1].next_ip,
+                    cont_ip: ops[j + 1].cont_ip,
+                    cont_kind: ops[j + 1].cont_kind,
+                    n: 2,
+                    kind,
+                });
+                j += 2;
+                continue;
+            }
+        }
+        out.push(ops[j]);
+        j += 1;
+    }
+    out
+}
+
+/// Compiles the straight-line region starting at `start_ip` into a
+/// block, or `None` when the very first instruction already cannot be
+/// lowered (the hot target is a syscall/trap/halt or undecodable).
+///
+/// A static `call` does not end the block: its successor is known at
+/// compile time, so compilation **links** it — marks the op as
+/// falling through (`cont_ip` = target, `cont_kind` = `Call`) and
+/// continues lowering at the callee's entry, inlining the callee body
+/// into the block. The op still reproduces the full call (push,
+/// shadow stack, counters, event); only the round trip through the
+/// dispatcher is saved. `ret`, `callr` and `jmpr` have dynamic
+/// successors and stay terminal; `jmp` stays terminal too (a backward
+/// jump to the block head becomes the in-block loop instead).
+///
+/// Compilation otherwise stops after a terminal transfer, at any
+/// non-lowerable instruction, at [`MAX_BLOCK_OPS`], at the third
+/// page, or at bytes that do not currently decode — the block simply
+/// ends early and execution side-exits to tier 1 there. A final
+/// peephole pass ([`fuse`]) then collapses compare-and-branch idioms
+/// into superinstructions.
+pub(crate) fn compile(mem: &Memory, start_ip: u32) -> Option<Block> {
+    let gen = mem.code_generation();
+    let mut pages: [(u32, u64); MAX_BLOCK_PAGES] = [(0, 0); MAX_BLOCK_PAGES];
+    let mut npages = 0usize;
+    let mut ops: Vec<Op> = Vec::new();
+    // Return addresses of linked calls whose matching `Ret` has not
+    // been reached yet (compile-time call stack, innermost last).
+    let mut call_rets: Vec<u32> = Vec::new();
+    let mut ip = start_ip;
+    while ops.len() < MAX_BLOCK_OPS {
+        let Some((instr, len)) = decode_at(mem, ip) else { break };
+        let Some(kind) = lower(instr) else { break };
+        // Record the page(s) this encoding occupies; give up on the
+        // region (ending the block) rather than track a third page.
+        let last = ip.wrapping_add(len as u32 - 1);
+        let mut fits = true;
+        for addr in [ip, last] {
+            let Ok(page) = mem.fetch_page(addr) else { fits = false; break };
+            if pages[..npages].contains(&page) {
+                continue;
+            }
+            if npages == MAX_BLOCK_PAGES {
+                fits = false;
+                break;
+            }
+            pages[npages] = page;
+            npages += 1;
+        }
+        if !fits {
+            break;
+        }
+        let next_ip = ip.wrapping_add(len as u32);
+        let (cont_ip, cont_kind) = match kind {
+            // Link the static call: execution continues at the callee.
+            MicroOp::Call { target } if ops.len() + 1 < MAX_BLOCK_OPS => {
+                call_rets.push(next_ip);
+                (target, TransferKind::Call)
+            }
+            // Link the return matching an in-block call: it continues
+            // at that call's return site. This is a *prediction*, not
+            // an assumption — the runtime op compares the popped
+            // target against it and side-exits on mismatch, so a
+            // smashed return address behaves exactly as stepped code.
+            MicroOp::Ret if ops.len() + 1 < MAX_BLOCK_OPS && !call_rets.is_empty() => {
+                (call_rets.pop().expect("non-empty"), TransferKind::Ret)
+            }
+            _ => (next_ip, TransferKind::Sequential),
+        };
+        ops.push(Op { ip, last_ip: ip, next_ip, cont_ip, cont_kind, n: 1, kind });
+        if kind.terminal() && cont_kind == TransferKind::Sequential {
+            break;
+        }
+        ip = cont_ip;
+    }
+    // A linked call must have a follower inside the block (the exits
+    // between ops continue at `cont_ip`, but a *natural end* exits at
+    // the last op's own continuation, which the dispatcher would then
+    // re-enter — unlink instead and let the call exit like a terminal).
+    if let Some(last) = ops.last_mut() {
+        if last.linked() {
+            last.cont_ip = last.next_ip;
+            last.cont_kind = TransferKind::Sequential;
+        }
+    }
+    if ops.is_empty() {
+        return None;
+    }
+    Some(Block {
+        start_ip,
+        gen,
+        pages,
+        npages: npages as u8,
+        ops: fuse(ops),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, Reg};
+    use crate::mem::Perm;
+
+    fn assemble(instrs: &[Instr]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in instrs {
+            i.encode(&mut out);
+        }
+        out
+    }
+
+    fn mem_with(base: u32, instrs: &[Instr]) -> Memory {
+        let mut mem = Memory::new();
+        mem.map(base, 0x2000, Perm::RX).unwrap();
+        mem.poke_bytes(base, &assemble(instrs)).unwrap();
+        mem
+    }
+
+    #[test]
+    fn compile_links_a_static_call_into_the_callee() {
+        let mut mem = mem_with(
+            0x1000,
+            &[
+                Instr::AddI { dst: Reg::R0, imm: 1 },
+                Instr::CmpI { a: Reg::R0, imm: 10 },
+                Instr::Call(0x2000),
+                Instr::Nop, // reached only after the callee returns
+                Instr::Ret, // top-level: no in-block call to link to
+            ],
+        );
+        mem.poke_bytes(
+            0x2000,
+            &assemble(&[Instr::MovI { dst: Reg::R1, imm: 7 }, Instr::Ret]),
+        )
+        .unwrap();
+        let block = compile(&mem, 0x1000).expect("block");
+        // addi, cmpi, linked call, the callee inline, then the linked
+        // return continues at the call's return site.
+        assert_eq!(block.ops.len(), 7);
+        assert_eq!(block.ops[0].ip, 0x1000);
+        let call = block.ops[2];
+        assert!(matches!(call.kind, MicroOp::Call { target: 0x2000 }));
+        assert!(call.linked());
+        assert_eq!(call.cont_ip, 0x2000);
+        assert_eq!(call.cont_kind, TransferKind::Call);
+        // The call's next_ip is still the pre-resolved return address.
+        assert_eq!(call.next_ip, 0x1000 + 12 + 5);
+        assert_eq!(block.ops[3].ip, 0x2000);
+        // The callee's return links back to the call's return site...
+        let ret = block.ops[4];
+        assert!(matches!(ret.kind, MicroOp::Ret));
+        assert!(ret.linked());
+        assert_eq!(ret.cont_ip, call.next_ip);
+        assert_eq!(ret.cont_kind, TransferKind::Ret);
+        // ...where compilation resumed.
+        assert_eq!(block.ops[5].ip, call.next_ip);
+        assert!(matches!(block.ops[5].kind, MicroOp::Nop));
+        // A return with no matching in-block call stays terminal.
+        let top = block.ops[6];
+        assert!(matches!(top.kind, MicroOp::Ret));
+        assert!(!top.linked());
+        assert_eq!(usize::from(block.npages), 2);
+    }
+
+    #[test]
+    fn compile_unlinks_a_call_whose_target_cannot_follow() {
+        // The call target is unmapped, so the callee cannot be inlined:
+        // the call must fall back to a terminal block exit.
+        let mem = mem_with(
+            0x1000,
+            &[
+                Instr::AddI { dst: Reg::R0, imm: 1 },
+                Instr::CmpI { a: Reg::R0, imm: 10 },
+                Instr::Call(0x9000),
+                Instr::Nop, // never reached by the block
+            ],
+        );
+        let block = compile(&mem, 0x1000).expect("block");
+        assert_eq!(block.ops.len(), 3);
+        let call = block.ops[2];
+        assert!(matches!(call.kind, MicroOp::Call { target: 0x9000 }));
+        assert!(!call.linked());
+        assert_eq!(call.cont_ip, call.next_ip);
+        assert_eq!(usize::from(block.npages), 1);
+    }
+
+    #[test]
+    fn fusion_collapses_the_loop_closing_triple() {
+        let mem = mem_with(
+            0x1000,
+            &[
+                Instr::AddI { dst: Reg::R0, imm: (-1i32) as u32 },
+                Instr::CmpI { a: Reg::R0, imm: 0 },
+                Instr::JCond { cond: Cond::Nz, target: 0x1000 },
+                Instr::Sys(isa::sys::EXIT), // ends the block
+            ],
+        );
+        let block = compile(&mem, 0x1000).expect("block");
+        assert_eq!(block.ops.len(), 1);
+        let op = block.ops[0];
+        assert!(matches!(
+            op.kind,
+            MicroOp::FusedLoopI { dst: 0, a: 0, cond: Cond::Nz, target: 0x1000, .. }
+        ));
+        assert_eq!(op.n, 3);
+        assert_eq!(op.ip, 0x1000);
+        assert_eq!(op.last_ip, 0x1000 + 12); // the jcc
+        assert_eq!(op.next_ip, 0x1000 + 12 + 5); // past the jcc
+    }
+
+    #[test]
+    fn fusion_collapses_compare_and_branch_pairs() {
+        let mem = mem_with(
+            0x1000,
+            &[
+                Instr::CmpI { a: Reg::R1, imm: 7 },
+                Instr::JCond { cond: Cond::Z, target: 0x1800 },
+                Instr::Cmp { a: Reg::R1, b: Reg::R2 },
+                Instr::JCond { cond: Cond::Lt, target: 0x1900 },
+                Instr::Sys(isa::sys::EXIT),
+            ],
+        );
+        let block = compile(&mem, 0x1000).expect("block");
+        assert_eq!(block.ops.len(), 2);
+        assert!(matches!(block.ops[0].kind, MicroOp::FusedCmpIJ { a: 1, imm: 7, .. }));
+        assert_eq!(block.ops[0].n, 2);
+        assert!(matches!(block.ops[1].kind, MicroOp::FusedCmpJ { a: 1, b: 2, .. }));
+        assert_eq!(block.ops[1].n, 2);
+    }
+
+    #[test]
+    fn compile_includes_terminal_jmp_and_conditional() {
+        let mem = mem_with(
+            0x1000,
+            &[
+                Instr::AddI { dst: Reg::R0, imm: 1 },
+                Instr::JCond { cond: Cond::Nz, target: 0x1000 },
+                Instr::Jmp(0x1000),
+            ],
+        );
+        let block = compile(&mem, 0x1000).expect("block");
+        // The conditional does not end the block; the jmp does.
+        assert_eq!(block.ops.len(), 3);
+        assert!(matches!(block.ops[2].kind, MicroOp::Jmp { target: 0x1000 }));
+    }
+
+    #[test]
+    fn compile_refuses_unfusible_leaders() {
+        let mem = mem_with(0x1000, &[Instr::Halt]);
+        assert!(compile(&mem, 0x1000).is_none());
+        let mem = mem_with(0x1000, &[Instr::Sys(isa::sys::EXIT)]);
+        assert!(compile(&mem, 0x1000).is_none());
+        // Unmapped address: nothing to compile.
+        assert!(compile(&Memory::new(), 0x1000).is_none());
+        // A `ret` leader, by contrast, is a valid one-op block.
+        let mem = mem_with(0x1000, &[Instr::Ret]);
+        let block = compile(&mem, 0x1000).expect("ret block");
+        assert_eq!(block.ops.len(), 1);
+        assert!(matches!(block.ops[0].kind, MicroOp::Ret));
+    }
+
+    #[test]
+    fn blocks_validate_against_page_generations() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 0x1000, Perm::RWX).unwrap();
+        mem.poke_bytes(0x1000, &assemble(&[Instr::Nop, Instr::Nop])).unwrap();
+        let block = compile(&mem, 0x1000).expect("block");
+        assert!(block.gen == mem.code_generation() && block.pages_valid(&mem));
+        // A write to the page bumps its generation: stale.
+        mem.write_u8(0x1800, 0x5a, Access::Write).unwrap();
+        assert!(!block.pages_valid(&mem));
+    }
+
+    #[test]
+    fn hotness_promotes_at_threshold_and_resets() {
+        let mut engine = TierEngine::new();
+        for _ in 0..HOT_THRESHOLD - 1 {
+            assert!(!engine.note_hot(0x1000));
+        }
+        assert!(engine.note_hot(0x1000));
+        engine.reset_hot(0x1000);
+        assert!(!engine.note_hot(0x1000));
+        // A colliding newcomer claims the slot outright.
+        let other = 0x1000 ^ 0x4;
+        assert!(!engine.note_hot(other));
+        assert!(!engine.note_hot(0x1000));
+    }
+
+    #[test]
+    fn index_mix_separates_low_bit_aliases() {
+        // 0x1000 and 0x0040_0000 share low bits — the classic
+        // text/module alias; the mixed index must differ.
+        assert_ne!(
+            TierEngine::block_slot(0x1000),
+            TierEngine::block_slot(0x0040_0000)
+        );
+    }
+}

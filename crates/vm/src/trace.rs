@@ -11,11 +11,11 @@ use crate::isa::Instr;
 
 /// Counters accumulated over a machine's lifetime.
 ///
-/// The cache counters (`icache_*`, `tlb_*`) observe the hot-path
-/// accelerators of the interpreter; they vary with the fast-path
-/// switch and are deliberately **excluded** from [`Display`], so any
-/// rendered report built on these stats stays byte-identical whether
-/// the caches are on or off.
+/// The cache counters (`icache_*`, `tlb_*`, `tier2_*`) observe the
+/// hot-path accelerators of the interpreter; they vary with the
+/// fast-path and tier-2 switches and are deliberately **excluded**
+/// from [`Display`], so any rendered report built on these stats
+/// stays byte-identical whether the accelerators are on or off.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Instructions executed.
@@ -38,6 +38,19 @@ pub struct ExecStats {
     pub tlb_hits: u64,
     /// Memory accesses that took the page-table lookup.
     pub tlb_misses: u64,
+    /// Superinstruction blocks compiled by the tier-2 engine.
+    pub tier2_compiled: u64,
+    /// Tier-2 block-cache hits (block entries).
+    pub tier2_hits: u64,
+    /// Instructions retired inside tier-2 blocks (a subset of
+    /// `instructions`).
+    pub tier2_instructions: u64,
+    /// Early exits from tier-2 blocks: a fault, an exhausted fuel
+    /// budget, or a self-modifying store to the block's own pages.
+    pub tier2_side_exits: u64,
+    /// Tier-2 blocks dropped because a generation check failed at
+    /// entry (SMC, loader pokes, snapshot restores, layout changes).
+    pub tier2_invalidations: u64,
 }
 
 impl ExecStats {
@@ -52,6 +65,11 @@ impl ExecStats {
         self.icache_misses = 0;
         self.tlb_hits = 0;
         self.tlb_misses = 0;
+        self.tier2_compiled = 0;
+        self.tier2_hits = 0;
+        self.tier2_instructions = 0;
+        self.tier2_side_exits = 0;
+        self.tier2_invalidations = 0;
         self
     }
 
@@ -70,13 +88,18 @@ impl ExecStats {
             }
         };
         format!(
-            "{self}\n  icache: {} hits, {} misses ({} hit rate)\n  tlb: {} hits, {} misses ({} hit rate)",
+            "{self}\n  icache: {} hits, {} misses ({} hit rate)\n  tlb: {} hits, {} misses ({} hit rate)\n  tier2: {} blocks compiled, {} entries, {} instructions, {} side exits, {} invalidations",
             self.icache_hits,
             self.icache_misses,
             rate(self.icache_hits, self.icache_misses),
             self.tlb_hits,
             self.tlb_misses,
             rate(self.tlb_hits, self.tlb_misses),
+            self.tier2_compiled,
+            self.tier2_hits,
+            self.tier2_instructions,
+            self.tier2_side_exits,
+            self.tier2_invalidations,
         )
     }
 }

@@ -210,6 +210,119 @@ fn instruction_straddling_pages_respects_second_page_permissions() {
     }
 }
 
+/// Runs `instrs` on three machines — tier 2 on, tier 2 off (fast
+/// path only), and everything off — and asserts outcome, registers
+/// and architectural stats agree bit-for-bit. Returns the tiered
+/// machine for tier-specific assertions.
+fn assert_three_way_identical(instrs: &[Instr], fuel: u64) -> Machine {
+    let build = |tier2: bool, fast: bool| {
+        let mut m = machine_with(Perm::RWX, instrs);
+        m.set_tier2(tier2);
+        m.set_fast_path(fast);
+        m.set_ip(TEXT); // set_fast_path cleared nothing architectural
+        m
+    };
+    let mut tiered = build(true, true);
+    let mut fast = build(false, true);
+    let mut base = build(false, false);
+    let outcome = tiered.run(fuel);
+    assert_eq!(outcome, fast.run(fuel));
+    assert_eq!(outcome, base.run(fuel));
+    assert_eq!(tiered.ip(), fast.ip());
+    assert_eq!(tiered.ip(), base.ip());
+    for r in [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::Sp,
+        Reg::Bp,
+    ] {
+        assert_eq!(tiered.reg(r), fast.reg(r), "{r:?}");
+        assert_eq!(tiered.reg(r), base.reg(r), "{r:?}");
+    }
+    assert_eq!(tiered.stats().architectural(), fast.stats().architectural());
+    assert_eq!(tiered.stats().architectural(), base.stats().architectural());
+    tiered
+}
+
+#[test]
+fn tier2_block_storing_into_its_own_page_side_exits_every_entry() {
+    // The hot loop's own body stores into its code page (a padding
+    // byte, so no instruction actually changes): every store bumps the
+    // page's write generation, so the block must side-exit after the
+    // store and fail validation at the next entry — and the result
+    // must still be bit-for-bit identical to stepping.
+    let prog = vec![
+        Instr::MovI { dst: Reg::R1, imm: 40 },
+        Instr::MovI { dst: Reg::R2, imm: TEXT + 0x800 },
+        Instr::MovI { dst: Reg::R3, imm: 0x5a },
+        // TEXT+18: loop head.
+        Instr::StoreB { base: Reg::R2, disp: 0, src: Reg::R3 },
+        Instr::AddI { dst: Reg::R1, imm: (-1i32) as u32 },
+        Instr::CmpI { a: Reg::R1, imm: 0 },
+        Instr::JCond { cond: swsec_vm::isa::Cond::Nz, target: TEXT + 18 },
+        Instr::Mov { dst: Reg::R0, src: Reg::R1 },
+        Instr::Sys(sys::EXIT),
+    ];
+    let tiered = assert_three_way_identical(&prog, 100_000);
+    let stats = tiered.stats();
+    assert!(stats.tier2_compiled >= 1, "loop never compiled: {stats:?}");
+    assert!(
+        stats.tier2_side_exits >= 1,
+        "self-modifying store must side-exit: {stats:?}"
+    );
+    assert!(
+        stats.tier2_invalidations >= 1,
+        "stale block must be dropped at re-entry: {stats:?}"
+    );
+}
+
+#[test]
+fn tier2_recompiles_patched_code_byte_identically() {
+    // Phase 1 runs a countdown hot enough to be compiled (30 trips of
+    // step -1), then the program patches the AddI immediate in its own
+    // loop body to step -3 and re-enters the loop for phase 2. The
+    // stale block must never run: the patched loop takes 10 trips, and
+    // every register and architectural counter must match stepping.
+    let prog = vec![
+        Instr::MovI { dst: Reg::R1, imm: 30 },
+        Instr::MovI { dst: Reg::R2, imm: TEXT + 20 }, // AddI imm low byte
+        Instr::MovI { dst: Reg::R3, imm: 0xfd },      // -3 in the low byte
+        // TEXT+18: loop head; imm low byte sits at TEXT+20.
+        Instr::AddI { dst: Reg::R1, imm: (-1i32) as u32 },
+        Instr::CmpI { a: Reg::R1, imm: 0 },
+        Instr::JCond { cond: swsec_vm::isa::Cond::Nz, target: TEXT + 18 },
+        // TEXT+35: fall-through; second time around, finish.
+        Instr::CmpI { a: Reg::R7, imm: 0 },
+        Instr::JCond { cond: swsec_vm::isa::Cond::Nz, target: TEXT + 67 },
+        Instr::MovI { dst: Reg::R7, imm: 1 },
+        Instr::MovI { dst: Reg::R1, imm: 30 },
+        Instr::StoreB { base: Reg::R2, disp: 0, src: Reg::R3 },
+        Instr::Jmp(TEXT + 18),
+        // TEXT+67: done.
+        Instr::Mov { dst: Reg::R0, src: Reg::R1 },
+        Instr::Sys(sys::EXIT),
+    ];
+    // Guard the hand-computed offsets against encoding drift.
+    let head: usize = prog[..3].iter().map(|i| assemble(&[*i]).len()).sum();
+    assert_eq!(head, 18, "layout drifted: loop at {head}");
+    let done: usize = prog[..12].iter().map(|i| assemble(&[*i]).len()).sum();
+    assert_eq!(done, 67, "layout drifted: done at {done}");
+
+    let tiered = assert_three_way_identical(&prog, 100_000);
+    let stats = tiered.stats();
+    assert!(stats.tier2_compiled >= 1, "phase 1 never compiled: {stats:?}");
+    assert!(
+        stats.tier2_invalidations >= 1,
+        "patched block must be invalidated: {stats:?}"
+    );
+}
+
 #[test]
 fn fast_and_slow_machines_agree_on_a_busy_program() {
     // A program exercising calls, straddling data, byte ops and a DEP
@@ -267,4 +380,79 @@ fn fast_and_slow_machines_agree_on_a_busy_program() {
         )
     };
     assert_eq!(run(true), run(false));
+}
+
+/// Byte offset of instruction `i` in `instrs`, relative to TEXT.
+fn addr_at(instrs: &[Instr], i: usize) -> u32 {
+    TEXT + assemble(&instrs[..i]).len() as u32
+}
+
+#[test]
+fn linked_call_and_return_collapse_the_loop_into_one_block() {
+    use swsec_vm::isa::Cond;
+    // The call-heavy shape: a counted loop whose body is a static call.
+    // The block engine links the call into the callee and the callee's
+    // return back to the call site, so the whole loop body becomes one
+    // block with an in-block backedge — after warmup the loop must run
+    // without re-entering the dispatcher every iteration.
+    let mut prog = vec![
+        Instr::MovI { dst: Reg::R0, imm: 2_000 },
+        Instr::Call(0), // 1: loop head, patched below
+        Instr::AddI { dst: Reg::R0, imm: (-1i32) as u32 },
+        Instr::CmpI { a: Reg::R0, imm: 0 },
+        Instr::JCond { cond: Cond::Nz, target: 0 }, // patched below
+        Instr::Sys(sys::EXIT),
+        Instr::Enter(16), // 6: callee
+        Instr::Push(Reg::R0),
+        Instr::Pop(Reg::R1),
+        Instr::Leave,
+        Instr::Ret,
+    ];
+    prog[1] = Instr::Call(addr_at(&prog, 6));
+    prog[4] = Instr::JCond { cond: Cond::Nz, target: addr_at(&prog, 1) };
+    let tiered = assert_three_way_identical(&prog, 100_000);
+    let stats = tiered.stats();
+    assert!(stats.tier2_compiled >= 1, "loop never compiled: {stats:?}");
+    assert!(
+        stats.tier2_hits <= 8,
+        "linked call/return should keep the loop in-block, got {} entries: {stats:?}",
+        stats.tier2_hits
+    );
+    assert!(
+        stats.tier2_instructions >= stats.instructions * 9 / 10,
+        "the mega-block should retire nearly everything: {stats:?}"
+    );
+}
+
+#[test]
+fn smashed_return_address_exits_the_linked_block() {
+    use swsec_vm::isa::Cond;
+    // The callee overwrites its own saved return address (the paper's
+    // stack-smashing primitive) with the address of instruction 3,
+    // skipping the nop the call would return to. The linked return's
+    // runtime compare must catch the mismatch and exit the block with
+    // the *attacker's* target pending — bit-for-bit what stepping does.
+    let mut prog = vec![
+        Instr::MovI { dst: Reg::R0, imm: 64 },
+        Instr::Call(0), // 1: loop head, patched below
+        Instr::Nop,     // 2: the honest return site (always skipped)
+        Instr::AddI { dst: Reg::R0, imm: (-1i32) as u32 }, // 3: smash target
+        Instr::CmpI { a: Reg::R0, imm: 0 },
+        Instr::JCond { cond: Cond::Nz, target: 0 }, // patched below
+        Instr::Sys(sys::EXIT),
+        Instr::Enter(0), // 7: callee
+        Instr::MovI { dst: Reg::R2, imm: 0 }, // patched below
+        Instr::Store { base: Reg::Bp, disp: 4, src: Reg::R2 },
+        Instr::Leave,
+        Instr::Ret,
+    ];
+    prog[1] = Instr::Call(addr_at(&prog, 7));
+    prog[5] = Instr::JCond { cond: Cond::Nz, target: addr_at(&prog, 1) };
+    prog[8] = Instr::MovI { dst: Reg::R2, imm: addr_at(&prog, 3) };
+    let tiered = assert_three_way_identical(&prog, 100_000);
+    let stats = tiered.stats();
+    assert!(stats.tier2_compiled >= 1, "loop never compiled: {stats:?}");
+    // Every post-warmup iteration exits at the mismatched return, so
+    // the nop at the honest return site never runs in any tier.
+    assert_eq!(stats.rets, 64, "{stats:?}");
 }

@@ -357,6 +357,75 @@ fn restore_copies_exactly_the_touched_pages() {
 }
 
 #[test]
+fn restore_never_executes_stale_tier2_blocks() {
+    let _g = lock();
+    // A countdown hot enough for tier 2 to compile its loop into a
+    // block (32 trips ≫ threshold), exiting with the trip count. The
+    // sequence snapshot → run → patch the loop's step → run → restore
+    // → run flips the code under the block cache twice; each run must
+    // behave exactly like a fresh uncached machine on the same bytes,
+    // never like the block compiled from the previous code version.
+    let step_imm_idx = 2; // AddI R1: imm low byte 2 bytes into it
+    let code = assemble_at(TEXT, &|at| {
+        vec![
+            Instr::MovI { dst: Reg::R1, imm: 32 },
+            Instr::MovI { dst: Reg::R2, imm: 0 },
+            Instr::AddI { dst: Reg::R1, imm: (-1i32) as u32 }, // 2: loop head
+            Instr::AddI { dst: Reg::R2, imm: 1 },
+            Instr::CmpI { a: Reg::R1, imm: 0 },
+            Instr::JCond { cond: Cond::Gt, target: at(2) },
+            Instr::Mov { dst: Reg::R0, src: Reg::R2 },
+            Instr::Sys(sys::EXIT),
+        ]
+    });
+    let loop_head = TEXT + 12;
+    let step_byte = loop_head + step_imm_idx;
+
+    // Uncached references for both code versions.
+    let reference = |patch: bool| {
+        let mut r = machine_with(Perm::RWX, &code);
+        r.set_tier2(false);
+        r.set_fast_path(false);
+        if patch {
+            r.mem_mut().poke_bytes(step_byte, &[0xfe]).expect("patch");
+        }
+        let outcome = r.run(10_000);
+        fingerprint(&r, outcome)
+    };
+    let ref_orig = reference(false);
+    let ref_patched = reference(true);
+    assert_eq!(ref_orig.0, RunOutcome::Halted(32));
+    assert_eq!(ref_patched.0, RunOutcome::Halted(16));
+
+    let mut m = machine_with(Perm::RWX, &code);
+    m.set_tier2(true);
+    let snap = m.snapshot();
+
+    // Run 1: original code, block compiled and hot.
+    let outcome = m.run(10_000);
+    assert_eq!(fingerprint(&m, outcome), ref_orig);
+    assert!(m.stats().tier2_compiled >= 1, "{:?}", m.stats());
+
+    // Loader patches the step to -2 mid-campaign: the warm block is
+    // now stale and must be dropped, not executed.
+    m.restore_from(&snap);
+    m.mem_mut().poke_bytes(step_byte, &[0xfe]).expect("patch");
+    let outcome = m.run(10_000);
+    assert_eq!(fingerprint(&m, outcome), ref_patched);
+    assert!(
+        m.stats().tier2_invalidations >= 1,
+        "patched code must invalidate the warm block: {:?}",
+        m.stats()
+    );
+
+    // Restore rewinds the patch; any block compiled from the patched
+    // bytes is stale in turn.
+    m.restore_from(&snap);
+    let outcome = m.run(10_000);
+    assert_eq!(fingerprint(&m, outcome), ref_orig);
+}
+
+#[test]
 fn layout_change_falls_back_to_a_wholesale_rebuild() {
     let _g = lock();
     // Unmapping a region after the snapshot invalidates the dirty-page

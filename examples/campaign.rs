@@ -4,7 +4,7 @@
 //! cargo run --release --example campaign -- \
 //!     [--workers N] [--seed S] [--quick] [--only N]... [--progress] \
 //!     [--telemetry out.jsonl] [--render-only] [--fault-demo] \
-//!     [--no-fork-server]
+//!     [--no-fork-server] [--no-tier2]
 //! ```
 //!
 //! Prints every experiment's report (byte-identical for any worker
@@ -27,6 +27,12 @@
 //! attempts from a boot-time snapshot. It exists to demonstrate — and
 //! let CI verify — that the fork server is a pure speedup: stdout is
 //! byte-identical with and without it.
+//!
+//! `--no-tier2` turns the VM's tier-2 superinstruction block engine
+//! off for the whole campaign (every machine built after the switch).
+//! Like `--no-fork-server`, it exists to demonstrate — and let CI
+//! verify — that tier 2 is a pure speedup: stdout is byte-identical
+//! with and without it (DESIGN.md §12).
 //!
 //! `--fault-demo` swaps the suite for the test-only fault-demo
 //! experiment under a short cell deadline: its cells panic, stall and
@@ -95,12 +101,13 @@ fn main() {
             "--render-only" => render_only = true,
             "--fault-demo" => fault_demo = true,
             "--no-fork-server" => cfg.fork_server = false,
+            "--no-tier2" => swsec_vm::cpu::set_default_tier2(false),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: campaign [--workers N] [--seed S] [--quick] [--only N]... \
                      [--progress] [--telemetry out.jsonl] [--render-only] [--fault-demo] \
-                     [--no-fork-server]"
+                     [--no-fork-server] [--no-tier2]"
                 );
                 std::process::exit(2);
             }

@@ -16,10 +16,14 @@
 #      must render byte-identically to the fork-served run (the
 #      architectural-equivalence contract, DESIGN.md §10), and the
 #      fork-served run's telemetry must carry vm.snapshot.* metrics;
-#   7. fault-injection smoke: the E16 crash matrix standalone, plus a
+#   7. tier smoke: the same quick campaign with --no-tier2 must render
+#      byte-identically to the tiered run (tier 2 is a pure speedup,
+#      DESIGN.md §12), and the tiered run's telemetry must carry
+#      vm.tier2.* metrics proving blocks actually compiled and ran;
+#   8. fault-injection smoke: the E16 crash matrix standalone, plus a
 #      --fault-demo run that must exit non-zero, report its failed
 #      cells, and emit cell_failed telemetry;
-#   8. fuzz smoke: the E18 coverage-guided campaign (swsec-fuzz) at a
+#   9. fuzz smoke: the E18 coverage-guided campaign (swsec-fuzz) at a
 #      fixed seed and budget must rediscover the E2 stack smash, see
 #      zero fast-path-vs-baseline divergences, and render byte-identical
 #      reports at 1 and 4 workers (deterministic findings contract,
@@ -74,6 +78,22 @@ target/release/telcheck "$TELDIR/campaign.jsonl" \
     --require "metric:vm.snapshot.snapshots" \
     --require "metric:vm.snapshot.restores" \
     --require "metric:vm.snapshot.dirty_pages"
+
+echo "==> tier smoke"
+# Tier 2 must be semantically invisible: a campaign with the block
+# engine disabled renders the same bytes as the tiered run...
+target/release/examples/campaign --quick --render-only --no-tier2 \
+    > "$TELDIR/render_no_tier2.txt"
+cmp "$TELDIR/render_with_sink.txt" "$TELDIR/render_no_tier2.txt" || {
+    echo "verify: render differs with tier 2 disabled" >&2
+    exit 1
+}
+# ... while the tiered run must have actually compiled and served
+# superinstruction blocks.
+target/release/telcheck "$TELDIR/campaign.jsonl" \
+    --require "metric:vm.tier2.blocks_compiled" \
+    --require "metric:vm.tier2.block_hits" \
+    --require "metric:vm.tier2.instructions"
 
 echo "==> fault-injection smoke"
 FAULTDIR="target/fault-smoke"

@@ -111,6 +111,7 @@ fn campaign_summary_reports_all_selected_experiments() {
     assert!(report.vm.instructions > 0);
     assert!(summary.title.contains("icache"));
     assert!(summary.title.contains("tlb"));
+    assert!(summary.title.contains("tier2"));
 }
 
 #[test]
@@ -126,6 +127,13 @@ fn vm_caches_do_not_change_a_single_render_byte() {
     swsec_vm::cpu::set_default_fast_path(true);
 
     assert_eq!(cached, uncached, "caches must be semantically invisible");
+
+    // Same bar for the tier-2 block engine: fast path on, blocks off.
+    swsec_vm::cpu::set_default_tier2(false);
+    let untiered = run_campaign(&cfg).render();
+    swsec_vm::cpu::set_default_tier2(true);
+
+    assert_eq!(cached, untiered, "tier 2 must be semantically invisible");
 }
 
 /// A `Write` handle into a shared buffer, so the test can read what
