@@ -51,6 +51,26 @@ impl AsmOutput {
             kind: AsmErrorKind::UnknownLabel(name.to_string()),
         })
     }
+
+    /// Address one past the last emitted byte.
+    #[must_use]
+    pub fn end(&self) -> u32 {
+        self.base.wrapping_add(self.bytes.len() as u32)
+    }
+
+    /// The label set as a profiler symbol table: each label names the
+    /// address range up to the next label (or the image end), so
+    /// sampled guest PCs resolve to the enclosing label. Labels are
+    /// the assembler's only notion of "function"; data labels resolve
+    /// too, which is exactly what you want when a sample lands in a
+    /// gadget or injected payload.
+    #[must_use]
+    pub fn symbol_table(&self) -> swsec_obs::SymbolTable {
+        swsec_obs::SymbolTable::from_labels(
+            self.labels.iter().map(|(name, addr)| (name.clone(), *addr)),
+            self.end(),
+        )
+    }
 }
 
 /// What went wrong while assembling.
@@ -692,6 +712,25 @@ mod tests {
         // jmp encodes the absolute label address.
         let (i, _) = Instr::decode(&out.bytes[1..]).unwrap();
         assert_eq!(i, Instr::Jmp(0x1000));
+    }
+
+    #[test]
+    fn symbol_table_covers_labels_to_image_end() {
+        let out = assemble(
+            ".org 0x1000\n\
+             main: nop\n\
+             nop\n\
+             gadget: nop\n\
+             nop\n",
+        )
+        .unwrap();
+        assert_eq!(out.end(), 0x1004);
+        let table = out.symbol_table();
+        assert_eq!(table.resolve(0x1000), Some("main"));
+        assert_eq!(table.resolve(0x1001), Some("main"));
+        assert_eq!(table.resolve(0x1002), Some("gadget"));
+        assert_eq!(table.resolve(0x1003), Some("gadget"));
+        assert_eq!(table.resolve(0x1004), None);
     }
 
     #[test]

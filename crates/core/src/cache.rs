@@ -106,6 +106,12 @@ impl ProgramCache {
         source: &str,
         opts: &CompileOptions,
     ) -> Result<Arc<CompiledProgram>, CompileError> {
+        // The span covers the memoized lookup, not just the miss path:
+        // which worker loses the compile race is scheduling-dependent,
+        // and span trees must be identical at any worker count.
+        let _compile = swsec_obs::span::enter_with(swsec_obs::SpanKind::Compile, || {
+            format!("{} bytes", source.len())
+        });
         let key = (source.to_string(), opts.clone());
         let shard = &self.programs[Self::shard(&key)];
         if let Some(program) = shard.lock().expect("cache lock").get(&key) {

@@ -56,9 +56,11 @@ use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use swsec_obs::{default_sink, MetricsRegistry, SecurityEvent};
+use swsec_obs::span::{self, SpanCollector, SpanRecord, SpanRecorder};
+use swsec_obs::{default_sink, Histogram, MetricsRegistry, SecurityEvent, SpanKind, SpanMask};
 use swsec_rng::derive;
 use swsec_vm::counters::{self, VmCounters};
+use swsec_vm::profile::Profiler;
 
 use crate::cache::{CacheStats, ProgramCache};
 use crate::experiments::{registry, Experiment};
@@ -275,6 +277,20 @@ pub struct CampaignTelemetry {
     /// histogram when the campaign finishes (see
     /// [`absorb_into`](CampaignReport::absorb_into) for the names).
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// When set, the run records hierarchical spans of the selected
+    /// kinds: a campaign root on track 0, each cell's spans on track
+    /// `slot + 1` — tracks follow the deterministic slot layout, never
+    /// the worker that happened to run the cell, so
+    /// [`CampaignReport::span_tree`] is byte-identical at any worker
+    /// count.
+    pub spans: Option<SpanMask>,
+    /// When set, scoped onto every cell's attempt thread (via
+    /// [`swsec_vm::profile::with_thread_profiler`]): every machine a
+    /// cell builds samples into it, concurrent VM activity on other
+    /// threads never does, and the aggregated profile is deterministic
+    /// (sampling is keyed to retired instructions, and counts merge
+    /// associatively).
+    pub profiler: Option<Arc<Profiler>>,
 }
 
 impl std::fmt::Debug for CampaignTelemetry {
@@ -282,6 +298,8 @@ impl std::fmt::Debug for CampaignTelemetry {
         f.debug_struct("CampaignTelemetry")
             .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
             .field("metrics", &self.metrics.is_some())
+            .field("spans", &self.spans)
+            .field("profiler", &self.profiler.is_some())
             .finish()
     }
 }
@@ -304,6 +322,20 @@ impl CampaignTelemetry {
     /// Sets the registry that absorbs the run's metrics.
     pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> CampaignTelemetry {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Enables span recording for the masked kinds
+    /// (see [`SpanMask::DEFAULT`] for the stock selection).
+    pub fn with_spans(mut self, mask: SpanMask) -> CampaignTelemetry {
+        self.spans = Some(mask);
+        self
+    }
+
+    /// Attaches a deterministic sampling profiler to every machine the
+    /// run builds.
+    pub fn with_profiler(mut self, profiler: Arc<Profiler>) -> CampaignTelemetry {
+        self.profiler = Some(profiler);
         self
     }
 }
@@ -360,6 +392,12 @@ pub struct CampaignReport {
     /// Concurrent *campaigns* are serialized (see `VM_STAT_GUARD`) so
     /// their deltas never double-count each other.
     pub vm: VmCounters,
+    /// Recorded spans per track, sorted by track then open sequence —
+    /// empty unless [`CampaignTelemetry::spans`] was set. Sequence
+    /// numbers are per-track logical clocks, so the recorded shape (and
+    /// [`span_tree`](Self::span_tree)) is deterministic at any worker
+    /// count; only the wall-clock fields vary run to run.
+    pub spans: Vec<(u32, Vec<SpanRecord>)>,
     /// Worker threads actually used.
     pub workers: usize,
     /// Wall-clock for the whole campaign.
@@ -414,6 +452,14 @@ impl CampaignReport {
         out
     }
 
+    /// The deterministic rendering of the recorded span forest (see
+    /// [`spans`](Self::spans)): indentation from nesting depth,
+    /// `[seq a..b]` logical-clock intervals, no wall-clock. Empty when
+    /// span recording was off.
+    pub fn span_tree(&self) -> String {
+        span::render_tree(&self.spans)
+    }
+
     /// The run-metadata table: busy time per experiment, cache
     /// counters, worker count. Deliberately *not* part of
     /// [`render`](Self::render) — it varies run to run.
@@ -426,13 +472,18 @@ impl CampaignReport {
             Some(mean) => format!("{mean:.1}"),
             None => "n/a".to_string(),
         };
+        let mut cell_hist = Histogram::new();
+        for cell in &self.cell_timings {
+            cell_hist.observe(cell.elapsed.as_micros() as u64);
+        }
         let mut t = Table::new(
             format!(
                 "campaign: {} workers, {:.2}s wall, {} failed cells, \
                  cache {} hits / {} misses / {} parses, \
                  vm {} instr, icache {} hit, tlb {} hit, \
                  tier2 {} blocks / {} entries / {} instr, \
-                 snapshot {} restores ({} dirty pages/restore)",
+                 snapshot {} restores ({} dirty pages/restore), \
+                 cell p50/p90/p99 {}/{}/{}us, prof {} samples",
                 self.workers,
                 self.elapsed.as_secs_f64(),
                 self.failed_cells().len(),
@@ -447,6 +498,10 @@ impl CampaignReport {
                 self.vm.tier2_instructions,
                 self.vm.restores,
                 mean_dirty,
+                cell_hist.quantile_upper_bound(0.50),
+                cell_hist.quantile_upper_bound(0.90),
+                cell_hist.quantile_upper_bound(0.99),
+                self.vm.prof_samples,
             ),
             &["experiment", "cells", "busy"],
         );
@@ -469,9 +524,10 @@ impl CampaignReport {
     ///   `vm.tlb.hits` / `vm.tlb.misses`,
     ///   `vm.tier2.blocks_compiled` / `vm.tier2.block_hits` /
     ///   `vm.tier2.instructions` / `vm.tier2.side_exits` /
-    ///   `vm.tier2.invalidations`, and `vm.snapshot.snapshots` /
+    ///   `vm.tier2.invalidations`, `vm.snapshot.snapshots` /
     ///   `vm.snapshot.restores` / `vm.snapshot.dirty_pages` /
-    ///   `vm.snapshot.bytes_copied`;
+    ///   `vm.snapshot.bytes_copied`, and `vm.prof.samples` /
+    ///   `vm.prof.frames`;
     /// * histogram `campaign.cell_micros` with one observation per cell.
     ///
     /// Called automatically by [`run_campaign_with`] when
@@ -505,6 +561,8 @@ impl CampaignReport {
         registry.counter("vm.snapshot.restores", self.vm.restores);
         registry.counter("vm.snapshot.dirty_pages", self.vm.restore_dirty_pages);
         registry.counter("vm.snapshot.bytes_copied", self.vm.restore_bytes);
+        registry.counter("vm.prof.samples", self.vm.prof_samples);
+        registry.counter("vm.prof.frames", self.vm.prof_frames);
         for cell in &self.cell_timings {
             registry.observe("campaign.cell_micros", cell.elapsed.as_micros() as u64);
         }
@@ -556,6 +614,8 @@ fn run_attempt(
     ctx: &Arc<CampaignCtx>,
     exp: &'static dyn Experiment,
     cell: usize,
+    recorder: Option<Arc<SpanRecorder>>,
+    profiler: Option<Arc<Profiler>>,
 ) -> Attempt {
     let (tx, rx) = channel();
     let cfg2 = Arc::clone(cfg);
@@ -563,7 +623,23 @@ fn run_attempt(
     let spawned = std::thread::Builder::new()
         .name(format!("cell-{}-{cell}", exp.id()))
         .spawn(move || {
-            let result = catch_unwind(AssertUnwindSafe(|| exp.run_cell(&cfg2, &ctx2, cell)));
+            // The cell's span recorder and profiler ride on the attempt
+            // thread so everything the cell does — boots, restores,
+            // executes — lands on the cell's own track and samples into
+            // the campaign's profile, wrapped in a cell span.
+            let id = exp.id();
+            let body = || {
+                let _cell = span::enter_with(SpanKind::Cell, || format!("{id} cell {cell}"));
+                exp.run_cell(&cfg2, &ctx2, cell)
+            };
+            let profiled = || match profiler {
+                Some(prof) => swsec_vm::profile::with_thread_profiler(prof, body),
+                None => body(),
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| match recorder {
+                Some(rec) => span::with_recorder(rec, profiled),
+                None => profiled(),
+            }));
             // The receiver may have given up on us (deadline): a failed
             // send is then the expected way for this thread to retire.
             let _ = tx.send(result.map_err(panic_message));
@@ -591,11 +667,13 @@ fn run_cell_resolved(
     ctx: &Arc<CampaignCtx>,
     exp: &'static dyn Experiment,
     cell: usize,
+    recorder: Option<&Arc<SpanRecorder>>,
+    profiler: Option<&Arc<Profiler>>,
 ) -> SlotResult {
     let mut failed_attempts = 0u32;
     loop {
         let give_up = failed_attempts >= cfg.cell_retries;
-        match run_attempt(cfg, ctx, exp, cell) {
+        match run_attempt(cfg, ctx, exp, cell, recorder.cloned(), profiler.cloned()) {
             Attempt::Ok(tables) => {
                 let outcome = if failed_attempts == 0 {
                     CellOutcome::Ok
@@ -660,6 +738,7 @@ pub fn run_campaign_on(
     // under overlapping windows.
     let _vm_window = lock_unpoisoned(&VM_STAT_GUARD);
     let vm_before = counters::snapshot();
+    let collector = telemetry.spans.map(|mask| Arc::new(SpanCollector::new(mask)));
     let shared_cfg = Arc::new(cfg.clone());
     let ctx = Arc::new(CampaignCtx::new());
 
@@ -684,6 +763,13 @@ pub fn run_campaign_on(
     };
     let workers = workers.clamp(1, total_slots.max(1));
 
+    // The campaign root span lives on track 0; cells get track
+    // `slot + 1` below. Both are functions of the slot layout alone.
+    let campaign_span = collector.as_ref().map(|c| {
+        c.recorder(0)
+            .enter_with(SpanKind::Campaign, || format!("{total_slots} cells"))
+    });
+
     let queues: Vec<Mutex<VecDeque<Task>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, task) in tasks.into_iter().enumerate() {
@@ -705,6 +791,7 @@ pub fn run_campaign_on(
             let completed = &completed;
             let shared_cfg = &shared_cfg;
             let ctx = &ctx;
+            let collector = &collector;
             scope.spawn(move || loop {
                 // Own deque first (front), then steal (back) — the
                 // classic discipline keeps stolen work coarse.
@@ -713,8 +800,21 @@ pub fn run_campaign_on(
                 });
                 let Some(task) = task else { break };
                 let exp = exps[task.exp];
+                // The track index comes from the slot, not the worker:
+                // stealing moves *who* runs a cell, never where its
+                // spans land.
+                let recorder = collector
+                    .as_ref()
+                    .map(|c| c.recorder(task.slot as u32 + 1));
                 let cell_started = Instant::now();
-                let result = run_cell_resolved(shared_cfg, ctx, exp, task.cell);
+                let result = run_cell_resolved(
+                    shared_cfg,
+                    ctx,
+                    exp,
+                    task.cell,
+                    recorder.as_ref(),
+                    telemetry.profiler.as_ref(),
+                );
                 let elapsed = cell_started.elapsed();
                 let nanos = elapsed.as_nanos() as u64;
                 busy_nanos[task.exp].fetch_add(nanos, Ordering::Relaxed);
@@ -750,6 +850,9 @@ pub fn run_campaign_on(
             });
         }
     });
+
+    drop(campaign_span);
+    let spans = collector.as_ref().map(|c| c.take()).unwrap_or_default();
 
     // Assemble in experiment order from the slot layout.
     let mut reports = Vec::with_capacity(exps.len());
@@ -823,6 +926,7 @@ pub fn run_campaign_on(
         cell_timings,
         cache: ctx.cache.stats(),
         vm: counters::snapshot().since(vm_before),
+        spans,
         workers,
         elapsed: started.elapsed(),
     };

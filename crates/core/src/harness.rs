@@ -44,9 +44,10 @@ use std::sync::Arc;
 
 use swsec_defenses::DefenseConfig;
 use swsec_minc::{CompileError, CompileOptions, CompiledProgram};
-use swsec_obs::EventSink;
+use swsec_obs::{span, EventSink, SpanKind};
 use swsec_vm::cpu::{Machine, MachineSnapshot, RunOutcome};
 use swsec_vm::io::IoBus;
+use swsec_vm::profile::Profiler;
 use swsec_vm::trace::ExecStats;
 
 use crate::cache::ProgramCache;
@@ -188,6 +189,7 @@ pub struct ForkServer {
     mode: ServeMode,
     fuel: u64,
     sink: Option<Arc<dyn EventSink>>,
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl std::fmt::Debug for ForkServer {
@@ -197,6 +199,7 @@ impl std::fmt::Debug for ForkServer {
             .field("mode", &self.mode)
             .field("fuel", &self.fuel)
             .field("sink", &self.sink.is_some())
+            .field("profiler", &self.profiler.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -241,6 +244,7 @@ impl ForkServer {
             mode: ServeMode::Fork,
             fuel: DEFAULT_FUEL,
             sink: None,
+            profiler: None,
         })
     }
 
@@ -272,6 +276,23 @@ impl ForkServer {
     pub fn set_event_sink(&mut self, sink: Option<Arc<dyn EventSink>>) {
         self.machine.set_event_sink(sink.clone());
         self.sink = sink;
+    }
+
+    /// Attaches (or with `None`, detaches) a deterministic sampling
+    /// profiler observing every attempt, in either [`ServeMode`]. Like
+    /// event sinks, profilers are not captured by snapshots, so the
+    /// attachment survives every [`ServeMode::Fork`] restore — and the
+    /// restore re-arms the sample countdown, so a forked attempt's
+    /// profile is byte-identical to a rebuilt one.
+    /// [`ServeMode::Rebuild`] re-attaches it to each fresh machine.
+    pub fn set_profiler(&mut self, prof: Option<Arc<Profiler>>) {
+        self.machine.set_profiler(prof.clone());
+        self.profiler = prof;
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&Arc<Profiler>> {
+        self.profiler.as_ref()
     }
 
     /// The compiled victim image (layout as loaded).
@@ -314,13 +335,18 @@ impl AttackTarget for ForkServer {
                 ),
             });
         }
+        let _attempt = span::enter_with(SpanKind::Attempt, || format!("seed {seed:#x}"));
         match self.mode {
             ServeMode::Fork => {
+                let restore = span::enter(SpanKind::Restore, "snapshot");
                 self.machine.restore_from(&self.snapshot);
                 let canary_value =
                     loader::arm_session(&mut self.machine, &self.program, &self.config, seed)?;
+                drop(restore);
                 self.machine.io_mut().feed_input(0, input);
+                let execute = span::enter(SpanKind::Execute, "");
                 let outcome = self.machine.run(self.fuel);
+                drop(execute);
                 Ok(AttemptOutcome {
                     outcome,
                     canary_value,
@@ -333,8 +359,13 @@ impl AttackTarget for ForkServer {
                 if self.sink.is_some() {
                     session.machine.set_event_sink(self.sink.clone());
                 }
+                if self.profiler.is_some() {
+                    session.machine.set_profiler(self.profiler.clone());
+                }
                 session.machine.io_mut().feed_input(0, input);
+                let execute = span::enter(SpanKind::Execute, "");
                 let outcome = session.run(self.fuel);
+                drop(execute);
                 Ok(AttemptOutcome {
                     outcome,
                     canary_value: session.canary_value,
@@ -379,6 +410,34 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn fork_and_rebuild_profiles_are_byte_identical() {
+        // The profiler samples on retired instructions and the restore
+        // path re-arms its countdown, so serve mode must not change a
+        // single folded line. Interval 16: the countdown re-arms at
+        // every attempt boundary and a canary-tripped attempt retires
+        // only a few dozen instructions, so a coarser interval would
+        // never fire.
+        let cache = ProgramCache::new();
+        let folded = |mode: ServeMode| {
+            let mut server = ForkServer::boot(&cache, VICTIM_SMASH, canary_config(), 7)
+                .unwrap()
+                .with_mode(mode);
+            let prof = Arc::new(Profiler::new(16));
+            server.set_profiler(Some(prof.clone()));
+            for seed in [7u64, 8, 9] {
+                server.execute(seed, &[b'A'; 60]).unwrap();
+            }
+            prof.folded(&server.program().symbol_table())
+        };
+        let fork = folded(ServeMode::Fork);
+        let rebuild = folded(ServeMode::Rebuild);
+        assert!(!fork.is_empty(), "no samples at interval 16");
+        assert_eq!(fork, rebuild);
+        // And the output is symbolized, not raw hex.
+        assert!(fork.contains("main"), "unsymbolized profile:\n{fork}");
     }
 
     #[test]

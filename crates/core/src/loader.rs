@@ -147,6 +147,7 @@ pub fn launch_compiled(
     config: DefenseConfig,
     seed: u64,
 ) -> Result<Session, CompileError> {
+    let _boot = swsec_obs::span::enter_with(swsec_obs::SpanKind::Boot, || format!("seed {seed}"));
     let mut machine = Machine::new();
     program.load(&mut machine)?;
     machine.mem_mut().set_enforce(config.dep);

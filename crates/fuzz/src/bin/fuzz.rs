@@ -5,7 +5,7 @@
 //! cargo run --release -p swsec-fuzz --bin fuzz -- \
 //!     [--workers N] [--seed S] [--budget N] [--minimize-budget N] \
 //!     [--progress] [--telemetry out.jsonl] [--render-only] \
-//!     [--no-fork-server]
+//!     [--no-fork-server] [--profile out.folded]
 //! ```
 //!
 //! The schedule is bounded and deterministic: a fixed attempt budget
@@ -15,20 +15,58 @@
 //! against a 4-worker run and asserts the report rediscovers the E2
 //! stack smash with zero fast-vs-baseline divergences. Exits non-zero
 //! when a campaign cell failed.
+//!
+//! `--profile FILE` runs a separate deterministic profiling pass over
+//! the undefended stack-smash victim and writes a **symbolized**
+//! flamegraph-ready `.folded` profile to `FILE`. It profiles one
+//! victim rather than the whole fuzz campaign on purpose: campaign
+//! cells compile many programs at overlapping layouts, so a single
+//! symbol table would misattribute frames — the single-victim pass is
+//! the one place address→name resolution is sound end to end.
 
 use std::fs::File;
 use std::io::BufWriter;
 use std::sync::Arc;
 
+use swsec::attacker::VICTIM_SMASH;
+use swsec::cache::ProgramCache;
 use swsec::campaign::{run_campaign_on, CampaignConfig, CampaignTelemetry};
+use swsec::harness::{AttackTarget, ForkServer};
+use swsec_defenses::DefenseConfig;
 use swsec_fuzz::FuzzExperiment;
 use swsec_obs::jsonl::meta_line;
 use swsec_obs::{clear_default_sink, set_default_sink, EventMask, JsonlSink, MetricsRegistry};
+use swsec_vm::profile::Profiler;
+
+/// Deterministic profiling pass: serve a fixed batch of attempts
+/// against the undefended smash victim from a boot-time snapshot and
+/// return the symbolized `.folded` profile. A pure function of `seed`.
+fn profile_victim(seed: u64) -> String {
+    let cache = ProgramCache::new();
+    let mut server = ForkServer::boot(&cache, VICTIM_SMASH, DefenseConfig::none(), seed)
+        .expect("smash victim compiles")
+        .with_fuel(200_000);
+    // Interval 16: the undefended victim retires ~46 instructions per
+    // attempt and the countdown re-arms at every attempt boundary, so
+    // anything coarser than ~46 would sample nothing at all.
+    let prof = Arc::new(Profiler::new(16));
+    server.set_profiler(Some(prof.clone()));
+    for i in 0..32u64 {
+        // Sweep input lengths across the overflow boundary so both the
+        // benign path and the smash path show up in the flamegraph.
+        let len = (i as usize * 7) % 96;
+        server
+            .execute(seed.wrapping_add(i), &vec![b'A'; len])
+            .expect("attempt serves");
+    }
+    prof.folded(&server.program().symbol_table())
+}
 
 fn main() {
     let mut cfg = CampaignConfig::quick();
     let mut exp = FuzzExperiment::smoke();
     let mut telemetry_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut progress = false;
     let mut render_only = false;
     let mut args = std::env::args().skip(1);
@@ -64,12 +102,15 @@ fn main() {
             "--progress" => progress = true,
             "--render-only" => render_only = true,
             "--no-fork-server" => cfg.fork_server = false,
+            "--profile" => {
+                profile_path = Some(args.next().expect("--profile takes a path"));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: fuzz [--workers N] [--seed S] [--budget N] \
                      [--minimize-budget N] [--progress] [--telemetry out.jsonl] \
-                     [--render-only] [--no-fork-server]"
+                     [--render-only] [--no-fork-server] [--profile out.folded]"
                 );
                 std::process::exit(2);
             }
@@ -113,6 +154,12 @@ fn main() {
                 if p.ok { "" } else { " FAILED" },
             );
         });
+    }
+
+    if let Some(path) = profile_path.as_deref() {
+        let folded = profile_victim(cfg.master_seed);
+        std::fs::write(path, folded)
+            .unwrap_or_else(|e| panic!("cannot write profile {path}: {e}"));
     }
 
     let report = run_campaign_on(&cfg, &[exp.leaked()], &telemetry);

@@ -254,6 +254,18 @@ impl CompiledProgram {
         self.data_base + self.data.len() as u32
     }
 
+    /// The function map as a profiler symbol table: each function
+    /// names the text range up to the next function (the last runs to
+    /// [`text_end`](Self::text_end)), so sampled guest PCs and return
+    /// addresses resolve to MinC function names in `.folded` output.
+    #[must_use]
+    pub fn symbol_table(&self) -> swsec_obs::SymbolTable {
+        swsec_obs::SymbolTable::from_labels(
+            self.functions.iter().map(|(name, addr)| (name.clone(), *addr)),
+            self.text_end(),
+        )
+    }
+
     /// Address of a function.
     ///
     /// # Errors
@@ -1534,6 +1546,22 @@ mod tests {
     #[test]
     fn exit_code_flows_from_main() {
         assert_eq!(run_src("int main() { return 42; }"), RunOutcome::Halted(42));
+    }
+
+    #[test]
+    fn symbol_table_resolves_function_bodies() {
+        let unit = parse(
+            "int helper(int x) { return x + 1; }\n\
+             int main() { return helper(41); }",
+        )
+        .unwrap();
+        let prog = compile(&unit, &CompileOptions::default()).unwrap();
+        let table = prog.symbol_table();
+        assert_eq!(table.len(), 2);
+        for (name, addr) in &prog.functions {
+            assert_eq!(table.resolve(*addr), Some(name.as_str()), "{name}");
+        }
+        assert_eq!(table.resolve(prog.text_end()), None);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::sync::Mutex;
 use crate::event::{ControlKind, EventMask, FaultKind, PmaRule, SecurityEvent};
 use crate::json::{self, Json, Obj};
 use crate::sink::EventSink;
+use crate::span::SpanRecord;
 
 /// Version stamped into (and required of) every telemetry line.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -47,6 +48,27 @@ pub enum Record {
         name: String,
         /// Metadata value.
         text: String,
+    },
+    /// One completed span (see [`crate::span`]). `seq`/`end` carry the
+    /// deterministic sequence clock; `ts_us`/`dur_us` are wall-clock
+    /// telemetry and never feed a render path.
+    Span {
+        /// Span kind name (`"campaign"`, `"cell"`, …).
+        name: String,
+        /// Free-form detail.
+        detail: String,
+        /// Recorder track.
+        track: u32,
+        /// Nesting depth at open.
+        depth: u32,
+        /// Sequence tick at open.
+        seq: u64,
+        /// Sequence tick at close.
+        end: u64,
+        /// Wall-clock open, µs since the collector epoch.
+        ts_us: u64,
+        /// Wall-clock duration, µs.
+        dur_us: u64,
     },
 }
 
@@ -101,6 +123,22 @@ pub fn meta_line(name: &str, text: &str) -> String {
         .str("type", "meta")
         .str("name", name)
         .str("text", text)
+        .render()
+}
+
+/// Renders a completed span as one schema-v1 line.
+pub fn span_line(span: &SpanRecord) -> String {
+    Obj::new()
+        .u64("v", SCHEMA_VERSION)
+        .str("type", "span")
+        .str("name", span.kind.name())
+        .str("detail", &span.detail)
+        .u64("track", u64::from(span.track))
+        .u64("depth", u64::from(span.depth))
+        .u64("seq", span.seq_open)
+        .u64("end", span.seq_close)
+        .u64("ts_us", span.wall_start_us)
+        .u64("dur_us", span.wall_dur_us)
         .render()
 }
 
@@ -170,6 +208,16 @@ pub fn parse_line(line: &str) -> Result<Record, LineError> {
         "meta" => Ok(Record::Meta {
             name: field_str(&v, "name")?.to_string(),
             text: field_str(&v, "text")?.to_string(),
+        }),
+        "span" => Ok(Record::Span {
+            name: field_str(&v, "name")?.to_string(),
+            detail: field_str(&v, "detail")?.to_string(),
+            track: field_u32(&v, "track")?,
+            depth: field_u32(&v, "depth")?,
+            seq: field_u64(&v, "seq")?,
+            end: field_u64(&v, "end")?,
+            ts_us: field_u64(&v, "ts_us")?,
+            dur_us: field_u64(&v, "dur_us")?,
         }),
         other => Err(LineError::Schema(format!("unknown record type {other:?}"))),
     }
@@ -359,6 +407,34 @@ mod tests {
             Ok(Record::Meta {
                 name: "source".to_string(),
                 text: "vmbench \"quoted\"".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn span_lines_roundtrip() {
+        let span = SpanRecord {
+            kind: crate::span::SpanKind::Cell,
+            detail: "E4 cell 3".to_string(),
+            track: 4,
+            depth: 1,
+            seq_open: 2,
+            seq_close: 9,
+            wall_start_us: 1234,
+            wall_dur_us: 56,
+        };
+        let line = span_line(&span);
+        assert_eq!(
+            parse_line(&line),
+            Ok(Record::Span {
+                name: "cell".to_string(),
+                detail: "E4 cell 3".to_string(),
+                track: 4,
+                depth: 1,
+                seq: 2,
+                end: 9,
+                ts_us: 1234,
+                dur_us: 56,
             })
         );
     }

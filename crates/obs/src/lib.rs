@@ -17,6 +17,11 @@
 //!   a streaming export sink.
 //! - [`metrics`] — a registry of named counters and fixed-bucket
 //!   histograms with a deterministic render.
+//! - [`span`] — hierarchical spans over the campaign → cell → attempt
+//!   lifecycle, with a deterministic sequence clock in every render
+//!   path and Chrome `trace_event` export for Perfetto timelines.
+//! - [`sym`] — label → address-range symbol tables, so sampled guest
+//!   PCs resolve to guest function names in `.folded` profiles.
 //! - [`json`] — the self-contained JSON support underneath [`jsonl`]
 //!   (the workspace builds offline, with no registry dependencies).
 //!
@@ -41,11 +46,15 @@ pub mod json;
 pub mod jsonl;
 pub mod metrics;
 pub mod sink;
+pub mod span;
+pub mod sym;
 
 pub use coverage::{CoverageGain, CoverageMap, CoverageSink, GlobalCoverage};
 pub use event::{ControlKind, EventMask, FaultKind, PmaRule, SecurityEvent};
 pub use jsonl::{JsonlSink, LineError, Record, SCHEMA_VERSION};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use span::{ChromeInstant, Span, SpanCollector, SpanKind, SpanMask, SpanRecord, SpanRecorder};
+pub use sym::SymbolTable;
 pub use sink::{
     clear_default_sink, default_sink, set_default_sink, CountingSink, EventCounts, EventSink,
     FanoutSink, HotAddressSink, RingBufferSink,

@@ -226,11 +226,12 @@ impl MetricsRegistry {
             for (name, h) in &inner.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<40} n={} sum={} max={} p50<={} p99<={}",
+                    "  {name:<40} n={} sum={} max={} p50<={} p90<={} p99<={}",
                     h.count(),
                     h.sum(),
                     h.max(),
                     h.quantile_upper_bound(0.50),
+                    h.quantile_upper_bound(0.90),
                     h.quantile_upper_bound(0.99),
                 );
             }

@@ -30,6 +30,8 @@ static SNAPSHOTS: AtomicU64 = AtomicU64::new(0);
 static RESTORES: AtomicU64 = AtomicU64::new(0);
 static RESTORE_DIRTY_PAGES: AtomicU64 = AtomicU64::new(0);
 static RESTORE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PROF_SAMPLES: AtomicU64 = AtomicU64::new(0);
+static PROF_FRAMES: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time reading of the process-wide VM counters.
 ///
@@ -67,6 +69,10 @@ pub struct VmCounters {
     pub restore_dirty_pages: u64,
     /// Bytes copied back across all restores.
     pub restore_bytes: u64,
+    /// Profiler samples taken (see [`crate::profile`]).
+    pub prof_samples: u64,
+    /// Stack frames recorded across all profiler samples.
+    pub prof_frames: u64,
 }
 
 impl VmCounters {
@@ -94,6 +100,8 @@ impl VmCounters {
                 .restore_dirty_pages
                 .saturating_sub(earlier.restore_dirty_pages),
             restore_bytes: self.restore_bytes.saturating_sub(earlier.restore_bytes),
+            prof_samples: self.prof_samples.saturating_sub(earlier.prof_samples),
+            prof_frames: self.prof_frames.saturating_sub(earlier.prof_frames),
         }
     }
 
@@ -138,12 +146,21 @@ pub fn snapshot() -> VmCounters {
         restores: RESTORES.load(Ordering::Relaxed),
         restore_dirty_pages: RESTORE_DIRTY_PAGES.load(Ordering::Relaxed),
         restore_bytes: RESTORE_BYTES.load(Ordering::Relaxed),
+        prof_samples: PROF_SAMPLES.load(Ordering::Relaxed),
+        prof_frames: PROF_FRAMES.load(Ordering::Relaxed),
     }
 }
 
 /// Counts one machine snapshot. Called from `Machine::snapshot`.
 pub(crate) fn note_snapshot() {
     SNAPSHOTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one profiler sample and its recorded stack depth. Called
+/// from the machine's (cold) sample path.
+pub(crate) fn note_prof_sample(frames: u64) {
+    PROF_SAMPLES.fetch_add(1, Ordering::Relaxed);
+    PROF_FRAMES.fetch_add(frames, Ordering::Relaxed);
 }
 
 /// Counts one machine restore and what it copied. Called from

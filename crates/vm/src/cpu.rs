@@ -58,6 +58,7 @@ use swsec_obs::{ControlKind, EventMask, EventSink, FaultKind, PmaRule, SecurityE
 
 use crate::isa::{self, AluOp, Cond, DecodeError, Instr, Reg, NUM_REGS};
 use crate::io::IoBus;
+use crate::profile::Profiler;
 use crate::mem::{Access, DataLine, MemError, MemErrorKind, Memory, PAGE_SIZE};
 use crate::policy::{PmaViolation, PmaViolationKind, ProtectionMap, TransferKind};
 use crate::tier::{Block, MicroOp, TierEngine};
@@ -358,6 +359,13 @@ pub struct Machine {
     /// interest mask so the hot path tests a single byte.
     sink: Option<Arc<dyn EventSink>>,
     sink_mask: EventMask,
+    /// Attached sampling profiler (see [`profile`](crate::profile)).
+    prof: Option<Arc<Profiler>>,
+    /// Retired instructions until the next profiler sample; `u64::MAX`
+    /// when no profiler is attached or sampling is disabled, so the
+    /// hot path is one decrement + never-taken branch with no `Option`
+    /// check.
+    prof_countdown: u64,
     /// Set by the word-access wrappers when a memory fault's address
     /// sits on a different page than the access base (a straddling
     /// access); consumed by fault-event classification.
@@ -389,7 +397,8 @@ impl Machine {
     /// If a process-wide default event sink is installed
     /// ([`swsec_obs::set_default_sink`]), the new machine attaches it
     /// automatically, so telemetry captures events from machines
-    /// created deep inside experiment code.
+    /// created deep inside experiment code. Likewise a process-wide
+    /// default profiler ([`crate::profile::set_default_profiler`]).
     pub fn new() -> Machine {
         let fast_path = default_fast_path();
         let mut mem = Memory::new();
@@ -399,6 +408,8 @@ impl Machine {
             .as_ref()
             .map(|s| s.interests())
             .unwrap_or(EventMask::NONE);
+        let prof = crate::profile::default_profiler();
+        let prof_countdown = prof.as_ref().map_or(u64::MAX, |p| p.countdown_init());
         Machine {
             regs: [0; NUM_REGS],
             ip: 0,
@@ -420,6 +431,8 @@ impl Machine {
             tier: None,
             sink,
             sink_mask,
+            prof,
+            prof_countdown,
             straddle_hint: false,
         }
     }
@@ -439,6 +452,21 @@ impl Machine {
     /// Whether a security-event sink is attached.
     pub fn has_event_sink(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Attaches (or with `None`, detaches) a sampling profiler (see
+    /// [`profile`](crate::profile)), replacing any profiler inherited
+    /// from [`crate::profile::set_default_profiler`], and re-arms the
+    /// sample countdown — the next sample fires exactly `interval`
+    /// retired instructions from here.
+    pub fn set_profiler(&mut self, prof: Option<Arc<Profiler>>) {
+        self.prof_countdown = prof.as_ref().map_or(u64::MAX, |p| p.countdown_init());
+        self.prof = prof;
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&Arc<Profiler>> {
+        self.prof.as_ref()
     }
 
     /// Enables or disables the interpreter fast path for this machine:
@@ -1119,6 +1147,10 @@ impl Machine {
             trace.push(TraceEntry { ip: self.ip, instr });
         }
         self.stats.instructions += 1;
+        self.prof_countdown -= 1;
+        if self.prof_countdown == 0 {
+            self.prof_sample();
+        }
         match self.exec(instr, len) {
             Ok(ExecOutcome::Continue) => StepResult::Continue,
             Ok(ExecOutcome::Halt(code)) => {
@@ -1131,6 +1163,63 @@ impl Machine {
                 StepResult::Fault(f)
             }
         }
+    }
+
+    /// Takes one profiler sample at the current instruction (the one
+    /// whose retirement drove the countdown to zero; `self.ip` still
+    /// addresses it — `exec` has not advanced yet). Samples the PC plus
+    /// a root-first call-stack walk: the shadow stack verbatim when the
+    /// machine has one, otherwise a bounded scan of the saved-bp chain
+    /// (`[bp+4]` return address, `[bp]` caller bp — the platform's
+    /// activation-record shape). Deterministic: a pure function of the
+    /// architectural state at a retired-instruction index.
+    #[cold]
+    #[inline(never)]
+    fn prof_sample(&mut self) {
+        let Some(prof) = self.prof.clone() else {
+            // Unreachable in practice (the countdown is u64::MAX when
+            // unattached), but re-arm defensively rather than sample.
+            self.prof_countdown = u64::MAX;
+            return;
+        };
+        self.prof_countdown = prof.countdown_init();
+        let mut stack = match &self.shadow_stack {
+            Some(shadow) => shadow.clone(),
+            None => self.walk_bp_chain(),
+        };
+        stack.push(self.ip);
+        crate::counters::note_prof_sample(stack.len() as u64);
+        prof.record(&stack);
+    }
+
+    /// Return-address scan for machines without a shadow stack: follows
+    /// the saved-bp chain root-ward, bounded in depth and by strictly
+    /// increasing bp (the stack grows down, so every caller frame sits
+    /// higher), and stops at the first unmapped or null link — `main`'s
+    /// frame keeps the loader's bp of 0. Returns return addresses
+    /// root-first, like the shadow stack.
+    fn walk_bp_chain(&self) -> Vec<u32> {
+        const MAX_FRAMES: usize = 64;
+        let mut frames = Vec::new();
+        let mut bp = self.reg(Reg::Bp);
+        while frames.len() < MAX_FRAMES && bp != 0 {
+            let Ok(ret) = self.mem.peek_u32(bp.wrapping_add(4)) else {
+                break;
+            };
+            let Ok(saved_bp) = self.mem.peek_u32(bp) else {
+                break;
+            };
+            if ret == 0 {
+                break;
+            }
+            frames.push(ret);
+            if saved_bp <= bp {
+                break;
+            }
+            bp = saved_bp;
+        }
+        frames.reverse();
+        frames
     }
 
     fn exec(&mut self, instr: Instr, len: usize) -> Result<ExecOutcome, Fault> {
@@ -1350,10 +1439,20 @@ impl Machine {
             if self.tier2
                 && self.pending_transfer != TransferKind::Sequential
                 && self.halted.is_none()
+                && self.prof_countdown > 1
                 && self.tier2_eligible()
             {
-                if let Some((retired, fault)) = self.tier2_enter(remaining) {
+                // Clip the chain budget to the distance to the next
+                // profiler sample: blocks attribute their retired
+                // instructions in bulk at chain exit, and the sampled
+                // instruction itself always retires in a tier-1 step —
+                // exact PC and stack, with tier 2 still engaged between
+                // samples. With no profiler the countdown is u64::MAX
+                // and this clips nothing.
+                let budget = remaining.min(self.prof_countdown - 1);
+                if let Some((retired, fault)) = self.tier2_enter(budget) {
                     remaining -= retired;
+                    self.prof_countdown -= retired;
                     if let Some(f) = fault {
                         self.emit_fault(&f);
                         return RunOutcome::Fault(f);
@@ -2055,6 +2154,10 @@ impl Machine {
         self.pending_transfer = snap.pending_transfer;
         self.blocking_reads = snap.blocking_reads;
         self.straddle_hint = false;
+        // Re-arm the profiler countdown so a restored attempt samples
+        // at the same retired-instruction indices a fresh build would —
+        // the deterministic-attribution contract across serve modes.
+        self.prof_countdown = self.prof.as_ref().map_or(u64::MAX, |p| p.countdown_init());
         // Decoded instructions and tier-2 blocks need no explicit
         // flush: the restore bumped the write generation of every page
         // it copied back, so exactly the stale lines and blocks fail
@@ -2913,6 +3016,120 @@ mod tests {
             fast.stats().architectural()
         );
         assert!(tiered.stats().tier2_instructions > 0);
+    }
+
+    #[test]
+    fn profiler_folded_identical_across_tiers() {
+        // The profile is a pure function of retired instructions:
+        // tier-2 block execution must produce byte-identical folded
+        // output to plain stepping, while the tier stays engaged.
+        let prog = hot_countdown(200);
+        let run = |tier2: bool| {
+            let prof = std::sync::Arc::new(crate::profile::Profiler::new(16));
+            let mut m = machine_with(&prog);
+            m.set_tier2(tier2);
+            m.set_profiler(Some(prof.clone()));
+            assert_eq!(m.run(100_000), RunOutcome::Halted(0));
+            (prof.folded(&swsec_obs::SymbolTable::empty()), m.stats())
+        };
+        let (tiered, tiered_stats) = run(true);
+        let (stepped, stepped_stats) = run(false);
+        assert_eq!(tiered, stepped);
+        assert!(!tiered.is_empty());
+        assert!(tiered_stats.instructions / 16 > 10, "loop too short to sample");
+        // Profiling must not force tier 1: blocks still compile and
+        // retire the bulk of the loop between sample points.
+        assert!(tiered_stats.tier2_hits > 0, "tier 2 disengaged under profiling");
+        assert!(tiered_stats.tier2_instructions > 0);
+        assert_eq!(stepped_stats.tier2_hits, 0);
+    }
+
+    #[test]
+    fn profiler_fork_matches_rebuild() {
+        // Snapshot-restore re-arms the sample countdown, so a forked
+        // attempt's profile is byte-identical to a fresh rebuild's.
+        let prog = hot_countdown(120);
+        let folded_of = |m: &mut Machine| {
+            let prof = std::sync::Arc::new(crate::profile::Profiler::new(32));
+            m.set_profiler(Some(prof.clone()));
+            assert_eq!(m.run(100_000), RunOutcome::Halted(0));
+            m.set_profiler(None);
+            prof.folded(&swsec_obs::SymbolTable::empty())
+        };
+        let rebuilt = folded_of(&mut machine_with(&prog));
+        let mut forked = machine_with(&prog);
+        forked.set_tier2(true);
+        let snap = forked.snapshot();
+        let first = folded_of(&mut forked);
+        forked.restore_from(&snap);
+        let second = folded_of(&mut forked);
+        assert!(!rebuilt.is_empty());
+        assert_eq!(rebuilt, first);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn profiler_interval_zero_never_samples() {
+        let prog = hot_countdown(50);
+        let prof = std::sync::Arc::new(crate::profile::Profiler::new(0));
+        let mut m = machine_with(&prog);
+        m.set_profiler(Some(prof.clone()));
+        assert_eq!(m.run(100_000), RunOutcome::Halted(0));
+        assert_eq!(prof.total_samples(), 0);
+    }
+
+    #[test]
+    fn profiler_uses_shadow_stack_for_exact_frames() {
+        // Layout: call(5) sys(2) -> f at TEXT+7; samples taken inside
+        // f carry the return address into main as their root frame.
+        let prog = vec![
+            Instr::Call(TEXT + 7),
+            Instr::Sys(sys::EXIT),
+            Instr::MovI { dst: Reg::R0, imm: 7 },
+            Instr::Ret,
+        ];
+        let prof = std::sync::Arc::new(crate::profile::Profiler::new(1));
+        let mut m = machine_with(&prog);
+        m.set_shadow_stack(true);
+        m.set_profiler(Some(prof.clone()));
+        assert_eq!(m.run(100), RunOutcome::Halted(7));
+        let samples = prof.samples();
+        assert!(
+            samples
+                .iter()
+                .any(|(stack, _)| stack.as_slice() == [TEXT + 5, TEXT + 7]),
+            "no sample rooted at the call site: {samples:?}"
+        );
+    }
+
+    #[test]
+    fn profiler_walks_bp_chain_without_shadow_stack() {
+        // A conventional prologue links the frame chain; the sampler's
+        // fallback walk recovers the caller's return address from
+        // `[bp+4]` with the saved bp at `[bp]` terminating the scan.
+        let f = TEXT + 7; // call(5) sys(2)
+        let prog = vec![
+            Instr::Call(f),
+            Instr::Sys(sys::EXIT),
+            // f: push bp; mov bp, sp; body; pop bp; ret
+            Instr::Push(Reg::Bp),
+            Instr::Mov { dst: Reg::Bp, src: Reg::Sp },
+            Instr::MovI { dst: Reg::R0, imm: 7 },
+            Instr::Pop(Reg::Bp),
+            Instr::Ret,
+        ];
+        let prof = std::sync::Arc::new(crate::profile::Profiler::new(1));
+        let mut m = machine_with(&prog);
+        m.set_reg(Reg::Bp, 0); // end-of-chain sentinel
+        m.set_profiler(Some(prof.clone()));
+        assert_eq!(m.run(100), RunOutcome::Halted(7));
+        let samples = prof.samples();
+        assert!(
+            samples
+                .iter()
+                .any(|(stack, _)| stack.len() == 2 && stack[0] == TEXT + 5),
+            "bp walk found no caller frame: {samples:?}"
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod io;
 pub mod isa;
 pub mod mem;
 pub mod policy;
+pub mod profile;
 pub mod tier;
 pub mod trace;
 

@@ -219,6 +219,32 @@ impl TraceRing {
     }
 }
 
+/// Bridges taken trace entries into Chrome trace *instant* events, one
+/// per retired instruction, named `0x{ip:08x}: {instr}` — the glue
+/// between [`TraceRing::take`] and
+/// [`swsec_obs::span::chrome_trace`]'s `instants` argument, so an
+/// instruction trace lands on the same timeline as the span tree.
+///
+/// Timestamps are deterministic: `base_us + index`, i.e. viewer order
+/// is execution order regardless of host timing. Pass the owning
+/// span's start as `base_us` to nest the trail inside it.
+#[must_use]
+pub fn chrome_instants(
+    entries: &[TraceEntry],
+    track: u32,
+    base_us: u64,
+) -> Vec<swsec_obs::ChromeInstant> {
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| swsec_obs::ChromeInstant {
+            name: entry.to_string(),
+            track,
+            ts_us: base_us + i as u64,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +311,17 @@ mod tests {
         assert_eq!(ring.dropped(), 0);
         ring.push(entry(9));
         assert_eq!(ring.take().len(), 1);
+    }
+
+    #[test]
+    fn chrome_instants_are_ordered_and_named() {
+        let entries = vec![entry(0x1000), entry(0x1002)];
+        let instants = chrome_instants(&entries, 3, 100);
+        assert_eq!(instants.len(), 2);
+        assert_eq!(instants[0].name, "0x00001000: nop");
+        assert_eq!(instants[0].track, 3);
+        assert_eq!(instants[0].ts_us, 100);
+        assert_eq!(instants[1].ts_us, 101);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! cargo run --release --example campaign -- \
 //!     [--workers N] [--seed S] [--quick] [--only N]... [--progress] \
 //!     [--telemetry out.jsonl] [--render-only] [--fault-demo] \
-//!     [--no-fork-server] [--no-tier2]
+//!     [--no-fork-server] [--no-tier2] [--spans] [--chrome out.json] \
+//!     [--profile out.folded] [--profile-interval N]
 //! ```
 //!
 //! Prints every experiment's report (byte-identical for any worker
@@ -39,6 +40,19 @@
 //! flake on purpose, demonstrating the runner's containment, watchdog
 //! and retry. Any run — demo or not — exits non-zero when a cell
 //! failed, so CI can gate on campaign health.
+//!
+//! `--spans` records hierarchical spans (campaign/cell/compile/boot by
+//! default) on deterministic per-slot tracks; with `--telemetry` they
+//! are appended to the JSONL dump as `span` records, and `--chrome
+//! FILE` (implies `--spans`) additionally exports a Chrome
+//! `trace_event` JSON file loadable in Perfetto or `chrome://tracing`.
+//! `--profile FILE` attaches a deterministic sampling profiler (every
+//! 4096 retired instructions; override with `--profile-interval N`)
+//! and writes the aggregated flamegraph-ready `.folded` stacks to
+//! `FILE`. Campaign cells run many different programs at overlapping
+//! layouts, so campaign-wide profiles render frames as raw `0x…`
+//! addresses; `fuzz --profile` produces the symbolized single-victim
+//! variant.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -50,8 +64,12 @@ use swsec::campaign::{
 };
 use swsec::faults::FaultyExperiment;
 use swsec::report::ExperimentId;
-use swsec_obs::jsonl::meta_line;
-use swsec_obs::{clear_default_sink, set_default_sink, EventMask, JsonlSink, MetricsRegistry};
+use swsec_obs::jsonl::{meta_line, span_line};
+use swsec_obs::{
+    clear_default_sink, set_default_sink, EventMask, JsonlSink, MetricsRegistry, SpanMask,
+    SymbolTable,
+};
+use swsec_vm::profile::{Profiler, DEFAULT_INTERVAL};
 
 fn main() {
     let mut cfg = CampaignConfig::default();
@@ -59,6 +77,10 @@ fn main() {
     let mut progress = false;
     let mut render_only = false;
     let mut fault_demo = false;
+    let mut spans = false;
+    let mut chrome_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
+    let mut profile_interval = DEFAULT_INTERVAL;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -102,12 +124,26 @@ fn main() {
             "--fault-demo" => fault_demo = true,
             "--no-fork-server" => cfg.fork_server = false,
             "--no-tier2" => swsec_vm::cpu::set_default_tier2(false),
+            "--spans" => spans = true,
+            "--chrome" => {
+                chrome_path = Some(args.next().expect("--chrome takes a path"));
+            }
+            "--profile" => {
+                profile_path = Some(args.next().expect("--profile takes a path"));
+            }
+            "--profile-interval" => {
+                profile_interval = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--profile-interval takes a number");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: campaign [--workers N] [--seed S] [--quick] [--only N]... \
                      [--progress] [--telemetry out.jsonl] [--render-only] [--fault-demo] \
-                     [--no-fork-server] [--no-tier2]"
+                     [--no-fork-server] [--no-tier2] [--spans] [--chrome out.json] \
+                     [--profile out.folded] [--profile-interval N]"
                 );
                 std::process::exit(2);
             }
@@ -124,6 +160,18 @@ fn main() {
         .union(EventMask::CELL);
 
     let mut telemetry = CampaignTelemetry::none();
+    if chrome_path.is_some() {
+        spans = true;
+    }
+    if spans {
+        telemetry = telemetry.with_spans(SpanMask::DEFAULT);
+    }
+    let profiler = profile_path
+        .as_ref()
+        .map(|_| Arc::new(Profiler::new(profile_interval)));
+    if let Some(prof) = &profiler {
+        telemetry = telemetry.with_profiler(prof.clone());
+    }
     let mut sink = None;
     if let Some(path) = telemetry_path.as_deref() {
         let file = File::create(path)
@@ -164,6 +212,11 @@ fn main() {
 
     if let Some((sink, registry)) = sink {
         clear_default_sink();
+        for (_, records) in &report.spans {
+            for record in records {
+                sink.write_line(&span_line(record));
+            }
+        }
         for line in registry.export_jsonl() {
             sink.write_line(&line);
         }
@@ -181,6 +234,19 @@ fn main() {
         );
     }
 
+    if let Some(path) = chrome_path.as_deref() {
+        let json = swsec_obs::span::chrome_trace(&report.spans, &[]);
+        std::fs::write(path, json)
+            .unwrap_or_else(|e| panic!("cannot write chrome trace {path}: {e}"));
+    }
+    if let (Some(path), Some(prof)) = (profile_path.as_deref(), &profiler) {
+        // Campaign cells run many different programs at overlapping
+        // layouts, so the aggregated profile stays at raw addresses —
+        // symbolizing against any one program's table would lie about
+        // all the others.
+        std::fs::write(path, prof.folded(&SymbolTable::empty()))
+            .unwrap_or_else(|e| panic!("cannot write profile {path}: {e}"));
+    }
     print!("{}", report.render());
     if !render_only {
         println!("{}", report.summary());

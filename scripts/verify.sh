@@ -27,7 +27,13 @@
 #      fixed seed and budget must rediscover the E2 stack smash, see
 #      zero fast-path-vs-baseline divergences, and render byte-identical
 #      reports at 1 and 4 workers (deterministic findings contract,
-#      DESIGN.md §11).
+#      DESIGN.md §11);
+#  10. trace smoke: a quick campaign with spans and the sampling
+#      profiler attached must render byte-identically to the plain run,
+#      stream span records and vm.prof.* metrics into the telemetry
+#      dump, export a structurally valid Chrome trace, and write a
+#      non-empty .folded profile; the fuzz --profile pass must produce
+#      a symbolized single-victim profile (DESIGN.md §13).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -147,6 +153,39 @@ grep -Eq "known exploit path rediscovered \(victim-smash\) +yes" \
 grep -Eq "fast-path vs baseline divergences +0[[:space:]]*$" \
     "$FUZZDIR/render_w1.txt" || {
     echo "verify: fuzz smoke saw fast-vs-baseline divergences" >&2
+    exit 1
+}
+
+echo "==> trace smoke"
+TRACEDIR="target/trace-smoke"
+mkdir -p "$TRACEDIR"
+# Spans and the profiler ride the telemetry channel, so the rendering
+# contract holds: the traced run's stdout is byte-identical to the
+# plain run's. Interval 256: quick-campaign attempts are short and the
+# sample countdown re-arms at every attempt boundary, so the stock
+# 4096 would record nothing.
+target/release/examples/campaign --quick --render-only \
+    --spans --chrome "$TRACEDIR/trace.json" \
+    --profile "$TRACEDIR/campaign.folded" --profile-interval 256 \
+    --telemetry "$TRACEDIR/campaign.jsonl" > "$TRACEDIR/render_traced.txt"
+cmp "$TELDIR/render_no_sink.txt" "$TRACEDIR/render_traced.txt" || {
+    echo "verify: render differs with spans+profiler attached" >&2
+    exit 1
+}
+target/release/telcheck "$TRACEDIR/campaign.jsonl" \
+    --require span:campaign --require span:cell --require span:boot \
+    --require "metric:vm.prof.*" \
+    --chrome "$TRACEDIR/trace.json"
+test -s "$TRACEDIR/campaign.folded" || {
+    echo "verify: campaign profile is empty" >&2
+    exit 1
+}
+# The single-victim profiling pass must symbolize: guest function
+# names in the folded stacks, not just raw addresses.
+target/release/fuzz --seed 9 --render-only \
+    --profile "$TRACEDIR/victim.folded" > /dev/null
+grep -q "main" "$TRACEDIR/victim.folded" || {
+    echo "verify: victim profile is empty or unsymbolized" >&2
     exit 1
 }
 

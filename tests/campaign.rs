@@ -196,6 +196,52 @@ fn event_sinks_change_no_render_byte_and_jsonl_captures_attacks() {
     assert!(pma_violations >= 1, "no PmaViolation event in the dump");
 }
 
+#[test]
+fn profiler_and_spans_are_deterministic_across_worker_counts() {
+    use swsec::campaign::run_campaign_with;
+    use swsec_obs::{SpanMask, SymbolTable};
+    use swsec_vm::profile::Profiler;
+
+    // Spans + profiler at 1 vs 4 workers: the render, the span tree
+    // and the folded profile must all be byte-identical — sequence
+    // clocks and retired-instruction sampling are functions of the
+    // seed, never of scheduling.
+    let mut cfg = determinism_config();
+    let mut runs = Vec::new();
+    for workers in [1usize, 4] {
+        cfg.workers = workers;
+        // A fine interval: the countdown re-arms at every attempt
+        // boundary (that is what makes fork == rebuild), so an
+        // attempt shorter than the interval contributes no samples.
+        let prof = Arc::new(Profiler::new(256));
+        let telemetry = CampaignTelemetry::none()
+            .with_spans(SpanMask::DEFAULT)
+            .with_profiler(prof.clone());
+        let report = run_campaign_with(&cfg, &telemetry);
+        assert!(report.all_ok());
+        assert!(report.vm.prof_samples > 0, "no samples at {workers} workers");
+        runs.push((
+            report.render(),
+            report.span_tree(),
+            prof.folded(&SymbolTable::empty()),
+        ));
+    }
+    assert_eq!(runs[0].0, runs[1].0, "render 1 vs 4 workers");
+    assert_eq!(runs[0].1, runs[1].1, "span tree 1 vs 4 workers");
+    assert_eq!(runs[0].2, runs[1].2, "folded profile 1 vs 4 workers");
+
+    // The tree has the campaign root, per-cell spans, and nested boot
+    // spans from the fork servers' launches.
+    assert!(runs[0].1.contains("campaign"));
+    assert!(runs[0].1.contains("cell E3"));
+    assert!(runs[0].1.contains("boot"));
+    assert!(!runs[0].2.is_empty());
+
+    // And attaching the hooks changed no render byte.
+    let baseline = run_campaign(&cfg).render();
+    assert_eq!(runs[0].0, baseline);
+}
+
 /// A deadline comfortably under the fault demo's ~2 s stall cell yet
 /// far above what any healthy quick cell needs in debug builds.
 fn fault_config(workers: usize) -> CampaignConfig {
