@@ -16,6 +16,19 @@
 //!
 //! The cache is sharded by key hash and safe to share across the
 //! campaign worker pool by reference.
+//!
+//! ## Bounded mode
+//!
+//! A batch campaign compiles a finite victim set and exits, so the
+//! default cache is unbounded. A long-lived service does not exit, and
+//! ASLR makes the key space effectively infinite (every distinct slide
+//! is a distinct `CompileOptions`): an unbounded memo would grow until
+//! the process dies. [`ProgramCache::bounded`] caps the table and
+//! evicts by generation clock — every hit stamps the entry with a
+//! fresh tick from a global counter, and an over-capacity insert
+//! removes the stalest entry in its shard (LRU, approximated per
+//! shard). Evictions are counted and surfaced as the
+//! `cache.evictions` metric.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -38,6 +51,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Sources parsed (front-end cache misses).
     pub parses: u64,
+    /// Entries evicted to stay under a bounded cache's capacity
+    /// (always `0` for unbounded caches).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -49,27 +65,90 @@ impl CacheStats {
 
 type ProgramKey = (String, CompileOptions);
 
+/// A cached compile artifact plus its last-use tick (only meaningful
+/// in bounded mode; unbounded caches never read it).
+#[derive(Debug)]
+struct Cached<T> {
+    value: Arc<T>,
+    last_use: u64,
+}
+
 /// A concurrent memo table from `(source, options)` to compiled
 /// images, plus a front-end memo from source text to parsed [`Program`]s.
 #[derive(Debug, Default)]
 pub struct ProgramCache {
-    programs: [Mutex<HashMap<ProgramKey, Arc<CompiledProgram>>>; SHARDS],
-    units: Mutex<HashMap<String, Arc<Program>>>,
+    programs: [Mutex<HashMap<ProgramKey, Cached<CompiledProgram>>>; SHARDS],
+    units: Mutex<HashMap<String, Cached<Program>>>,
+    /// Maximum compiled images held across all shards; `None` is
+    /// unbounded (the batch-campaign default).
+    capacity: Option<usize>,
+    /// Generation clock stamping entry use; strictly coarser than the
+    /// use order under contention, which only blurs *which* cold entry
+    /// is evicted, never whether capacity holds.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     parses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ProgramCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> ProgramCache {
         ProgramCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` compiled images (and
+    /// at most `capacity` parsed units), evicting least-recently-used
+    /// entries past that. A zero capacity is treated as `1`.
+    pub fn bounded(capacity: usize) -> ProgramCache {
+        ProgramCache {
+            capacity: Some(capacity.max(1)),
+            ..ProgramCache::default()
+        }
+    }
+
+    /// The compiled-image capacity, if this cache is bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     fn shard(key: &ProgramKey) -> usize {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         (h.finish() as usize) % SHARDS
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Evicts stalest entries from one (locked) table until it holds
+    /// at most `cap` entries. O(n) scans per eviction: bounded caches
+    /// are small by construction, and eviction rides the already-slow
+    /// compile path.
+    fn evict_to<K: Eq + Hash + Clone, T>(
+        &self,
+        map: &mut HashMap<K, Cached<T>>,
+        cap: usize,
+    ) {
+        while map.len() > cap {
+            let Some(stalest) = map
+                .iter()
+                .min_by_key(|(_, cached)| cached.last_use)
+                .map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            map.remove(&stalest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-shard share of the program capacity. Ceil so the shard caps
+    /// never sum below the requested total.
+    fn shard_cap(&self) -> Option<usize> {
+        self.capacity.map(|cap| cap.div_ceil(SHARDS).max(1))
     }
 
     /// The parsed AST for `source`, memoized.
@@ -79,19 +158,24 @@ impl ProgramCache {
     /// Returns the front-end error when `source` does not parse (the
     /// failure itself is not cached).
     pub fn unit(&self, source: &str) -> Result<Arc<Program>, CompileError> {
-        if let Some(unit) = self.units.lock().expect("cache lock").get(source) {
-            return Ok(Arc::clone(unit));
+        if let Some(unit) = self.units.lock().expect("cache lock").get_mut(source) {
+            unit.last_use = self.tick();
+            return Ok(Arc::clone(&unit.value));
         }
         let unit = swsec_minc::parse(source).map_err(|e| CompileError {
             message: format!("parse error: {e:?}"),
         })?;
         self.parses.fetch_add(1, Ordering::Relaxed);
         let unit = Arc::new(unit);
-        self.units
-            .lock()
-            .expect("cache lock")
-            .entry(source.to_string())
-            .or_insert_with(|| Arc::clone(&unit));
+        let last_use = self.tick();
+        let mut map = self.units.lock().expect("cache lock");
+        map.entry(source.to_string()).or_insert_with(|| Cached {
+            value: Arc::clone(&unit),
+            last_use,
+        });
+        if let Some(cap) = self.capacity {
+            self.evict_to(&mut map, cap.max(1));
+        }
         Ok(unit)
     }
 
@@ -114,9 +198,10 @@ impl ProgramCache {
         });
         let key = (source.to_string(), opts.clone());
         let shard = &self.programs[Self::shard(&key)];
-        if let Some(program) = shard.lock().expect("cache lock").get(&key) {
+        if let Some(cached) = shard.lock().expect("cache lock").get_mut(&key) {
+            cached.last_use = self.tick();
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(program));
+            return Ok(Arc::clone(&cached.value));
         }
         // Compile outside the shard lock so a slow compile does not
         // serialize the pool; a concurrent duplicate just loses the
@@ -124,9 +209,17 @@ impl ProgramCache {
         let unit = self.unit(source)?;
         let program = Arc::new(compile(&unit, opts)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let last_use = self.tick();
         let mut map = shard.lock().expect("cache lock");
-        let entry = map.entry(key).or_insert_with(|| Arc::clone(&program));
-        Ok(Arc::clone(entry))
+        let entry = map.entry(key).or_insert_with(|| Cached {
+            value: Arc::clone(&program),
+            last_use,
+        });
+        let result = Arc::clone(&entry.value);
+        if let Some(cap) = self.shard_cap() {
+            self.evict_to(&mut map, cap);
+        }
+        Ok(result)
     }
 
     /// Compile-and-launch through the cache: the cached analogue of
@@ -146,7 +239,8 @@ impl ProgramCache {
         loader::launch_compiled(&program, config, seed)
     }
 
-    /// Clears the memo tables (counters are kept).
+    /// Clears the memo tables (counters are kept; clearing is not
+    /// eviction).
     pub fn clear(&self) {
         for shard in &self.programs {
             shard.lock().expect("cache lock").clear();
@@ -160,6 +254,7 @@ impl ProgramCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             parses: self.parses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -189,6 +284,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.parses), (1, 1, 1));
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]
@@ -224,5 +320,65 @@ mod tests {
     fn parse_errors_propagate() {
         let cache = ProgramCache::new();
         assert!(cache.compile("int main( {", &CompileOptions::default()).is_err());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_counts() {
+        // Capacity 1: with 16 shards the per-shard cap is 1, so two
+        // distinct keys landing in the same shard force an eviction.
+        // Distinct ASLR slides of one source guarantee same-shard
+        // pressure eventually; drive enough keys that every shard
+        // exceeds its cap.
+        let cache = ProgramCache::bounded(1);
+        let config = DefenseConfig::modern(8);
+        for seed in 0..64u64 {
+            let opts = loader::plan_options(&config, seed);
+            cache.compile(ECHO, &opts).unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "no evictions at capacity 1: {stats:?}");
+        let held: usize = cache
+            .programs
+            .iter()
+            .map(|shard| shard.lock().unwrap().len())
+            .sum();
+        assert!(held <= SHARDS, "held {held} images over per-shard caps");
+        // The parsed-unit memo is capped too.
+        assert!(cache.units.lock().unwrap().len() <= 1);
+    }
+
+    #[test]
+    fn bounded_cache_keeps_the_hot_entry() {
+        // Capacity 32 = per-shard cap 2: a shard can hold the hot
+        // entry plus one cold one, so eviction has a genuine LRU
+        // choice to make (at cap 1 any insert evicts the only
+        // neighbour regardless of recency).
+        let cache = ProgramCache::bounded(32);
+        let hot = CompileOptions::default();
+        let first = cache.compile(ECHO, &hot).unwrap();
+        let config = DefenseConfig::modern(8);
+        for seed in 0..64u64 {
+            // Re-touch the hot entry between cold inserts: LRU must
+            // keep serving it from cache while the colds churn.
+            let opts = loader::plan_options(&config, seed);
+            cache.compile(ECHO, &opts).unwrap();
+            let again = cache.compile(ECHO, &hot).unwrap();
+            assert!(
+                Arc::ptr_eq(&first, &again),
+                "hot entry evicted at seed {seed}"
+            );
+        }
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ProgramCache::new();
+        let config = DefenseConfig::modern(8);
+        for seed in 0..64u64 {
+            let opts = loader::plan_options(&config, seed);
+            cache.compile(ECHO, &opts).unwrap();
+        }
+        assert_eq!(cache.stats().evictions, 0);
     }
 }

@@ -51,7 +51,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -72,7 +72,7 @@ use crate::report::{ExperimentId, Report, Table};
 /// slot), so a poisoned lock carries no torn state — propagating the
 /// poison would only turn one contained cell panic into a cascade that
 /// takes down every worker behind it.
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -84,11 +84,14 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// instructions — every shared instruction counted twice across their
 /// reports. Holding this lock across the window makes the windows
 /// disjoint, so the sum of concurrent campaigns' deltas never exceeds
-/// the true process total. (Cells leaked by the deadline watchdog can
-/// still retire instructions into a later window; that is inherent to
-/// abandoning running code and only ever *moves* counts, never
-/// duplicates them.) Poison-tolerant like every runner lock.
-static VM_STAT_GUARD: Mutex<()> = Mutex::new(());
+/// the true process total. Cells leaked by the deadline watchdog are
+/// kept out of later windows by quarantine: the watchdog flips the
+/// attempt's shared flag when it abandons it, and from then on the
+/// leaked thread's counter updates divert to the leaked bank
+/// ([`counters::leaked_snapshot`]) instead of the live totals.
+/// Poison-tolerant like every runner lock. Shared with the campaign
+/// service (`crate::serve`), whose rounds window the same globals.
+pub(crate) static VM_STAT_GUARD: Mutex<()> = Mutex::new(());
 
 /// Everything a campaign run depends on. One master seed drives every
 /// stochastic driver in the suite.
@@ -519,7 +522,8 @@ impl CampaignReport {
     ///
     /// * counters `campaign.runs`, `campaign.cells`, `campaign.workers`,
     ///   `campaign.cells_failed`, `campaign.cells_retried`,
-    ///   `cache.hits` / `cache.misses` / `cache.parses`, and
+    ///   `cache.hits` / `cache.misses` / `cache.parses` /
+    ///   `cache.evictions`, and
     ///   `vm.instructions` / `vm.icache.hits` / `vm.icache.misses` /
     ///   `vm.tlb.hits` / `vm.tlb.misses`,
     ///   `vm.tier2.blocks_compiled` / `vm.tier2.block_hits` /
@@ -547,6 +551,7 @@ impl CampaignReport {
         registry.counter("cache.hits", self.cache.hits);
         registry.counter("cache.misses", self.cache.misses);
         registry.counter("cache.parses", self.cache.parses);
+        registry.counter("cache.evictions", self.cache.evictions);
         registry.counter("vm.instructions", self.vm.instructions);
         registry.counter("vm.icache.hits", self.vm.icache_hits);
         registry.counter("vm.icache.misses", self.vm.icache_misses);
@@ -592,7 +597,7 @@ enum Attempt {
     TimedOut,
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -609,6 +614,15 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// runner cannot cancel arbitrary code, only stop waiting for it. A
 /// scoped thread would force the opposite choice: the scope's implicit
 /// join would block on the diverging cell forever.
+///
+/// Abandoning a thread is not the end of its side effects, so every
+/// attempt runs under a shared quarantine flag
+/// ([`counters::with_quarantine`]). The watchdog flips the flag the
+/// moment it gives up: from then on the leaked thread's machine drops,
+/// restores and profiler samples divert to the leaked counter bank
+/// instead of the live totals, and machines it builds afterwards skip
+/// the process-default sink and profiler — a timed-out cell cannot
+/// skew the `vm.*` deltas or telemetry of any later run.
 fn run_attempt(
     cfg: &Arc<CampaignConfig>,
     ctx: &Arc<CampaignCtx>,
@@ -620,6 +634,8 @@ fn run_attempt(
     let (tx, rx) = channel();
     let cfg2 = Arc::clone(cfg);
     let ctx2 = Arc::clone(ctx);
+    let abandoned = Arc::new(AtomicBool::new(false));
+    let quarantine = Arc::clone(&abandoned);
     let spawned = std::thread::Builder::new()
         .name(format!("cell-{}-{cell}", exp.id()))
         .spawn(move || {
@@ -636,10 +652,12 @@ fn run_attempt(
                 Some(prof) => swsec_vm::profile::with_thread_profiler(prof, body),
                 None => body(),
             };
-            let result = catch_unwind(AssertUnwindSafe(|| match recorder {
-                Some(rec) => span::with_recorder(rec, profiled),
-                None => profiled(),
-            }));
+            let result = counters::with_quarantine(quarantine, || {
+                catch_unwind(AssertUnwindSafe(|| match recorder {
+                    Some(rec) => span::with_recorder(rec, profiled),
+                    None => profiled(),
+                }))
+            });
             // The receiver may have given up on us (deadline): a failed
             // send is then the expected way for this thread to retire.
             let _ = tx.send(result.map_err(panic_message));
@@ -657,7 +675,13 @@ fn run_attempt(
             let _ = handle.join();
             Attempt::Panicked(msg)
         }
-        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Attempt::TimedOut,
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+            // Quarantine the thread we are about to leak *before*
+            // declaring the attempt dead, so no later window ever
+            // overlaps its remaining counter traffic.
+            abandoned.store(true, Ordering::Release);
+            Attempt::TimedOut
+        }
     }
 }
 

@@ -267,6 +267,22 @@ impl ForkServer {
         self
     }
 
+    /// Replaces the per-attempt fuel budget in place — the pooled
+    /// (lease/return) analogue of [`with_fuel`](Self::with_fuel). The
+    /// campaign service calls this when it re-arms a warm server for a
+    /// new tenant, so one tenant's fuel policy never bleeds into the
+    /// next lease.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Replaces the serve mode in place — the pooled analogue of
+    /// [`with_mode`](Self::with_mode), re-armed per lease like
+    /// [`set_fuel`](Self::set_fuel).
+    pub fn set_mode(&mut self, mode: ServeMode) {
+        self.mode = mode;
+    }
+
     /// Attaches (or with `None`, detaches) a security-event sink
     /// observing every attempt, in either [`ServeMode`]. Snapshots do
     /// not capture sinks, so the attachment survives every
@@ -288,6 +304,17 @@ impl ForkServer {
     pub fn set_profiler(&mut self, prof: Option<Arc<Profiler>>) {
         self.machine.set_profiler(prof.clone());
         self.profiler = prof;
+    }
+
+    /// Folds the resident machine's pending stats into the
+    /// process-wide VM counters (see
+    /// [`Machine::flush_counters`](swsec_vm::cpu::Machine::flush_counters)).
+    /// A server parked in a warm pool between service rounds is
+    /// flushed first, so every attempt it served is accounted inside
+    /// the round that ran it — not in whichever measurement window is
+    /// open when the server is finally dropped.
+    pub fn flush_counters(&mut self) {
+        self.machine.flush_counters();
     }
 
     /// The attached profiler, if any.

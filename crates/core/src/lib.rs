@@ -22,6 +22,9 @@
 //!   thousands of victim launches;
 //! * [`harness`] — the snapshot/restore fork server: boot a victim
 //!   once, serve every attack attempt in O(dirty pages);
+//! * [`serve`] — campaign-as-a-service: a long-lived job queue with
+//!   multi-tenant sessions, sharded warm fork-server pools, bounded
+//!   backpressure with typed shedding, and per-tenant determinism;
 //! * [`report`] — plain-text tables the drivers emit.
 //!
 //! ## Quick start
@@ -51,6 +54,7 @@ pub mod faults;
 pub mod harness;
 pub mod loader;
 pub mod report;
+pub mod serve;
 
 /// The names nearly every user of the laboratory needs.
 pub mod prelude {
@@ -66,5 +70,9 @@ pub mod prelude {
     pub use crate::experiments::{registry, Experiment};
     pub use crate::loader::{launch, Session};
     pub use crate::report::{ExperimentId, Report, Table};
+    pub use crate::serve::{
+        CampaignService, JobId, JobOutcome, JobSpec, JobStats, RejectReason, ServeConfig,
+        ServeTelemetry, ServeTotals, ServiceRound, TenantConfig, TenantId,
+    };
     pub use swsec_defenses::DefenseConfig;
 }

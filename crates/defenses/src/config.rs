@@ -13,7 +13,11 @@ use swsec_minc::HardenOptions;
 use crate::aslr::AslrConfig;
 
 /// One combination of deployed countermeasures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// `Hash` so a configuration can key warm-victim pools (the campaign
+/// service shards `ForkServer`s on `(program, CompileOptions,
+/// DefenseConfig)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct DefenseConfig {
     /// Compiler-emitted stack canaries.
     pub canary: bool,

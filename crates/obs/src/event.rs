@@ -208,6 +208,18 @@ pub enum SecurityEvent {
         /// The cell index within that experiment.
         cell: u32,
     },
+    /// The campaign service dropped a job under load: either shed from
+    /// a full queue to admit higher-priority work, or rejected at
+    /// submission (queue full, tenant over quota). Emitted by the
+    /// service's admission control, not the VM — graceful degradation
+    /// made observable, so a dashboard can see *whose* work was
+    /// sacrificed and when.
+    JobShed {
+        /// The shedding tenant's index within its service.
+        tenant: u32,
+        /// The tenant-local job index that was dropped.
+        job: u32,
+    },
 }
 
 impl SecurityEvent {
@@ -222,6 +234,7 @@ impl SecurityEvent {
             SecurityEvent::GuardCheck { .. } => "guard_check",
             SecurityEvent::Step { .. } => "step",
             SecurityEvent::CellFailed { .. } => "cell_failed",
+            SecurityEvent::JobShed { .. } => "job_shed",
         }
     }
 
@@ -236,6 +249,7 @@ impl SecurityEvent {
             SecurityEvent::GuardCheck { .. } => EventMask::GUARD,
             SecurityEvent::Step { .. } => EventMask::STEP,
             SecurityEvent::CellFailed { .. } => EventMask::CELL,
+            SecurityEvent::JobShed { .. } => EventMask::SHED,
         }
     }
 }
@@ -265,6 +279,9 @@ impl fmt::Display for SecurityEvent {
             SecurityEvent::CellFailed { experiment, cell } => {
                 write!(f, "campaign cell E{experiment}/{cell} failed")
             }
+            SecurityEvent::JobShed { tenant, job } => {
+                write!(f, "serve job {tenant}/{job} shed")
+            }
         }
     }
 }
@@ -275,8 +292,11 @@ impl fmt::Display for SecurityEvent {
 /// attached, and skips the construction *and* delivery of unwanted
 /// kinds — so a counting sink that ignores [`SecurityEvent::Step`]
 /// costs nothing per retired instruction.
+///
+/// `u16`-backed: the first eight bits are taken by the original
+/// taxonomy and the harness self-observation kinds keep growing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EventMask(pub u8);
+pub struct EventMask(pub u16);
 
 impl EventMask {
     /// No events at all.
@@ -297,6 +317,9 @@ impl EventMask {
     pub const STEP: EventMask = EventMask(1 << 6);
     /// Campaign cell failures (harness self-observation).
     pub const CELL: EventMask = EventMask(1 << 7);
+    /// Service jobs shed or rejected under load (harness
+    /// self-observation).
+    pub const SHED: EventMask = EventMask(1 << 8);
     /// Everything except [`EventMask::STEP`] — the default interest set.
     pub const DEFAULT: EventMask = EventMask(
         EventMask::CONTROL.0
@@ -305,7 +328,8 @@ impl EventMask {
             | EventMask::PMA.0
             | EventMask::SYSCALL.0
             | EventMask::GUARD.0
-            | EventMask::CELL.0,
+            | EventMask::CELL.0
+            | EventMask::SHED.0,
     );
     /// Every kind, including per-instruction steps.
     pub const ALL: EventMask = EventMask(EventMask::DEFAULT.0 | EventMask::STEP.0);
@@ -364,6 +388,9 @@ mod tests {
         let ev = SecurityEvent::CanaryTrip { ip: 0x1000 };
         assert!(EventMask::DEFAULT.contains(ev.mask_bit()));
         assert_eq!(ev.kind_name(), "canary_trip");
+        let shed = SecurityEvent::JobShed { tenant: 0, job: 3 };
+        assert!(EventMask::DEFAULT.contains(shed.mask_bit()));
+        assert_eq!(shed.kind_name(), "job_shed");
     }
 
     #[test]

@@ -102,6 +102,9 @@ pub fn event_line(event: &SecurityEvent) -> String {
         SecurityEvent::CellFailed { experiment, cell } => obj
             .u64("experiment", u64::from(experiment))
             .u64("cell", u64::from(cell)),
+        SecurityEvent::JobShed { tenant, job } => obj
+            .u64("tenant", u64::from(tenant))
+            .u64("job", u64::from(job)),
     };
     obj.render()
 }
@@ -273,6 +276,10 @@ fn parse_event(v: &Json) -> Result<SecurityEvent, LineError> {
             experiment: field_u8(v, "experiment")?,
             cell: field_u32(v, "cell")?,
         }),
+        "job_shed" => Ok(SecurityEvent::JobShed {
+            tenant: field_u32(v, "tenant")?,
+            job: field_u32(v, "job")?,
+        }),
         other => Err(LineError::Schema(format!("unknown event kind {other:?}"))),
     }
 }
@@ -376,6 +383,7 @@ mod tests {
                 experiment: 16,
                 cell: 7,
             },
+            SecurityEvent::JobShed { tenant: 1, job: 42 },
         ]
     }
 

@@ -183,6 +183,7 @@ pub struct CountingSink {
     guard: AtomicU64,
     step: AtomicU64,
     cell_failed: AtomicU64,
+    job_shed: AtomicU64,
 }
 
 /// A point-in-time copy of a [`CountingSink`]'s totals.
@@ -204,6 +205,8 @@ pub struct EventCounts {
     pub step: u64,
     /// Campaign cell failures seen.
     pub cell_failed: u64,
+    /// Service jobs shed or rejected seen.
+    pub job_shed: u64,
 }
 
 impl EventCounts {
@@ -217,6 +220,7 @@ impl EventCounts {
             + self.guard
             + self.step
             + self.cell_failed
+            + self.job_shed
     }
 }
 
@@ -237,6 +241,7 @@ impl CountingSink {
             guard: self.guard.load(Ordering::Relaxed),
             step: self.step.load(Ordering::Relaxed),
             cell_failed: self.cell_failed.load(Ordering::Relaxed),
+            job_shed: self.job_shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -252,6 +257,7 @@ impl EventSink for CountingSink {
             SecurityEvent::GuardCheck { .. } => &self.guard,
             SecurityEvent::Step { .. } => &self.step,
             SecurityEvent::CellFailed { .. } => &self.cell_failed,
+            SecurityEvent::JobShed { .. } => &self.job_shed,
         };
         cell.fetch_add(1, Ordering::Relaxed);
     }

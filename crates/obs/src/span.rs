@@ -60,8 +60,10 @@ impl SpanMask {
     pub const RESTORE: SpanMask = SpanMask(1 << 5);
     /// A guest `run` window. High volume.
     pub const EXECUTE: SpanMask = SpanMask(1 << 6);
+    /// One service job ([`SpanKind::Job`]).
+    pub const JOB: SpanMask = SpanMask(1 << 7);
     /// Every kind.
-    pub const ALL: SpanMask = SpanMask(0x7f);
+    pub const ALL: SpanMask = SpanMask(0xff);
     /// The default interest set: lifecycle structure without the
     /// per-attempt flood (`ATTEMPT`/`RESTORE`/`EXECUTE` are opt-in —
     /// at ~10⁶ attempts/s they dominate the recording, not the story).
@@ -99,6 +101,9 @@ pub enum SpanKind {
     Restore,
     /// A guest `run` window.
     Execute,
+    /// One campaign-service job: every attempt, restore and execute a
+    /// leased fork server performs for one tenant request.
+    Job,
 }
 
 impl SpanKind {
@@ -113,6 +118,7 @@ impl SpanKind {
             SpanKind::Boot => "boot",
             SpanKind::Restore => "restore",
             SpanKind::Execute => "execute",
+            SpanKind::Job => "job",
         }
     }
 
@@ -127,6 +133,7 @@ impl SpanKind {
             SpanKind::Boot => SpanMask::BOOT,
             SpanKind::Restore => SpanMask::RESTORE,
             SpanKind::Execute => SpanMask::EXECUTE,
+            SpanKind::Job => SpanMask::JOB,
         }
     }
 }

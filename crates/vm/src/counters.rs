@@ -11,27 +11,151 @@
 //! parallel all contribute), so only *deltas* between snapshots are
 //! meaningful, and they belong in run *metadata* (the campaign
 //! summary), never in deterministic report bodies.
+//!
+//! ## Quarantine: detaching watchdog-abandoned threads
+//!
+//! The campaign runner contains misbehaving cells with a deadline
+//! watchdog; a timed-out attempt's thread cannot be killed, only
+//! *abandoned* — it keeps running (and keeps dropping machines) after
+//! its campaign has resolved. Without intervention those zombie drops
+//! would land in the live totals and skew the `vm.*` deltas of every
+//! *later* campaign or service job sharing the process.
+//!
+//! The fix is a per-thread quarantine flag: the watchdog hands each
+//! attempt thread a shared [`AtomicBool`] via [`with_quarantine`], and
+//! flips it when it gives up on the attempt. From that moment every
+//! counter update made by the abandoned thread is diverted into a
+//! separate **leaked** bank, visible through [`leaked_snapshot`] but
+//! excluded from [`snapshot`] — the live totals a healthy run windows
+//! over. The flag is checked with one relaxed load per *machine event*
+//! (drop/snapshot/restore/sample), not per instruction, so the hot
+//! path is untouched.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::trace::ExecStats;
 
-static INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
-static ICACHE_HITS: AtomicU64 = AtomicU64::new(0);
-static ICACHE_MISSES: AtomicU64 = AtomicU64::new(0);
-static TLB_HITS: AtomicU64 = AtomicU64::new(0);
-static TLB_MISSES: AtomicU64 = AtomicU64::new(0);
-static TIER2_COMPILED: AtomicU64 = AtomicU64::new(0);
-static TIER2_HITS: AtomicU64 = AtomicU64::new(0);
-static TIER2_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
-static TIER2_SIDE_EXITS: AtomicU64 = AtomicU64::new(0);
-static TIER2_INVALIDATIONS: AtomicU64 = AtomicU64::new(0);
-static SNAPSHOTS: AtomicU64 = AtomicU64::new(0);
-static RESTORES: AtomicU64 = AtomicU64::new(0);
-static RESTORE_DIRTY_PAGES: AtomicU64 = AtomicU64::new(0);
-static RESTORE_BYTES: AtomicU64 = AtomicU64::new(0);
-static PROF_SAMPLES: AtomicU64 = AtomicU64::new(0);
-static PROF_FRAMES: AtomicU64 = AtomicU64::new(0);
+/// One full set of the sixteen VM counters. Two instances exist: the
+/// live bank (healthy threads) and the leaked bank (threads abandoned
+/// by a deadline watchdog).
+struct Bank {
+    instructions: AtomicU64,
+    icache_hits: AtomicU64,
+    icache_misses: AtomicU64,
+    tlb_hits: AtomicU64,
+    tlb_misses: AtomicU64,
+    tier2_compiled: AtomicU64,
+    tier2_hits: AtomicU64,
+    tier2_instructions: AtomicU64,
+    tier2_side_exits: AtomicU64,
+    tier2_invalidations: AtomicU64,
+    snapshots: AtomicU64,
+    restores: AtomicU64,
+    restore_dirty_pages: AtomicU64,
+    restore_bytes: AtomicU64,
+    prof_samples: AtomicU64,
+    prof_frames: AtomicU64,
+}
+
+impl Bank {
+    const fn new() -> Bank {
+        Bank {
+            instructions: AtomicU64::new(0),
+            icache_hits: AtomicU64::new(0),
+            icache_misses: AtomicU64::new(0),
+            tlb_hits: AtomicU64::new(0),
+            tlb_misses: AtomicU64::new(0),
+            tier2_compiled: AtomicU64::new(0),
+            tier2_hits: AtomicU64::new(0),
+            tier2_instructions: AtomicU64::new(0),
+            tier2_side_exits: AtomicU64::new(0),
+            tier2_invalidations: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
+            restore_dirty_pages: AtomicU64::new(0),
+            restore_bytes: AtomicU64::new(0),
+            prof_samples: AtomicU64::new(0),
+            prof_frames: AtomicU64::new(0),
+        }
+    }
+
+    fn read(&self) -> VmCounters {
+        VmCounters {
+            instructions: self.instructions.load(Ordering::Relaxed),
+            icache_hits: self.icache_hits.load(Ordering::Relaxed),
+            icache_misses: self.icache_misses.load(Ordering::Relaxed),
+            tlb_hits: self.tlb_hits.load(Ordering::Relaxed),
+            tlb_misses: self.tlb_misses.load(Ordering::Relaxed),
+            tier2_compiled: self.tier2_compiled.load(Ordering::Relaxed),
+            tier2_hits: self.tier2_hits.load(Ordering::Relaxed),
+            tier2_instructions: self.tier2_instructions.load(Ordering::Relaxed),
+            tier2_side_exits: self.tier2_side_exits.load(Ordering::Relaxed),
+            tier2_invalidations: self.tier2_invalidations.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            restores: self.restores.load(Ordering::Relaxed),
+            restore_dirty_pages: self.restore_dirty_pages.load(Ordering::Relaxed),
+            restore_bytes: self.restore_bytes.load(Ordering::Relaxed),
+            prof_samples: self.prof_samples.load(Ordering::Relaxed),
+            prof_frames: self.prof_frames.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Healthy-thread totals: what [`snapshot`] reads.
+static LIVE: Bank = Bank::new();
+/// Contributions diverted from watchdog-abandoned threads.
+static LEAKED: Bank = Bank::new();
+
+thread_local! {
+    /// The quarantine flag the current thread's containment harness
+    /// installed, if any. Shared with the watchdog that may abandon
+    /// this thread.
+    static QUARANTINE: RefCell<Option<Arc<AtomicBool>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `flag` installed as this thread's quarantine flag,
+/// restoring the previous flag afterwards (unwind-safe: the guard
+/// restores on panic too, so `catch_unwind` harnesses compose).
+///
+/// While the flag reads `true`, every VM counter update made by this
+/// thread — machine drops, snapshots, restores, profiler samples — is
+/// diverted to the leaked bank instead of the live totals. Containment
+/// harnesses (the campaign watchdog, the serve job runner) install the
+/// flag before running untrusted cell code and flip it when they give
+/// the attempt up for dead.
+pub fn with_quarantine<R>(flag: Arc<AtomicBool>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<AtomicBool>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            QUARANTINE.with(|q| *q.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = QUARANTINE.with(|q| q.borrow_mut().replace(flag));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Whether the current thread has been abandoned by its watchdog (its
+/// installed quarantine flag reads `true`). Threads with no installed
+/// flag are never quarantined.
+pub fn thread_quarantined() -> bool {
+    QUARANTINE.with(|q| {
+        q.borrow()
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Acquire))
+    })
+}
+
+/// The bank the current thread's updates belong in.
+fn bank() -> &'static Bank {
+    if thread_quarantined() {
+        &LEAKED
+    } else {
+        &LIVE
+    }
+}
 
 /// A point-in-time reading of the process-wide VM counters.
 ///
@@ -129,62 +253,62 @@ fn rate(hits: u64, misses: u64) -> Option<f64> {
     (total > 0).then(|| hits as f64 / total as f64)
 }
 
-/// Reads the current process-wide totals.
+/// Reads the current process-wide totals from healthy threads.
+/// Contributions diverted from quarantined (watchdog-abandoned)
+/// threads are excluded; see [`leaked_snapshot`].
 pub fn snapshot() -> VmCounters {
-    VmCounters {
-        instructions: INSTRUCTIONS.load(Ordering::Relaxed),
-        icache_hits: ICACHE_HITS.load(Ordering::Relaxed),
-        icache_misses: ICACHE_MISSES.load(Ordering::Relaxed),
-        tlb_hits: TLB_HITS.load(Ordering::Relaxed),
-        tlb_misses: TLB_MISSES.load(Ordering::Relaxed),
-        tier2_compiled: TIER2_COMPILED.load(Ordering::Relaxed),
-        tier2_hits: TIER2_HITS.load(Ordering::Relaxed),
-        tier2_instructions: TIER2_INSTRUCTIONS.load(Ordering::Relaxed),
-        tier2_side_exits: TIER2_SIDE_EXITS.load(Ordering::Relaxed),
-        tier2_invalidations: TIER2_INVALIDATIONS.load(Ordering::Relaxed),
-        snapshots: SNAPSHOTS.load(Ordering::Relaxed),
-        restores: RESTORES.load(Ordering::Relaxed),
-        restore_dirty_pages: RESTORE_DIRTY_PAGES.load(Ordering::Relaxed),
-        restore_bytes: RESTORE_BYTES.load(Ordering::Relaxed),
-        prof_samples: PROF_SAMPLES.load(Ordering::Relaxed),
-        prof_frames: PROF_FRAMES.load(Ordering::Relaxed),
-    }
+    LIVE.read()
+}
+
+/// Reads the totals diverted from quarantined threads — machines still
+/// being driven by attempts a deadline watchdog gave up on. Monotone,
+/// like [`snapshot`]; a growing delta here is proof a leaked cell is
+/// still burning cycles, and the live totals staying clean is the
+/// detachment contract.
+pub fn leaked_snapshot() -> VmCounters {
+    LEAKED.read()
 }
 
 /// Counts one machine snapshot. Called from `Machine::snapshot`.
 pub(crate) fn note_snapshot() {
-    SNAPSHOTS.fetch_add(1, Ordering::Relaxed);
+    bank().snapshots.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Counts one profiler sample and its recorded stack depth. Called
 /// from the machine's (cold) sample path.
 pub(crate) fn note_prof_sample(frames: u64) {
-    PROF_SAMPLES.fetch_add(1, Ordering::Relaxed);
-    PROF_FRAMES.fetch_add(frames, Ordering::Relaxed);
+    let bank = bank();
+    bank.prof_samples.fetch_add(1, Ordering::Relaxed);
+    bank.prof_frames.fetch_add(frames, Ordering::Relaxed);
 }
 
 /// Counts one machine restore and what it copied. Called from
 /// `Machine::restore_from`.
 pub(crate) fn note_restore(dirty_pages: u64, bytes: u64) {
-    RESTORES.fetch_add(1, Ordering::Relaxed);
-    RESTORE_DIRTY_PAGES.fetch_add(dirty_pages, Ordering::Relaxed);
-    RESTORE_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    let bank = bank();
+    bank.restores.fetch_add(1, Ordering::Relaxed);
+    bank.restore_dirty_pages.fetch_add(dirty_pages, Ordering::Relaxed);
+    bank.restore_bytes.fetch_add(bytes, Ordering::Relaxed);
 }
 
 /// Folds one machine's lifetime stats into the global totals. Called
 /// from `Machine::drop`; cheap (a handful of relaxed adds per machine,
 /// not per instruction).
 pub(crate) fn absorb(stats: &ExecStats) {
-    INSTRUCTIONS.fetch_add(stats.instructions, Ordering::Relaxed);
-    ICACHE_HITS.fetch_add(stats.icache_hits, Ordering::Relaxed);
-    ICACHE_MISSES.fetch_add(stats.icache_misses, Ordering::Relaxed);
-    TLB_HITS.fetch_add(stats.tlb_hits, Ordering::Relaxed);
-    TLB_MISSES.fetch_add(stats.tlb_misses, Ordering::Relaxed);
-    TIER2_COMPILED.fetch_add(stats.tier2_compiled, Ordering::Relaxed);
-    TIER2_HITS.fetch_add(stats.tier2_hits, Ordering::Relaxed);
-    TIER2_INSTRUCTIONS.fetch_add(stats.tier2_instructions, Ordering::Relaxed);
-    TIER2_SIDE_EXITS.fetch_add(stats.tier2_side_exits, Ordering::Relaxed);
-    TIER2_INVALIDATIONS.fetch_add(stats.tier2_invalidations, Ordering::Relaxed);
+    let bank = bank();
+    bank.instructions.fetch_add(stats.instructions, Ordering::Relaxed);
+    bank.icache_hits.fetch_add(stats.icache_hits, Ordering::Relaxed);
+    bank.icache_misses.fetch_add(stats.icache_misses, Ordering::Relaxed);
+    bank.tlb_hits.fetch_add(stats.tlb_hits, Ordering::Relaxed);
+    bank.tlb_misses.fetch_add(stats.tlb_misses, Ordering::Relaxed);
+    bank.tier2_compiled.fetch_add(stats.tier2_compiled, Ordering::Relaxed);
+    bank.tier2_hits.fetch_add(stats.tier2_hits, Ordering::Relaxed);
+    bank.tier2_instructions
+        .fetch_add(stats.tier2_instructions, Ordering::Relaxed);
+    bank.tier2_side_exits
+        .fetch_add(stats.tier2_side_exits, Ordering::Relaxed);
+    bank.tier2_invalidations
+        .fetch_add(stats.tier2_invalidations, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -267,5 +391,63 @@ mod tests {
         assert!(delta.instructions >= 5);
         assert!(delta.icache_hits >= 3);
         assert!(delta.tlb_misses >= 2);
+    }
+
+    #[test]
+    fn quarantined_updates_divert_to_the_leaked_bank() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let live_before = snapshot();
+        let leaked_before = leaked_snapshot();
+        with_quarantine(Arc::clone(&flag), || {
+            // Flag clear: the thread is contained but healthy, so its
+            // updates stay live.
+            assert!(!thread_quarantined());
+            absorb(&ExecStats {
+                instructions: 7,
+                ..ExecStats::default()
+            });
+            // The watchdog gives this attempt up: from here on, every
+            // update is diverted.
+            flag.store(true, Ordering::Release);
+            assert!(thread_quarantined());
+            absorb(&ExecStats {
+                instructions: 1_000_000_011,
+                ..ExecStats::default()
+            });
+            note_snapshot();
+            note_restore(3, 4096);
+            note_prof_sample(5);
+        });
+        // The scope is over: the flag no longer applies to this thread.
+        assert!(!thread_quarantined());
+        let live = snapshot().since(live_before);
+        let leaked = leaked_snapshot().since(leaked_before);
+        // The healthy prefix landed live (parallel tests may add more).
+        assert!(live.instructions >= 7);
+        // The post-abandonment burst landed leaked, not live: the live
+        // delta stays below the diverted amount even with every other
+        // test in the process contributing.
+        assert!(live.instructions < 1_000_000_011);
+        assert!(leaked.instructions >= 1_000_000_011);
+        assert!(leaked.snapshots >= 1);
+        assert!(leaked.restores >= 1);
+        assert!(leaked.restore_dirty_pages >= 3);
+        assert!(leaked.prof_samples >= 1);
+        assert!(leaked.prof_frames >= 5);
+    }
+
+    #[test]
+    fn quarantine_scopes_nest_and_restore() {
+        let outer = Arc::new(AtomicBool::new(true));
+        let inner = Arc::new(AtomicBool::new(false));
+        with_quarantine(Arc::clone(&outer), || {
+            assert!(thread_quarantined());
+            with_quarantine(Arc::clone(&inner), || {
+                // The innermost flag wins while installed.
+                assert!(!thread_quarantined());
+            });
+            assert!(thread_quarantined());
+        });
+        assert!(!thread_quarantined());
     }
 }

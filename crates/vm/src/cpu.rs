@@ -399,16 +399,30 @@ impl Machine {
     /// automatically, so telemetry captures events from machines
     /// created deep inside experiment code. Likewise a process-wide
     /// default profiler ([`crate::profile::set_default_profiler`]).
+    ///
+    /// Exception: on a quarantined thread — one a containment watchdog
+    /// has abandoned, [`crate::counters::thread_quarantined`] — neither
+    /// default is attached. A leaked attempt must not stream events or
+    /// samples into whatever sink a *later* run has installed.
     pub fn new() -> Machine {
         let fast_path = default_fast_path();
         let mut mem = Memory::new();
         mem.set_fast_path(fast_path);
-        let sink = swsec_obs::default_sink();
+        let quarantined = crate::counters::thread_quarantined();
+        let sink = if quarantined {
+            None
+        } else {
+            swsec_obs::default_sink()
+        };
         let sink_mask = sink
             .as_ref()
             .map(|s| s.interests())
             .unwrap_or(EventMask::NONE);
-        let prof = crate::profile::default_profiler();
+        let prof = if quarantined {
+            None
+        } else {
+            crate::profile::default_profiler()
+        };
         let prof_countdown = prof.as_ref().map_or(u64::MAX, |p| p.countdown_init());
         Machine {
             regs: [0; NUM_REGS],
@@ -2167,6 +2181,21 @@ impl Machine {
             let _ = trace.take();
         }
         restore
+    }
+
+    /// Folds the stats accumulated since the last restore (or flush,
+    /// or construction) into the process-wide
+    /// [`counters`](crate::counters) and zeroes them — the same
+    /// discipline [`restore_from`](Machine::restore_from) and `Drop`
+    /// apply, available at an explicit boundary. Long-lived machines
+    /// (a parked fork server between service rounds) call this so
+    /// their final attempt's counters land inside the round's
+    /// measurement window instead of escaping into whichever window is
+    /// open when the machine is eventually dropped.
+    pub fn flush_counters(&mut self) {
+        crate::counters::absorb(&self.stats());
+        self.stats = ExecStats::default();
+        self.mem.reset_tlb_counts();
     }
 }
 

@@ -13,10 +13,12 @@
 # attempts/sec on three harness workloads (aslr-bruteforce,
 # canary-oracle, and fuzz-replay — a pre-mutated swsec-fuzz corpus
 # served through the victim target) through the fork server vs
-# per-attempt rebuild, plus campaign wall time. It fails if the
-# tight-loop speedup drops below 5x or any harness speedup below 10x;
-# --smoke runs the same workloads (harness ones included) at reduced
-# sizes with a >1x floor.
+# per-attempt rebuild, one campaign-service round (2000 simulated
+# tenants behind the job queue, fork-served vs rebuilt, with p50/p99
+# job latency), plus campaign wall time. It fails if the tight-loop
+# speedup drops below 5x, any harness speedup below 10x, or the
+# service speedup below 5x; --smoke runs the same workloads (harness
+# and service ones included) at reduced sizes with a >1x floor.
 #
 # It also re-times the tight loop with event sinks attached (the
 # telemetry overhead guard): an attached sink with no interests must

@@ -33,7 +33,13 @@
 #      stream span records and vm.prof.* metrics into the telemetry
 #      dump, export a structurally valid Chrome trace, and write a
 #      non-empty .folded profile; the fuzz --profile pass must produce
-#      a symbolized single-victim profile (DESIGN.md §13).
+#      a symbolized single-victim profile (DESIGN.md §13);
+#  11. service smoke: a two-tenant campaign-service round must render
+#      byte-identically at 1 vs 4 workers and fork-served vs rebuilt,
+#      stream serve.* metrics and job spans into its telemetry dump,
+#      never shed when the queue has room, and exit non-zero under
+#      --saturate with typed shed/rejected outcomes in the report and
+#      job_shed events in the telemetry (DESIGN.md §14).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -188,5 +194,50 @@ grep -q "main" "$TRACEDIR/victim.folded" || {
     echo "verify: victim profile is empty or unsymbolized" >&2
     exit 1
 }
+
+echo "==> service smoke"
+cargo build -q --release --offline --example serve
+SERVEDIR="target/serve-smoke"
+mkdir -p "$SERVEDIR"
+# The per-tenant report is architectural data: worker count and serve
+# mode must not change a byte of it.
+target/release/examples/serve --tenants 2 --jobs 4 --workers 1 --render-only \
+    > "$SERVEDIR/render_w1.txt"
+target/release/examples/serve --tenants 2 --jobs 4 --workers 4 --render-only \
+    --telemetry "$SERVEDIR/serve.jsonl" > "$SERVEDIR/render_w4.txt"
+target/release/examples/serve --tenants 2 --jobs 4 --workers 4 --rebuild \
+    --render-only > "$SERVEDIR/render_rebuild.txt"
+cmp "$SERVEDIR/render_w1.txt" "$SERVEDIR/render_w4.txt" || {
+    echo "verify: service render differs across worker counts" >&2
+    exit 1
+}
+cmp "$SERVEDIR/render_w1.txt" "$SERVEDIR/render_rebuild.txt" || {
+    echo "verify: service render differs between fork and rebuild serving" >&2
+    exit 1
+}
+# An idle-capacity run must not degrade anyone (shed-when-idle is the
+# bug class this step pins down), and the round's telemetry must carry
+# the service metrics and one job span per job.
+if grep -Eq "shed|rejected" "$SERVEDIR/render_w1.txt"; then
+    echo "verify: service shed or rejected jobs with queue capacity to spare" >&2
+    exit 1
+fi
+target/release/telcheck "$SERVEDIR/serve.jsonl" \
+    --require "metric:serve.rounds" --require "metric:serve.attempts" \
+    --require "metric:serve.pool.hits" --require "metric:cache.hits" \
+    --require span:job --require meta
+# Saturation: a queue sized under the load must shed/reject with typed
+# outcomes, emit job_shed telemetry, and make the run exit non-zero.
+if target/release/examples/serve --tenants 3 --jobs 6 --saturate \
+    --telemetry "$SERVEDIR/saturate.jsonl" \
+    > "$SERVEDIR/render_saturate.txt" 2> "$SERVEDIR/saturate.err"; then
+    echo "verify: --saturate must exit non-zero on degraded service" >&2
+    exit 1
+fi
+grep -Eq "shed|rejected" "$SERVEDIR/render_saturate.txt" || {
+    echo "verify: saturated service reported no typed shed/rejected outcomes" >&2
+    exit 1
+}
+target/release/telcheck "$SERVEDIR/saturate.jsonl" --require job_shed
 
 echo "verify: all checks passed"

@@ -1,0 +1,238 @@
+//! Campaign-service contract: per-tenant renders are byte-identical
+//! at any worker count and in either serve mode, admission control is
+//! typed and observable, quota slots free as the queue drains, the
+//! round's telemetry window carries `serve.*` metrics and Job spans,
+//! and a watchdog-abandoned job's counter traffic diverts to the
+//! leaked bank instead of skewing later rounds' VM windows.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use swsec::attacker::VICTIM_SMASH;
+use swsec::serve::{
+    CampaignService, JobOutcome, JobSpec, RejectReason, ServeConfig, ServeTelemetry, TenantConfig,
+};
+use swsec_defenses::DefenseConfig;
+use swsec_obs::{
+    clear_default_sink, set_default_sink, CountingSink, MetricsRegistry, SpanKind, SpanMask,
+};
+
+fn tenant(name: &str, seed: u64, priority: u8, quota: usize) -> TenantConfig {
+    TenantConfig {
+        name: name.to_string(),
+        seed,
+        priority,
+        quota,
+    }
+}
+
+fn spec(config: DefenseConfig) -> JobSpec {
+    JobSpec {
+        source: VICTIM_SMASH.to_string(),
+        config,
+        attempts: 12,
+        max_input: 48,
+    }
+}
+
+/// Two tenants with different defense stacks (so the pool holds more
+/// than one key), three jobs each, one round.
+fn two_tenant_render(workers: usize, fork_server: bool) -> String {
+    let mut svc = CampaignService::new(ServeConfig {
+        workers,
+        fork_server,
+        ..ServeConfig::default()
+    });
+    let alice = svc.register_tenant(tenant("alice", 0xA11CE, 2, 16));
+    let bob = svc.register_tenant(tenant("bob", 0xB0B, 1, 16));
+    for _ in 0..3 {
+        svc.submit(alice, spec(DefenseConfig::none())).unwrap();
+        svc.submit(bob, spec(DefenseConfig::modern(8))).unwrap();
+    }
+    let round = svc.run();
+    assert_eq!(round.jobs, 6);
+    assert_eq!(round.totals.jobs_done, 6);
+    svc.render()
+}
+
+#[test]
+fn renders_are_byte_identical_across_workers_and_serve_modes() {
+    let baseline = two_tenant_render(1, true);
+    assert_eq!(baseline, two_tenant_render(4, true), "1 vs 4 workers");
+    assert_eq!(baseline, two_tenant_render(1, false), "fork vs rebuild");
+    assert_eq!(
+        baseline,
+        two_tenant_render(4, false),
+        "4 workers, rebuild"
+    );
+    assert!(baseline.contains("tenant alice"));
+    assert!(baseline.contains("tenant bob"));
+    assert!(baseline.contains("done"));
+}
+
+#[test]
+fn quota_slots_free_as_the_queue_drains() {
+    let mut svc = CampaignService::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let t = svc.register_tenant(tenant("t", 9, 1, 2));
+    svc.submit(t, spec(DefenseConfig::none())).unwrap();
+    svc.submit(t, spec(DefenseConfig::none())).unwrap();
+    assert_eq!(
+        svc.submit(t, spec(DefenseConfig::none())).unwrap_err(),
+        RejectReason::QuotaExceeded { quota: 2 }
+    );
+    svc.run();
+    // The round drained the tenant's backlog: quota capacity is free
+    // again, and the previously rejected job stays recorded.
+    let d = svc.submit(t, spec(DefenseConfig::none())).unwrap();
+    svc.run();
+    assert!(svc.outcome(d).unwrap().is_ok());
+    let render = svc.render_tenant(t);
+    assert!(render.contains("rejected(quota)"));
+    assert_eq!(svc.totals().jobs_rejected, 1);
+    assert_eq!(svc.totals().jobs_done, 3);
+}
+
+#[test]
+fn shed_and_rejected_jobs_reach_the_default_sink() {
+    // The only test in this binary that sheds while a default sink is
+    // installed, so the counts are unambiguous even though the sink is
+    // process-global.
+    let sink = Arc::new(CountingSink::new());
+    set_default_sink(sink.clone());
+    let mut svc = CampaignService::new(ServeConfig {
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+    let low = svc.register_tenant(tenant("low", 1, 0, 8));
+    let high = svc.register_tenant(tenant("high", 2, 7, 8));
+    let victim = svc.submit(low, spec(DefenseConfig::none())).unwrap();
+    let kept = svc.submit(high, spec(DefenseConfig::none())).unwrap();
+    let refused = svc.submit(high, spec(DefenseConfig::none()));
+    clear_default_sink();
+    assert_eq!(svc.outcome(victim), Some(JobOutcome::Shed));
+    assert_eq!(svc.outcome(kept), Some(JobOutcome::Pending));
+    assert_eq!(
+        refused.unwrap_err(),
+        RejectReason::QueueFull { capacity: 1 }
+    );
+    // One JobShed for the shed victim, one for the rejected arrival.
+    assert_eq!(sink.counts().job_shed, 2);
+}
+
+#[test]
+fn round_telemetry_exports_serve_metrics_and_job_spans() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let telemetry = ServeTelemetry {
+        metrics: Some(registry.clone()),
+        spans: Some(SpanMask::ALL),
+        profiler: None,
+    };
+    let mut svc = CampaignService::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let t = svc.register_tenant(tenant("t", 3, 1, 8));
+    for _ in 0..2 {
+        svc.submit(t, spec(DefenseConfig::none())).unwrap();
+    }
+    let round = svc.run_with(&telemetry);
+
+    assert_eq!(registry.counter_value("serve.rounds"), 1);
+    assert_eq!(registry.counter_value("serve.jobs_submitted"), 2);
+    assert_eq!(registry.counter_value("serve.jobs_done"), 2);
+    assert_eq!(registry.counter_value("serve.attempts"), 24);
+    assert!(registry.counter_value("vm.instructions") > 0);
+    assert!(
+        registry.counter_value("cache.hits") + registry.counter_value("cache.misses") > 0,
+        "the round must have touched the compile cache"
+    );
+    // Metric export must carry the job-latency histogram too.
+    let exported = registry.export_jsonl().join("\n");
+    assert!(exported.contains("serve.job_micros.count"));
+
+    // One root span on track 0, one Job span per job on tracks 1..
+    assert!(round.spans.iter().any(|(track, _)| *track == 0));
+    let jobs: usize = round
+        .spans
+        .iter()
+        .flat_map(|(_, records)| records)
+        .filter(|r| r.kind == SpanKind::Job)
+        .count();
+    assert_eq!(jobs, 2);
+    assert!(round.span_tree().contains("serve round"));
+}
+
+/// A fixed small workload whose VM-counter window is deterministic:
+/// fresh service, one tenant, two jobs.
+fn measured_round_instructions() -> u64 {
+    let mut svc = CampaignService::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let t = svc.register_tenant(tenant("probe", 0x5EED, 1, 8));
+    for _ in 0..2 {
+        svc.submit(t, spec(DefenseConfig::none())).unwrap();
+    }
+    let round = svc.run();
+    assert_eq!(round.totals.jobs_done, 2);
+    round.vm.instructions
+}
+
+#[test]
+fn watchdog_abandoned_jobs_divert_counters_away_from_later_windows() {
+    let clean = measured_round_instructions();
+    let leaked_before = swsec_vm::counters::leaked_snapshot();
+
+    // A job whose attempt budget dwarfs its deadline: the watchdog
+    // abandons its thread mid-churn. The thread notices the quarantine
+    // at its next attempt boundary and retires, dropping its leased
+    // server — and every counter it flushes from that point on lands
+    // in the leaked bank, not in whichever round happens to have a
+    // window open.
+    let mut svc = CampaignService::new(ServeConfig {
+        workers: 1,
+        job_deadline: Duration::from_millis(40),
+        job_retries: 0,
+        ..ServeConfig::default()
+    });
+    let t = svc.register_tenant(tenant("hog", 0xDEAD, 1, 4));
+    let hog = svc
+        .submit(
+            t,
+            JobSpec {
+                source: VICTIM_SMASH.to_string(),
+                config: DefenseConfig::none(),
+                attempts: u32::MAX,
+                max_input: 48,
+            },
+        )
+        .unwrap();
+    let round = svc.run();
+    assert_eq!(svc.outcome(hog), Some(JobOutcome::TimedOut));
+    assert_eq!(round.totals.jobs_failed, 1);
+
+    // Later rounds see exactly the clean instruction count — before
+    // the quarantine, the leaked thread's flush skewed whatever window
+    // was open when it finally died.
+    let during = measured_round_instructions();
+    assert_eq!(during, clean, "leaked job skewed a later VM window");
+
+    // And the leaked traffic is not lost: it is accounted in the
+    // leaked bank. The thread retires at an attempt boundary, so poll
+    // briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let leaked = swsec_vm::counters::leaked_snapshot().since(leaked_before);
+        if leaked.instructions > 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "leaked bank never received the abandoned job's counters"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
