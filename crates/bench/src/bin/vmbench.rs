@@ -1,15 +1,18 @@
 //! vmbench — the offline VM hot-path benchmark.
 //!
 //! Criterion stays opt-in (network), so this harness is plain
-//! `std::time::Instant`: four hand-assembled machine-code workloads
+//! `std::time::Instant`: five hand-assembled machine-code workloads
 //! run in three tiers — tier 2 (superinstruction block engine over
 //! the hot path), tier 1 (decoded-instruction cache + two-entry TLBs,
 //! blocks off) and the per-byte baseline — reporting instructions per
 //! second and both speedups; two attack-harness workloads
 //! (`aslr-bruteforce`, `canary-oracle`) timing attempts served per
 //! second by the fork server against the per-attempt rebuild
-//! baseline; plus the wall time of a campaign run. Results go to
-//! stdout as a table and to `BENCH_vm.json` (schema v4).
+//! baseline; a fuzz-replay ratio leg plus a coverage-parity leg that
+//! replays the same corpus with a `CoverageSink` attached, tier 2 on
+//! vs off, asserting byte-identical per-attempt fingerprints with
+//! blocks engaged; plus the wall time of a campaign run. Results go
+//! to stdout as a table and to `BENCH_vm.json` (schema v6).
 //!
 //! ```text
 //! sh scripts/bench.sh            # full run, writes BENCH_vm.json
@@ -27,7 +30,11 @@
 //! ~0%), 1/4096 sampling within 10% — and a tiered leg under sampling
 //! asserts the block engine stays engaged between samples.
 //! Workloads where tier 2 is not a win are marked `~` in the table and
-//! listed under `"flat_workloads"` in the JSON.
+//! listed under `"flat_workloads"` in the JSON; workloads the block
+//! engine excludes by construction (`tier2.compiled == 0`, e.g.
+//! `pma-crossing` — PMA machines run every access through the
+//! protection check) are marked `^` and listed under
+//! `"tier2_excluded_workloads"` instead.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -43,13 +50,13 @@ use swsec_defenses::DefenseConfig;
 use swsec_fuzz::targets::{FuzzTarget, VictimTarget};
 use swsec_obs::jsonl::meta_line;
 use swsec_obs::{
-    clear_default_sink, set_default_sink, CountingSink, EventMask, EventSink, JsonlSink,
-    MetricsRegistry, SecurityEvent,
+    clear_default_sink, set_default_sink, CountingSink, CoverageSink, EventMask, EventSink,
+    JsonlSink, MetricsRegistry, SecurityEvent,
 };
 use swsec_rng::derive;
 use swsec_vm::cpu::{Machine, RunOutcome};
 use swsec_vm::profile::{Profiler, DEFAULT_INTERVAL};
-use swsec_vm::isa::{sys, Cond, Instr, Reg};
+use swsec_vm::isa::{sys, AluOp, Cond, Instr, Reg};
 use swsec_vm::mem::Perm;
 use swsec_vm::policy::{ProtectedRegion, ProtectionMap};
 use swsec_vm::trace::ExecStats;
@@ -186,6 +193,65 @@ fn pma_crossing(iters: u32) -> Machine {
         MDATA..MDATA + 0x1000,
         vec![MODULE],
     )])));
+    m
+}
+
+/// `iters` dispatches through a four-entry function-pointer table in
+/// data — the virtual-call/jump-table shape every dispatcher-heavy
+/// victim (and every bytecode interpreter) reduces to. Each trip
+/// masks the counter into a table index, loads the function pointer
+/// and calls through the register; each "method" runs a short counted
+/// loop read-modify-writing its own field next to the table and
+/// returns. The hot path is `callr` into one of four rotating callees
+/// plus the matching unlinked `ret` every iteration — exactly the
+/// dynamic transfers the tier-2 inline caches exist to predict — over
+/// an access pattern that alternates the data page with the stack
+/// page on every dispatch.
+fn indirect_dispatch(iters: u32) -> Machine {
+    let code = assemble_at(TEXT, &|at| {
+        vec![
+            Instr::MovI { dst: Reg::R0, imm: iters },
+            Instr::MovI { dst: Reg::R5, imm: DATA }, // table base
+            Instr::MovI { dst: Reg::R6, imm: 3 },    // index mask
+            Instr::MovI { dst: Reg::R7, imm: 2 },    // entry shift
+            Instr::Mov { dst: Reg::R1, src: Reg::R0 }, // 4: loop head
+            Instr::Alu { op: AluOp::And, dst: Reg::R1, src: Reg::R6 },
+            Instr::Alu { op: AluOp::Shl, dst: Reg::R1, src: Reg::R7 },
+            Instr::Alu { op: AluOp::Add, dst: Reg::R1, src: Reg::R5 },
+            Instr::Load { dst: Reg::R2, base: Reg::R1, disp: 0 },
+            Instr::MovI { dst: Reg::R4, imm: 6 }, // method trip count
+            Instr::CallR(Reg::R2),
+            Instr::AddI { dst: Reg::R0, imm: (-1i32) as u32 },
+            Instr::CmpI { a: Reg::R0, imm: 0 },
+            Instr::JCond { cond: Cond::Nz, target: at(4) },
+            Instr::Sys(sys::EXIT),
+        ]
+    });
+    let mut m = machine(&code);
+    // Four callees in fixed 64-byte slots past the driver loop; the
+    // table in data points at them as little-endian words. Each body
+    // is a six-trip counted loop read-modify-writing the method's own
+    // field just past the table — the shape of a small virtual method
+    // or bytecode handler bumping an object field or accumulator.
+    let mut table = Vec::new();
+    for k in 0..4u32 {
+        let addr = TEXT + 0x100 + k * 0x40;
+        let field = (0x40 + k * 0x10) as i16;
+        let callee = assemble_at(addr, &|at| {
+            vec![
+                Instr::Load { dst: Reg::R3, base: Reg::R5, disp: field }, // 0: work loop head
+                Instr::AddI { dst: Reg::R3, imm: k + 1 },
+                Instr::Store { base: Reg::R5, disp: field, src: Reg::R3 },
+                Instr::AddI { dst: Reg::R4, imm: (-1i32) as u32 },
+                Instr::CmpI { a: Reg::R4, imm: 0 },
+                Instr::JCond { cond: Cond::Nz, target: at(0) },
+                Instr::Ret,
+            ]
+        });
+        m.mem_mut().poke_bytes(addr, &callee).expect("load callee");
+        table.extend_from_slice(&addr.to_le_bytes());
+    }
+    m.mem_mut().poke_bytes(DATA, &table).expect("load table");
     m
 }
 
@@ -638,6 +704,7 @@ fn main() {
         ("tight-loop", Box::new(move || tight_loop(scale))),
         ("call-heavy", Box::new(move || call_heavy(scale / 2))),
         ("memory-heavy", Box::new(move || memory_heavy(scale / 3))),
+        ("indirect-dispatch", Box::new(move || indirect_dispatch(scale / 13))),
         ("pma-crossing", Box::new(move || pma_crossing(scale / 5))),
     ];
 
@@ -679,9 +746,14 @@ fn main() {
             fast,
             base,
         };
-        // `~` marks a workload where tier 2 is not currently a win —
-        // the block engine ran but didn't beat the tier-1 fast path.
-        let marked = if r.tier2_speedup() < 1.0 {
+        // `^` marks a workload the block engine excludes by
+        // construction (`tier2.compiled == 0` — PMA machines run every
+        // access through the protection check, so blocks never form);
+        // `~` marks one where blocks ran but didn't beat the tier-1
+        // fast path.
+        let marked = if r.tiered.stats.tier2_compiled == 0 {
+            format!("{}^", r.name)
+        } else if r.tier2_speedup() < 1.0 {
             format!("{}~", r.name)
         } else {
             r.name.to_string()
@@ -707,11 +779,26 @@ fn main() {
         }
         results.push(r);
     }
-    let flat_workloads: Vec<&str> = results
+    // Engine-excluded legs (no blocks compiled) are an expected
+    // property of the workload, not a flat regression: they get their
+    // own annotation and JSON list so a genuinely flat leg can't hide
+    // behind them.
+    let tier2_excluded: Vec<&str> = results
         .iter()
-        .filter(|r| r.tier2_speedup() < 1.0)
+        .filter(|r| r.tiered.stats.tier2_compiled == 0)
         .map(|r| r.name)
         .collect();
+    let flat_workloads: Vec<&str> = results
+        .iter()
+        .filter(|r| r.tiered.stats.tier2_compiled > 0 && r.tier2_speedup() < 1.0)
+        .map(|r| r.name)
+        .collect();
+    if !tier2_excluded.is_empty() {
+        println!(
+            "  ^ tier 2 excluded by the engine on: {} (tier2.compiled=0, expected)",
+            tier2_excluded.join(", ")
+        );
+    }
     if !flat_workloads.is_empty() {
         println!("  ~ tier 2 not a win on: {}", flat_workloads.join(", "));
     }
@@ -793,8 +880,8 @@ fn main() {
     // Fuzz throughput: a pre-mutated attack corpus (the fuzzer's own
     // operators, so the attempt mix is a real campaign's) replayed
     // through the victim fuzz target, fork-served vs rebuilt.
+    let corpus = fuzz_replay_corpus(&cache, attempts);
     {
-        let corpus = fuzz_replay_corpus(&cache, attempts);
         // Interleaved for the same drift-correlation reason as above.
         let before = swsec_vm::counters::snapshot();
         let mut fork = measure_fuzz_replay(&cache, ServeMode::Fork, &corpus, 1);
@@ -823,6 +910,55 @@ fn main() {
         );
         harness_results.push(r);
     }
+
+    // Coverage parity: the same corpus replayed through a coverage-
+    // attached victim twice — tier 2 engaged, then pinned to tier 1 —
+    // asserting byte-identical per-attempt fingerprints while blocks
+    // actually serve instructions. This is the gate that lets E18 fuzz
+    // tier-2 engaged: blocks update the edge map directly at their
+    // transfer terminators, and the map the fuzzer steers by must not
+    // be able to tell.
+    let parity = {
+        let run = |tier2: bool| {
+            let mut target = VictimTarget::new(&cache, 7, ServeMode::Fork);
+            target.set_tier2(tier2);
+            let sink = Arc::new(CoverageSink::new());
+            target.attach_coverage(Arc::clone(&sink));
+            let mut fingerprints = Vec::with_capacity(corpus.len());
+            let mut tier2_hits = 0u64;
+            let mut ic_hits = 0u64;
+            let mut ic_misses = 0u64;
+            let started = Instant::now();
+            for input in &corpus {
+                let outcome = target.execute(7, input).expect("attempt runs");
+                tier2_hits += outcome.stats.tier2_hits;
+                ic_hits += outcome.stats.tier2_ic_hits;
+                ic_misses += outcome.stats.tier2_ic_misses;
+                fingerprints.push(sink.take_map().fingerprint());
+            }
+            (fingerprints, tier2_hits, ic_hits, ic_misses, started.elapsed())
+        };
+        let (tiered_fps, tier2_hits, ic_hits, ic_misses, tiered_ns) = run(true);
+        let (fast_fps, fast_hits, _, _, fast_ns) = run(false);
+        assert_eq!(
+            tiered_fps, fast_fps,
+            "coverage fingerprints diverge between tier 2 and tier 1"
+        );
+        assert_eq!(fast_hits, 0, "tier-1 parity leg served tier-2 blocks");
+        assert!(
+            tier2_hits > 0,
+            "coverage-parity leg never engaged tier 2 (0 block hits)"
+        );
+        println!(
+            "coverage parity (fuzz corpus, {} attempts): byte-identical fingerprints; \
+             tiered leg {} block hits, {} ic hits, {} ic misses",
+            corpus.len(),
+            tier2_hits,
+            ic_hits,
+            ic_misses,
+        );
+        (corpus.len() as u64, tier2_hits, ic_hits, ic_misses, tiered_ns, fast_ns)
+    };
 
     // Campaign-service leg: thousands of simulated concurrent clients
     // behind the job queue, the whole service stack on the clock.
@@ -1036,7 +1172,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"swsec-vmbench-v5\",\n");
+    json.push_str("  \"schema\": \"swsec-vmbench-v6\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -1047,7 +1183,8 @@ fn main() {
              \"tier2_speedup\": {:.3}, \"speedup\": {:.3}, \
              \"icache_hit_rate\": {}, \"tlb_hit_rate\": {}, \
              \"tier2\": {{\"compiled\": {}, \"hits\": {}, \"instructions\": {}, \
-             \"side_exits\": {}, \"invalidations\": {}}}}}{}\n",
+             \"side_exits\": {}, \"invalidations\": {}, \"ic_hits\": {}, \"ic_misses\": {}, \
+             \"ic_installs\": {}, \"ic_megamorphic\": {}}}}}{}\n",
             r.name,
             r.instructions,
             r.tiered.elapsed.as_nanos(),
@@ -1065,6 +1202,10 @@ fn main() {
             t2.tier2_instructions,
             t2.tier2_side_exits,
             t2.tier2_invalidations,
+            t2.tier2_ic_hits,
+            t2.tier2_ic_misses,
+            t2.tier2_ic_installs,
+            t2.tier2_ic_megamorphic,
             if i + 1 == results.len() { "" } else { "," },
         ));
     }
@@ -1072,6 +1213,14 @@ fn main() {
     json.push_str(&format!(
         "  \"flat_workloads\": [{}],\n",
         flat_workloads
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    json.push_str(&format!(
+        "  \"tier2_excluded_workloads\": [{}],\n",
+        tier2_excluded
             .iter()
             .map(|n| format!("\"{n}\""))
             .collect::<Vec<_>>()
@@ -1095,6 +1244,17 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"coverage_parity\": {{\"attempts\": {}, \"fingerprints_identical\": true, \
+         \"tier2_hits\": {}, \"ic_hits\": {}, \"ic_misses\": {}, \
+         \"tiered_ns\": {}, \"fast_ns\": {}}},\n",
+        parity.0,
+        parity.1,
+        parity.2,
+        parity.3,
+        parity.4.as_nanos(),
+        parity.5.as_nanos(),
+    ));
     json.push_str(&format!(
         "  \"service\": {{\"tenants\": {}, \"jobs\": {}, \"attempts\": {}, \
          \"fork_ns\": {}, \"rebuild_ns\": {}, \"fork_aps\": {:.1}, \"rebuild_aps\": {:.1}, \
@@ -1134,7 +1294,8 @@ fn main() {
         "  \"campaign\": {{\"wall_s\": {:.6}, \"workers\": {}, \"vm_instructions\": {}, \
          \"icache_hit_rate\": {}, \"tlb_hit_rate\": {}, \
          \"tier2\": {{\"compiled\": {}, \"hits\": {}, \"instructions\": {}, \
-         \"side_exits\": {}, \"invalidations\": {}}}}}\n",
+         \"side_exits\": {}, \"invalidations\": {}, \"ic_hits\": {}, \"ic_misses\": {}, \
+         \"ic_installs\": {}, \"ic_megamorphic\": {}}}}}\n",
         campaign.elapsed.as_secs_f64(),
         campaign.workers,
         campaign.vm.instructions,
@@ -1145,10 +1306,25 @@ fn main() {
         campaign.vm.tier2_instructions,
         campaign.vm.tier2_side_exits,
         campaign.vm.tier2_invalidations,
+        campaign.vm.tier2_ic_hits,
+        campaign.vm.tier2_ic_misses,
+        campaign.vm.tier2_ic_installs,
+        campaign.vm.tier2_ic_megamorphic,
     ));
     json.push_str("}\n");
     std::fs::write(&out, json).expect("write benchmark JSON");
     println!("vmbench: wrote {out}");
+
+    // The inline caches must actually predict on the jump-table loop —
+    // in smoke mode too, since warmup only needs the 16-hit threshold.
+    let indirect = results
+        .iter()
+        .find(|r| r.name == "indirect-dispatch")
+        .expect("indirect-dispatch runs");
+    assert!(
+        indirect.tiered.stats.tier2_ic_hits > 0,
+        "indirect-dispatch never hit an inline cache"
+    );
 
     if smoke {
         // Smoke runs gate verify.sh: neither tier may be slower than
@@ -1212,6 +1388,14 @@ fn main() {
             calls.tier2_speedup() >= 2.0,
             "call-heavy tier-2 speedup {:.2}x is below the 2x floor",
             calls.tier2_speedup()
+        );
+        // The IC acceptance floor: predicted dynamic transfers must
+        // make the jump-table loop at least twice as fast as tier-1
+        // dispatch, the same bar the static call/ret chain clears.
+        assert!(
+            indirect.tier2_speedup() >= 2.0,
+            "indirect-dispatch tier-2 speedup {:.2}x is below the 2x floor",
+            indirect.tier2_speedup()
         );
         // The two-way icache must keep both halves of the pma-crossing
         // working set resident (the direct-mapped design thrashed at

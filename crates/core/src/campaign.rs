@@ -528,7 +528,9 @@ impl CampaignReport {
     ///   `vm.tlb.hits` / `vm.tlb.misses`,
     ///   `vm.tier2.blocks_compiled` / `vm.tier2.block_hits` /
     ///   `vm.tier2.instructions` / `vm.tier2.side_exits` /
-    ///   `vm.tier2.invalidations`, `vm.snapshot.snapshots` /
+    ///   `vm.tier2.invalidations`, `vm.tier2.ic_hits` /
+    ///   `vm.tier2.ic_misses` / `vm.tier2.ic_installs` /
+    ///   `vm.tier2.ic_megamorphic`, `vm.snapshot.snapshots` /
     ///   `vm.snapshot.restores` / `vm.snapshot.dirty_pages` /
     ///   `vm.snapshot.bytes_copied`, and `vm.prof.samples` /
     ///   `vm.prof.frames`;
@@ -562,6 +564,10 @@ impl CampaignReport {
         registry.counter("vm.tier2.instructions", self.vm.tier2_instructions);
         registry.counter("vm.tier2.side_exits", self.vm.tier2_side_exits);
         registry.counter("vm.tier2.invalidations", self.vm.tier2_invalidations);
+        registry.counter("vm.tier2.ic_hits", self.vm.tier2_ic_hits);
+        registry.counter("vm.tier2.ic_misses", self.vm.tier2_ic_misses);
+        registry.counter("vm.tier2.ic_installs", self.vm.tier2_ic_installs);
+        registry.counter("vm.tier2.ic_megamorphic", self.vm.tier2_ic_megamorphic);
         registry.counter("vm.snapshot.snapshots", self.vm.snapshots);
         registry.counter("vm.snapshot.restores", self.vm.restores);
         registry.counter("vm.snapshot.dirty_pages", self.vm.restore_dirty_pages);

@@ -44,7 +44,7 @@ use std::sync::Arc;
 
 use swsec_defenses::DefenseConfig;
 use swsec_minc::{CompileError, CompileOptions, CompiledProgram};
-use swsec_obs::{span, EventSink, SpanKind};
+use swsec_obs::{span, CoverageSink, EventSink, SpanKind};
 use swsec_vm::cpu::{Machine, MachineSnapshot, RunOutcome};
 use swsec_vm::io::IoBus;
 use swsec_vm::profile::Profiler;
@@ -189,6 +189,14 @@ pub struct ForkServer {
     mode: ServeMode,
     fuel: u64,
     sink: Option<Arc<dyn EventSink>>,
+    /// Set instead of `sink` when the sink is a coverage map attached
+    /// via [`set_coverage`](Self::set_coverage) (the devirtualized
+    /// tier-2 path).
+    cov: Option<Arc<CoverageSink>>,
+    /// Tier-2 switch applied to every machine this server runs
+    /// (resident and rebuilt), so a differential baseline holds across
+    /// [`ServeMode::Rebuild`] attempts too.
+    tier2: bool,
     profiler: Option<Arc<Profiler>>,
 }
 
@@ -235,6 +243,7 @@ impl ForkServer {
         machine.mem_mut().set_enforce(config.dep);
         machine.set_shadow_stack(config.shadow_stack);
         let snapshot = machine.snapshot();
+        let tier2 = machine.tier2();
         Ok(ForkServer {
             program,
             config,
@@ -244,6 +253,8 @@ impl ForkServer {
             mode: ServeMode::Fork,
             fuel: DEFAULT_FUEL,
             sink: None,
+            cov: None,
+            tier2,
             profiler: None,
         })
     }
@@ -292,6 +303,29 @@ impl ForkServer {
     pub fn set_event_sink(&mut self, sink: Option<Arc<dyn EventSink>>) {
         self.machine.set_event_sink(sink.clone());
         self.sink = sink;
+        self.cov = None;
+    }
+
+    /// Attaches (or with `None`, detaches) a coverage sink through
+    /// [`Machine::set_coverage`]: the sink observes every attempt like
+    /// an ordinary event sink, and tier-2 blocks bump its edge map
+    /// directly instead of constructing control-transfer events — the
+    /// accumulated map is byte-identical either way. Survives
+    /// [`ServeMode::Fork`] restores (snapshots do not capture sinks)
+    /// and is re-attached to each fresh [`ServeMode::Rebuild`] machine.
+    pub fn set_coverage(&mut self, cov: Option<Arc<CoverageSink>>) {
+        self.machine.set_coverage(cov.clone());
+        self.sink = cov.clone().map(|c| c as Arc<dyn EventSink>);
+        self.cov = cov;
+    }
+
+    /// Enables or disables the tier-2 block engine on the resident
+    /// machine (and every [`ServeMode::Rebuild`] machine), for
+    /// differential baselines and determinism audits — attempts are
+    /// bit-for-bit identical either way.
+    pub fn set_tier2(&mut self, on: bool) {
+        self.machine.set_tier2(on);
+        self.tier2 = on;
     }
 
     /// Attaches (or with `None`, detaches) a deterministic sampling
@@ -383,7 +417,10 @@ impl AttackTarget for ForkServer {
             }
             ServeMode::Rebuild => {
                 let mut session = loader::launch_compiled(&self.program, self.config, seed)?;
-                if self.sink.is_some() {
+                session.machine.set_tier2(self.tier2);
+                if let Some(cov) = &self.cov {
+                    session.machine.set_coverage(Some(Arc::clone(cov)));
+                } else if self.sink.is_some() {
                     session.machine.set_event_sink(self.sink.clone());
                 }
                 if self.profiler.is_some() {

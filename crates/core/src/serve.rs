@@ -896,6 +896,10 @@ impl CampaignService {
         registry.counter("vm.tier2.instructions", vm.tier2_instructions);
         registry.counter("vm.tier2.side_exits", vm.tier2_side_exits);
         registry.counter("vm.tier2.invalidations", vm.tier2_invalidations);
+        registry.counter("vm.tier2.ic_hits", vm.tier2_ic_hits);
+        registry.counter("vm.tier2.ic_misses", vm.tier2_ic_misses);
+        registry.counter("vm.tier2.ic_installs", vm.tier2_ic_installs);
+        registry.counter("vm.tier2.ic_megamorphic", vm.tier2_ic_megamorphic);
         registry.counter("vm.snapshot.snapshots", vm.snapshots);
         registry.counter("vm.snapshot.restores", vm.restores);
         registry.counter("vm.snapshot.dirty_pages", vm.restore_dirty_pages);

@@ -69,6 +69,7 @@ fn main() {
     let mut profile_path: Option<String> = None;
     let mut progress = false;
     let mut render_only = false;
+    let mut no_tier2 = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -102,6 +103,7 @@ fn main() {
             "--progress" => progress = true,
             "--render-only" => render_only = true,
             "--no-fork-server" => cfg.fork_server = false,
+            "--no-tier2" => no_tier2 = true,
             "--profile" => {
                 profile_path = Some(args.next().expect("--profile takes a path"));
             }
@@ -110,7 +112,8 @@ fn main() {
                 eprintln!(
                     "usage: fuzz [--workers N] [--seed S] [--budget N] \
                      [--minimize-budget N] [--progress] [--telemetry out.jsonl] \
-                     [--render-only] [--no-fork-server] [--profile out.folded]"
+                     [--render-only] [--no-fork-server] [--no-tier2] \
+                     [--profile out.folded]"
                 );
                 std::process::exit(2);
             }
@@ -125,6 +128,14 @@ fn main() {
         .union(EventMask::PMA)
         .union(EventMask::GUARD)
         .union(EventMask::CELL);
+
+    // `--no-tier2` pins every machine the campaign boots to the tier-1
+    // fast path. verify.sh diffs this render against a tiered run: the
+    // reports (and the coverage feedback that steers the campaign) must
+    // be byte-identical either way.
+    if no_tier2 {
+        swsec_vm::cpu::set_default_tier2(false);
+    }
 
     let mut telemetry = CampaignTelemetry::none();
     let mut sink = None;

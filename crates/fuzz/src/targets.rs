@@ -29,7 +29,7 @@ use swsec::loader;
 use swsec_defenses::DefenseConfig;
 use swsec_minc::interp::{self, InterpOutcome};
 use swsec_minc::{parse, CompileError, CompiledProgram};
-use swsec_obs::{CoverageSink, EventSink};
+use swsec_obs::CoverageSink;
 use swsec_vm::cpu::{Fault, RunOutcome};
 use swsec_vm::io::IoBus;
 use swsec_vm::trace::ExecStats;
@@ -129,6 +129,13 @@ impl VictimTarget {
             dict,
         }
     }
+
+    /// Switches the tier-2 block engine on the underlying server, for
+    /// coverage-parity audits (attempts — and the coverage maps they
+    /// accumulate — are bit-for-bit identical either way).
+    pub fn set_tier2(&mut self, on: bool) {
+        self.server.set_tier2(on);
+    }
 }
 
 impl AttackTarget for VictimTarget {
@@ -159,7 +166,10 @@ impl FuzzTarget for VictimTarget {
     }
 
     fn attach_coverage(&mut self, sink: Arc<CoverageSink>) {
-        self.server.set_event_sink(Some(sink as Arc<dyn EventSink>));
+        // The devirtualized attach: tier-2 blocks bump the map in
+        // place; tier-1 steps feed it through the event stream. Maps
+        // are byte-identical either way.
+        self.server.set_coverage(Some(sink));
     }
 
     fn classify(&mut self, outcome: &AttemptOutcome) -> Option<String> {
@@ -231,9 +241,7 @@ impl AttackTarget for CompilerTarget {
             }
         };
         if let Some(sink) = &self.sink {
-            session
-                .machine
-                .set_event_sink(Some(Arc::clone(sink) as Arc<dyn EventSink>));
+            session.machine.set_coverage(Some(Arc::clone(sink)));
         }
         let outcome = session.run(self.fuel);
         let machine_io = session.machine.io().observable();
@@ -345,9 +353,7 @@ impl AttackTarget for DiffTarget {
         base.machine.set_fast_path(false);
         base.machine.set_tier2(false);
         if let Some(sink) = &self.sink {
-            tiered
-                .machine
-                .set_event_sink(Some(Arc::clone(sink) as Arc<dyn EventSink>));
+            tiered.machine.set_coverage(Some(Arc::clone(sink)));
         }
         tiered.machine.io_mut().feed_input(0, input);
         fast.machine.io_mut().feed_input(0, input);
@@ -444,7 +450,7 @@ pub(crate) mod tests {
             // Feed the input back through the coverage sink as fake
             // edges so the engine's corpus logic has signal to chew on.
             if let Some(sink) = &self.sink {
-                use swsec_obs::{ControlKind, SecurityEvent};
+                use swsec_obs::{ControlKind, EventSink, SecurityEvent};
                 for (i, b) in input.iter().enumerate() {
                     sink.record(&SecurityEvent::ControlTransfer {
                         kind: ControlKind::Call,
@@ -512,6 +518,36 @@ pub(crate) mod tests {
             let out = target.execute(3, &bytes).unwrap();
             assert_eq!(target.classify(&out), None, "input {n}");
         }
+    }
+
+    #[test]
+    fn victim_coverage_fingerprints_are_tier_invariant() {
+        // The novelty signal steering a campaign must not depend on
+        // which tier served an attempt: per-attempt coverage
+        // fingerprints from a tiered victim (blocks bumping the edge
+        // map from precomputed slots, inline caches chaining) must be
+        // byte-identical to the tier-1 hash-at-transfer path.
+        let cache = ProgramCache::new();
+        let run = |tier2: bool| {
+            let mut target = VictimTarget::new(&cache, 11, ServeMode::Fork);
+            target.set_tier2(tier2);
+            let sink = Arc::new(CoverageSink::new());
+            target.attach_coverage(Arc::clone(&sink));
+            let mut fingerprints = Vec::new();
+            let mut hits = 0u64;
+            for i in 0..48usize {
+                let len = (i * 7) % 96;
+                let out = target.execute(11, &vec![b'A'; len]).unwrap();
+                hits += out.stats.tier2_hits;
+                fingerprints.push(sink.take_map().fingerprint());
+            }
+            (fingerprints, hits)
+        };
+        let (tiered_fps, tiered_hits) = run(true);
+        let (fast_fps, fast_hits) = run(false);
+        assert_eq!(tiered_fps, fast_fps, "coverage diverges between tiers");
+        assert!(tiered_hits > 0, "tier 2 never engaged across 48 attempts");
+        assert_eq!(fast_hits, 0, "the pinned tier-1 run served tier-2 blocks");
     }
 
     #[test]

@@ -46,7 +46,12 @@ fn mix(mut z: u64) -> u64 {
 
 /// The map slot for an edge, keyed by a per-event-family tag and two
 /// addresses. Always lands below [`RARE_BASE`].
-fn edge_slot(tag: u8, from: u32, to: u32) -> usize {
+///
+/// Public so an execution engine can pre-resolve the slot of an edge
+/// whose endpoints are known ahead of time (a compiled static call)
+/// and later bump it via [`CoverageSink::bump_slot`] without
+/// constructing a [`SecurityEvent`].
+pub fn edge_slot(tag: u8, from: u32, to: u32) -> usize {
     let key = (u64::from(tag) << 56) ^ (u64::from(from) << 24) ^ u64::from(to);
     (mix(key) as usize) % RARE_BASE
 }
@@ -84,6 +89,26 @@ impl CoverageSink {
         let _ = self.map[slot].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
             v.checked_add(1)
         });
+    }
+
+    /// Bumps a pre-resolved map slot directly — the devirtualized
+    /// equivalent of [`record`](EventSink::record) for an edge whose
+    /// slot was computed ahead of time with [`edge_slot`]. Updating the
+    /// same slot through either path yields byte-identical maps.
+    #[inline]
+    pub fn bump_slot(&self, slot: usize) {
+        self.bump(slot);
+    }
+
+    /// Bumps the slot of the control-transfer edge `(tag, from, to)`
+    /// without constructing the event, where `tag` is the
+    /// [`ControlKind`](crate::event::ControlKind) discriminant — the
+    /// exact key [`record`](EventSink::record) uses for
+    /// `ControlTransfer`, so the resulting map is byte-identical to
+    /// the event path.
+    #[inline]
+    pub fn bump_edge(&self, tag: u8, from: u32, to: u32) {
+        self.bump(edge_slot(tag, from, to));
     }
 
     /// Copies the current hit counts out and clears the map, ready for
@@ -293,6 +318,25 @@ mod tests {
         assert_eq!(ma, mb);
         assert_eq!(ma.fingerprint(), mb.fingerprint());
         assert_eq!(ma.covered(), 2);
+    }
+
+    #[test]
+    fn direct_bumps_match_the_event_path_byte_for_byte() {
+        let by_event = CoverageSink::new();
+        let by_slot = CoverageSink::new();
+        for (from, to) in [(0x1000, 0x2000), (0x1000, 0x2000), (0x2000, 0x3000)] {
+            by_event.record(&edge(from, to));
+            by_slot.bump_edge(ControlKind::Call as u8, from, to);
+        }
+        by_event.record(&SecurityEvent::ControlTransfer {
+            kind: ControlKind::Ret,
+            from: 5,
+            to: 6,
+        });
+        by_slot.bump_slot(edge_slot(ControlKind::Ret as u8, 5, 6));
+        let (a, b) = (by_event.take_map(), by_slot.take_map());
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

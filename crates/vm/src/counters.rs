@@ -37,7 +37,7 @@ use std::sync::Arc;
 
 use crate::trace::ExecStats;
 
-/// One full set of the sixteen VM counters. Two instances exist: the
+/// One full set of the twenty VM counters. Two instances exist: the
 /// live bank (healthy threads) and the leaked bank (threads abandoned
 /// by a deadline watchdog).
 struct Bank {
@@ -51,6 +51,10 @@ struct Bank {
     tier2_instructions: AtomicU64,
     tier2_side_exits: AtomicU64,
     tier2_invalidations: AtomicU64,
+    tier2_ic_hits: AtomicU64,
+    tier2_ic_misses: AtomicU64,
+    tier2_ic_installs: AtomicU64,
+    tier2_ic_megamorphic: AtomicU64,
     snapshots: AtomicU64,
     restores: AtomicU64,
     restore_dirty_pages: AtomicU64,
@@ -72,6 +76,10 @@ impl Bank {
             tier2_instructions: AtomicU64::new(0),
             tier2_side_exits: AtomicU64::new(0),
             tier2_invalidations: AtomicU64::new(0),
+            tier2_ic_hits: AtomicU64::new(0),
+            tier2_ic_misses: AtomicU64::new(0),
+            tier2_ic_installs: AtomicU64::new(0),
+            tier2_ic_megamorphic: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
             restores: AtomicU64::new(0),
             restore_dirty_pages: AtomicU64::new(0),
@@ -93,6 +101,10 @@ impl Bank {
             tier2_instructions: self.tier2_instructions.load(Ordering::Relaxed),
             tier2_side_exits: self.tier2_side_exits.load(Ordering::Relaxed),
             tier2_invalidations: self.tier2_invalidations.load(Ordering::Relaxed),
+            tier2_ic_hits: self.tier2_ic_hits.load(Ordering::Relaxed),
+            tier2_ic_misses: self.tier2_ic_misses.load(Ordering::Relaxed),
+            tier2_ic_installs: self.tier2_ic_installs.load(Ordering::Relaxed),
+            tier2_ic_megamorphic: self.tier2_ic_megamorphic.load(Ordering::Relaxed),
             snapshots: self.snapshots.load(Ordering::Relaxed),
             restores: self.restores.load(Ordering::Relaxed),
             restore_dirty_pages: self.restore_dirty_pages.load(Ordering::Relaxed),
@@ -184,6 +196,14 @@ pub struct VmCounters {
     pub tier2_side_exits: u64,
     /// Tier-2 blocks dropped on a failed generation check.
     pub tier2_invalidations: u64,
+    /// Dynamic-transfer inline-cache hits (predicted chain entries).
+    pub tier2_ic_hits: u64,
+    /// Inline-cache probes that fell back to the full block lookup.
+    pub tier2_ic_misses: u64,
+    /// Predictions installed into inline caches after misses.
+    pub tier2_ic_installs: u64,
+    /// Inline caches gone megamorphic (prediction given up).
+    pub tier2_ic_megamorphic: u64,
     /// Machine snapshots taken ([`Machine::snapshot`](crate::cpu::Machine::snapshot)).
     pub snapshots: u64,
     /// Machine restores performed
@@ -218,6 +238,12 @@ impl VmCounters {
             tier2_invalidations: self
                 .tier2_invalidations
                 .saturating_sub(earlier.tier2_invalidations),
+            tier2_ic_hits: self.tier2_ic_hits.saturating_sub(earlier.tier2_ic_hits),
+            tier2_ic_misses: self.tier2_ic_misses.saturating_sub(earlier.tier2_ic_misses),
+            tier2_ic_installs: self.tier2_ic_installs.saturating_sub(earlier.tier2_ic_installs),
+            tier2_ic_megamorphic: self
+                .tier2_ic_megamorphic
+                .saturating_sub(earlier.tier2_ic_megamorphic),
             snapshots: self.snapshots.saturating_sub(earlier.snapshots),
             restores: self.restores.saturating_sub(earlier.restores),
             restore_dirty_pages: self
@@ -309,6 +335,12 @@ pub(crate) fn absorb(stats: &ExecStats) {
         .fetch_add(stats.tier2_side_exits, Ordering::Relaxed);
     bank.tier2_invalidations
         .fetch_add(stats.tier2_invalidations, Ordering::Relaxed);
+    bank.tier2_ic_hits.fetch_add(stats.tier2_ic_hits, Ordering::Relaxed);
+    bank.tier2_ic_misses.fetch_add(stats.tier2_ic_misses, Ordering::Relaxed);
+    bank.tier2_ic_installs
+        .fetch_add(stats.tier2_ic_installs, Ordering::Relaxed);
+    bank.tier2_ic_megamorphic
+        .fetch_add(stats.tier2_ic_megamorphic, Ordering::Relaxed);
 }
 
 #[cfg(test)]

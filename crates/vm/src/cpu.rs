@@ -54,14 +54,14 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use swsec_obs::{ControlKind, EventMask, EventSink, FaultKind, PmaRule, SecurityEvent};
+use swsec_obs::{ControlKind, CoverageSink, EventMask, EventSink, FaultKind, PmaRule, SecurityEvent};
 
 use crate::isa::{self, AluOp, Cond, DecodeError, Instr, Reg, NUM_REGS};
 use crate::io::IoBus;
 use crate::profile::Profiler;
 use crate::mem::{Access, DataLine, MemError, MemErrorKind, Memory, PAGE_SIZE};
 use crate::policy::{PmaViolation, PmaViolationKind, ProtectionMap, TransferKind};
-use crate::tier::{Block, MicroOp, TierEngine};
+use crate::tier::{IcProbe, IcPromotion, MicroOp, TierEngine, IC_NONE};
 use crate::trace::{ExecStats, TraceEntry, TraceRing};
 
 /// Total entries in the decoded-instruction cache. Organized as
@@ -359,6 +359,11 @@ pub struct Machine {
     /// interest mask so the hot path tests a single byte.
     sink: Option<Arc<dyn EventSink>>,
     sink_mask: EventMask,
+    /// The sink, re-typed, when it is a [`CoverageSink`] attached via
+    /// [`Machine::set_coverage`]: tier-2 blocks bump its edge map
+    /// directly (no event construction, no dynamic dispatch) on
+    /// control-transfer micro-ops, byte-identical to the event path.
+    cov: Option<Arc<CoverageSink>>,
     /// Attached sampling profiler (see [`profile`](crate::profile)).
     prof: Option<Arc<Profiler>>,
     /// Retired instructions until the next profiler sample; `u64::MAX`
@@ -445,6 +450,7 @@ impl Machine {
             tier: None,
             sink,
             sink_mask,
+            cov: None,
             prof,
             prof_countdown,
             straddle_hint: false,
@@ -461,6 +467,29 @@ impl Machine {
             .map(|s| s.interests())
             .unwrap_or(EventMask::NONE);
         self.sink = sink;
+        self.cov = None;
+    }
+
+    /// Attaches (or with `None`, detaches) a coverage sink with the
+    /// devirtualized tier-2 path: the sink becomes the machine's event
+    /// sink exactly as [`set_event_sink`](Machine::set_event_sink)
+    /// would make it (tier-1 execution feeds it through the ordinary
+    /// event stream), and tier-2 blocks additionally bump its edge map
+    /// in place at control-transfer micro-ops instead of constructing
+    /// `ControlTransfer` events. The accumulated
+    /// [`CoverageMap`](swsec_obs::CoverageMap) is byte-identical
+    /// either way — same slots, same counts, same fingerprint — so
+    /// coverage-guided callers keep their novelty signal while
+    /// running tier-2 engaged.
+    pub fn set_coverage(&mut self, cov: Option<Arc<CoverageSink>>) {
+        self.set_event_sink(cov.clone().map(|c| c as Arc<dyn EventSink>));
+        self.cov = cov;
+    }
+
+    /// The directly-attached coverage sink, if any (see
+    /// [`set_coverage`](Machine::set_coverage)).
+    pub fn coverage(&self) -> Option<&Arc<CoverageSink>> {
+        self.cov.as_ref()
     }
 
     /// Whether a security-event sink is attached.
@@ -841,78 +870,111 @@ impl Machine {
 
     // --- tier-2 block-local memory path ---------------------------
     // These mirror load_u32/store_u32/push/pop exactly, but serve
-    // repeat accesses to one page through a chain-local [`DataLine`],
-    // skipping the TLB probe. Only the block loop may call them:
-    // tier-2 eligibility guarantees no PMA policy is attached (so the
-    // skipped `check_pma_data` would be a no-op), and micro-ops cannot
-    // remap, reprotect or restore memory, so a filled line stays valid
-    // for the whole dispatch chain. Line writes bump the page's write
-    // generation and dirty flag exactly like `store_u32`, keeping SMC
-    // detection and snapshot dirty tracking intact.
+    // repeat accesses through a chain-local pair of [`DataLine`]s,
+    // skipping the TLB probe. Two lines, not one, for the same reason
+    // the tier-1 data TLB has two entries: dispatcher-shaped code
+    // alternates every iteration between a data page (a jump table, a
+    // buffer) and the stack page (call/ret traffic), and a single line
+    // would refill through the page-table map twice per trip. The pair
+    // is kept most-recently-used-first; a hit on the second line swaps
+    // it forward, a refill displaces the older line. Only the block
+    // loop may call these: tier-2 eligibility guarantees no PMA policy
+    // is attached (so the skipped `check_pma_data` would be a no-op),
+    // and micro-ops cannot remap, reprotect or restore memory, so a
+    // filled line stays valid for the whole dispatch chain. Line
+    // writes bump the page's write generation and dirty flag exactly
+    // like `store_u32`, keeping SMC detection and snapshot dirty
+    // tracking intact.
 
     #[inline]
-    fn bc_load_u32(&mut self, line: &mut DataLine, addr: u32) -> Result<u32, Fault> {
-        if line.serves_word(addr, false) {
+    fn bc_load_u32(&mut self, line: &mut [DataLine; 2], addr: u32) -> Result<u32, Fault> {
+        if line[0].serves_word(addr, false) {
             self.stats.mem_reads += 1;
-            return Ok(self.mem.line_read_u32(*line, addr));
+            return Ok(self.mem.line_read_u32(line[0], addr));
+        }
+        if line[1].serves_word(addr, false) {
+            line.swap(0, 1);
+            self.stats.mem_reads += 1;
+            return Ok(self.mem.line_read_u32(line[0], addr));
         }
         let v = self.load_u32(addr)?;
         if let Some(l) = self.mem.data_line(addr) {
-            *line = l;
+            line[1] = line[0];
+            line[0] = l;
         }
         Ok(v)
     }
 
     #[inline]
-    fn bc_store_u32(&mut self, line: &mut DataLine, addr: u32, value: u32) -> Result<(), Fault> {
-        if line.serves_word(addr, true) {
+    fn bc_store_u32(&mut self, line: &mut [DataLine; 2], addr: u32, value: u32) -> Result<(), Fault> {
+        if line[0].serves_word(addr, true) {
             self.stats.mem_writes += 1;
-            self.mem.line_write_u32(*line, addr, value);
+            self.mem.line_write_u32(line[0], addr, value);
+            return Ok(());
+        }
+        if line[1].serves_word(addr, true) {
+            line.swap(0, 1);
+            self.stats.mem_writes += 1;
+            self.mem.line_write_u32(line[0], addr, value);
             return Ok(());
         }
         self.store_u32(addr, value)?;
         if let Some(l) = self.mem.data_line(addr) {
-            *line = l;
+            line[1] = line[0];
+            line[0] = l;
         }
         Ok(())
     }
 
     #[inline]
-    fn bc_load_u8(&mut self, line: &mut DataLine, addr: u32) -> Result<u8, Fault> {
-        if line.serves_byte(addr, false) {
+    fn bc_load_u8(&mut self, line: &mut [DataLine; 2], addr: u32) -> Result<u8, Fault> {
+        if line[0].serves_byte(addr, false) {
             self.stats.mem_reads += 1;
-            return Ok(self.mem.line_read_u8(*line, addr));
+            return Ok(self.mem.line_read_u8(line[0], addr));
+        }
+        if line[1].serves_byte(addr, false) {
+            line.swap(0, 1);
+            self.stats.mem_reads += 1;
+            return Ok(self.mem.line_read_u8(line[0], addr));
         }
         let v = self.load_u8(addr)?;
         if let Some(l) = self.mem.data_line(addr) {
-            *line = l;
+            line[1] = line[0];
+            line[0] = l;
         }
         Ok(v)
     }
 
     #[inline]
-    fn bc_store_u8(&mut self, line: &mut DataLine, addr: u32, value: u8) -> Result<(), Fault> {
-        if line.serves_byte(addr, true) {
+    fn bc_store_u8(&mut self, line: &mut [DataLine; 2], addr: u32, value: u8) -> Result<(), Fault> {
+        if line[0].serves_byte(addr, true) {
             self.stats.mem_writes += 1;
-            self.mem.line_write_u8(*line, addr, value);
+            self.mem.line_write_u8(line[0], addr, value);
+            return Ok(());
+        }
+        if line[1].serves_byte(addr, true) {
+            line.swap(0, 1);
+            self.stats.mem_writes += 1;
+            self.mem.line_write_u8(line[0], addr, value);
             return Ok(());
         }
         self.store_u8(addr, value)?;
         if let Some(l) = self.mem.data_line(addr) {
-            *line = l;
+            line[1] = line[0];
+            line[0] = l;
         }
         Ok(())
     }
 
     #[inline]
-    fn bc_push(&mut self, line: &mut DataLine, value: u32) -> Result<(), Fault> {
+    fn bc_push(&mut self, line: &mut [DataLine; 2], value: u32) -> Result<(), Fault> {
         let sp = self.reg(Reg::Sp).wrapping_sub(4);
         self.set_reg(Reg::Sp, sp);
         self.bc_store_u32(line, sp, value)
     }
 
     #[inline]
-    fn bc_pop(&mut self, line: &mut DataLine) -> Result<u32, Fault> {
+    fn bc_pop(&mut self, line: &mut [DataLine; 2]) -> Result<u32, Fault> {
         let sp = self.reg(Reg::Sp);
         let value = self.bc_load_u32(line, sp)?;
         self.set_reg(Reg::Sp, sp.wrapping_add(4));
@@ -1528,10 +1590,11 @@ impl Machine {
     ) -> Option<(u64, Option<Fault>)> {
         let mut total: u64 = 0;
         let mut chain_fault: Option<Fault> = None;
-        // One data translation shared by the whole chain: block stores
-        // and loads cluster on one page (the stack, a data buffer), and
-        // nothing a micro-op can do invalidates a resolved page.
-        let mut line = DataLine::INVALID;
+        // Two data translations shared by the whole chain: block loads
+        // and stores cluster on at most a couple of pages (the stack
+        // plus a data buffer or dispatch table), and nothing a micro-op
+        // can do invalidates a resolved page.
+        let mut line = [DataLine::INVALID; 2];
         // Block chaining: as long as each block ends in a transfer
         // whose target is itself compiled and still valid, keep
         // executing blocks back-to-back without surfacing to the run
@@ -1539,18 +1602,47 @@ impl Machine {
         // current write generations (a store in block A must stop a
         // stale block B from running) and re-checks fuel, so the chain
         // is observably identical to dispatching each block alone.
+        //
+        // When the previous block exited through a dynamic-transfer
+        // terminator, its inline cache predicts the next block: a hit
+        // skips the lookup and hotness bookkeeping entirely (the
+        // generation validation below still runs), a miss promotes the
+        // observed target once the successor's slot is known. `self.ip`
+        // here *is* the runtime-resolved target — for `ret`, the popped
+        // (and shadow-stack-verified) return address — so predictions
+        // are keyed on verified control flow, never on stale pointers.
+        let mut pending_ic: Option<(usize, u32, u16)> = None;
         loop {
             let ip = self.ip;
             let gen = self.mem.code_generation();
-            let slot = match engine.lookup_slot(ip) {
-                Some(slot) => slot,
-                None => {
-                    if !engine.note_hot(ip) || !engine.compile_into(&self.mem, ip) {
-                        break;
+            let mut promote: Option<(usize, u32, u16)> = None;
+            let predicted = match pending_ic.take() {
+                Some((from_slot, from_ip, ic)) => match engine.ic_probe(from_slot, from_ip, ic, ip) {
+                    IcProbe::Hit(slot) => {
+                        self.stats.tier2_ic_hits += 1;
+                        Some(slot)
                     }
-                    self.stats.tier2_compiled += 1;
-                    engine.lookup_slot(ip).expect("block just compiled")
-                }
+                    IcProbe::Miss => {
+                        self.stats.tier2_ic_misses += 1;
+                        promote = Some((from_slot, from_ip, ic));
+                        None
+                    }
+                    IcProbe::Mega => None,
+                },
+                None => None,
+            };
+            let slot = match predicted {
+                Some(slot) => slot,
+                None => match engine.lookup_slot(ip) {
+                    Some(slot) => slot,
+                    None => {
+                        if !engine.note_hot(ip) || !engine.compile_into(&self.mem, ip) {
+                            break;
+                        }
+                        self.stats.tier2_compiled += 1;
+                        engine.lookup_slot(ip).expect("block just compiled")
+                    }
+                },
             };
             let valid = {
                 let b = engine.block(slot);
@@ -1559,20 +1651,29 @@ impl Machine {
             if !valid {
                 // Stale block: drop it and make the region prove
                 // itself hot again before recompiling, so an
-                // SMC-heavy region cannot thrash the compiler.
+                // SMC-heavy region cannot thrash the compiler. Any
+                // inline-cache entries predicting it fail their
+                // live-successor check from here on and miss.
                 self.stats.tier2_invalidations += 1;
                 engine.invalidate(ip);
                 break;
             }
-            let block = engine.block(slot);
-            if u64::from(block.ops[0].n) > budget - total {
+            if let Some((from_slot, from_ip, ic)) = promote {
+                match engine.ic_promote(from_slot, from_ip, ic, ip, slot) {
+                    IcPromotion::Installed => self.stats.tier2_ic_installs += 1,
+                    IcPromotion::Megamorphic => self.stats.tier2_ic_megamorphic += 1,
+                    IcPromotion::Skipped => {}
+                }
+            }
+            if u64::from(engine.block(slot).ops[0].n) > budget - total {
                 // Not enough fuel for the leading superinstruction: the
                 // remaining budget is served one stepped instruction at
                 // a time, exactly as tier 1 would.
                 break;
             }
             self.stats.tier2_hits += 1;
-            let (retired, fault) = self.exec_block(block, budget - total, &mut line);
+            let (retired, fault, exit_ic, end_slot) =
+                self.exec_block(engine, slot, budget - total, &mut line);
             total += retired;
             if fault.is_some() {
                 chain_fault = fault;
@@ -1583,6 +1684,9 @@ impl Machine {
             // step loop must serve the next instruction.
             if total == budget || self.pending_transfer == TransferKind::Sequential {
                 break;
+            }
+            if exit_ic != IC_NONE {
+                pending_ic = Some((end_slot, engine.block(end_slot).start_ip, exit_ic));
             }
         }
         if total == 0 {
@@ -1597,8 +1701,22 @@ impl Machine {
         Some((total, chain_fault))
     }
 
-    /// Executes one validated block. Returns `(instructions retired,
-    /// fault)`; `retired` never exceeds `budget` (which is ≥ 1).
+    /// Executes the validated block in `slot`, chaining through
+    /// inline-cache hits. Returns `(instructions retired, fault,
+    /// exit ic, end slot)`; `retired` never exceeds `budget` (which is
+    /// ≥ 1), and `exit ic` is the inline-cache index of the dynamic
+    /// transfer terminator the *last* block (`end slot`) exited
+    /// through ([`IC_NONE`] on every other exit path), so the
+    /// dispatcher can probe and promote that cache against the
+    /// runtime-resolved target now in `self.ip`.
+    ///
+    /// When a dynamic terminator's inline cache predicts the observed
+    /// target, execution switches straight into the successor block —
+    /// no dispatcher round trip — after re-validating the successor
+    /// against the current write generations and remaining fuel, so
+    /// the hand-off is observably identical to a dispatch. A miss (or
+    /// a failed re-validation) exits normally and lets the dispatcher
+    /// count, promote or invalidate.
     ///
     /// The contract is exact equivalence with the `step` loop: every
     /// micro-op reproduces its instruction's execution effects
@@ -1609,18 +1727,24 @@ impl Machine {
     /// block entry continues indistinguishably.
     fn exec_block(
         &mut self,
-        block: &Block,
+        engine: &TierEngine,
+        mut slot: usize,
         budget: u64,
-        line: &mut DataLine,
-    ) -> (u64, Option<Fault>) {
-        debug_assert_eq!(self.ip, block.start_ip);
-        debug_assert!(u64::from(block.ops[0].n) <= budget);
+        line: &mut [DataLine; 2],
+    ) -> (u64, Option<Fault>, u16, usize) {
+        debug_assert_eq!(self.ip, engine.block(slot).start_ip);
+        debug_assert!(u64::from(engine.block(slot).ops[0].n) <= budget);
         debug_assert!(self.pma.is_none());
+        let mut executed: u64 = 0;
+        let mut fault: Option<Fault> = None;
+        #[allow(unused_assignments)] // re-initialized at each chain entry
+        let mut exit_ic: u16 = IC_NONE;
+        'chain: loop {
+        let block = engine.block(slot);
         let ops = &block.ops[..];
         let start_ip = block.start_ip;
         let pages = &block.pages[..usize::from(block.npages)];
         let mut i = 0usize;
-        let mut executed: u64 = 0;
         // How op 0 was most recently entered: `None` means the
         // machine's own (prev_ip, pending_transfer) still describe it;
         // `Some(ip)` means an in-block backedge jumped from `ip`.
@@ -1631,11 +1755,13 @@ impl Machine {
         let mut exit_prev: u32 = 0;
         let mut exit_ip: u32 = 0;
         let mut exit_kind = TransferKind::Sequential;
+        // Inline-cache index of the dynamic terminator the block exits
+        // through; IC_NONE on stall/fault/side-exit and static exits.
+        exit_ic = IC_NONE;
         let mut side_exit = false;
         // Fuel ran out at op `i` *before* executing it (a fused op may
         // retire more instructions than the budget has left).
         let mut stall = false;
-        let mut fault: Option<Fault> = None;
 
         'blk: loop {
             let op = ops[i];
@@ -1820,11 +1946,18 @@ impl Machine {
                     }
                     self.stats.calls += 1;
                     if self.sink_mask.contains(EventMask::CONTROL) {
-                        self.emit(SecurityEvent::ControlTransfer {
-                            kind: ControlKind::Call,
-                            from: op.ip,
-                            to: target,
-                        });
+                        // A directly-attached coverage sink takes the
+                        // devirtualized path: the edge is static, so
+                        // its map slot was pre-resolved at compile
+                        // time — same slot, same count as the event.
+                        match &self.cov {
+                            Some(cov) => cov.bump_slot(usize::from(op.cov_slot)),
+                            None => self.emit(SecurityEvent::ControlTransfer {
+                                kind: ControlKind::Call,
+                                from: op.ip,
+                                to: target,
+                            }),
+                        }
                     }
                     if !op.linked() {
                         exit_prev = op.ip;
@@ -1849,15 +1982,21 @@ impl Machine {
                     }
                     self.stats.calls += 1;
                     if self.sink_mask.contains(EventMask::CONTROL) {
-                        self.emit(SecurityEvent::ControlTransfer {
-                            kind: ControlKind::CallIndirect,
-                            from: op.ip,
-                            to: target,
-                        });
+                        match &self.cov {
+                            Some(cov) => {
+                                cov.bump_edge(ControlKind::CallIndirect as u8, op.ip, target)
+                            }
+                            None => self.emit(SecurityEvent::ControlTransfer {
+                                kind: ControlKind::CallIndirect,
+                                from: op.ip,
+                                to: target,
+                            }),
+                        }
                     }
                     exit_prev = op.ip;
                     exit_ip = target;
                     exit_kind = TransferKind::Call;
+                    exit_ic = op.ic;
                     break 'blk;
                 }
                 MicroOp::Ret => {
@@ -1889,16 +2028,25 @@ impl Machine {
                     }
                     self.stats.rets += 1;
                     if self.sink_mask.contains(EventMask::CONTROL) {
-                        self.emit(SecurityEvent::ControlTransfer {
-                            kind: ControlKind::Ret,
-                            from: op.ip,
-                            to: target,
-                        });
+                        match &self.cov {
+                            Some(cov) => cov.bump_edge(ControlKind::Ret as u8, op.ip, target),
+                            None => self.emit(SecurityEvent::ControlTransfer {
+                                kind: ControlKind::Ret,
+                                from: op.ip,
+                                to: target,
+                            }),
+                        }
                     }
                     if !op.linked() || target != op.cont_ip {
+                        // An unlinked ret reports its inline cache,
+                        // keyed downstream on `target` — the popped,
+                        // shadow-stack-verified return address. The
+                        // linked-ret mismatch path (a smashed return)
+                        // carries IC_NONE: it exits unpredicted.
                         exit_prev = op.ip;
                         exit_ip = target;
                         exit_kind = TransferKind::Ret;
+                        exit_ic = op.ic;
                         break 'blk;
                     }
                     // Linked return: the popped target equals the
@@ -1911,15 +2059,21 @@ impl Machine {
                 MicroOp::JmpR { src } => {
                     let target = self.regs[usize::from(src)];
                     if self.sink_mask.contains(EventMask::CONTROL) {
-                        self.emit(SecurityEvent::ControlTransfer {
-                            kind: ControlKind::JmpIndirect,
-                            from: op.ip,
-                            to: target,
-                        });
+                        match &self.cov {
+                            Some(cov) => {
+                                cov.bump_edge(ControlKind::JmpIndirect as u8, op.ip, target)
+                            }
+                            None => self.emit(SecurityEvent::ControlTransfer {
+                                kind: ControlKind::JmpIndirect,
+                                from: op.ip,
+                                to: target,
+                            }),
+                        }
                     }
                     exit_prev = op.ip;
                     exit_ip = target;
                     exit_kind = TransferKind::Jump;
+                    exit_ic = op.ic;
                     break 'blk;
                 }
                 MicroOp::FusedLoopI { dst, add_imm, a, cmp_imm, cond, target } => {
@@ -2088,7 +2242,49 @@ impl Machine {
         if side_exit {
             self.stats.tier2_side_exits += 1;
         }
-        (executed, fault)
+        if fault.is_some() || stall {
+            break 'chain;
+        }
+        // Chain straight into the successor block when the exit names
+        // one — no dispatcher round trip. A dynamic terminator chains
+        // through its inline cache (a hit is the prediction paying
+        // off); a clean static transfer chains through a plain block-
+        // cache lookup. Either way the exit state above is already
+        // installed, and the successor is re-validated against the
+        // current write generations and the remaining fuel exactly as
+        // the dispatcher would, so the hand-off is observably a
+        // dispatch. Anything else — an IC miss (the dispatcher must
+        // count and promote it), a side exit, a stale or missing
+        // successor — falls through to a normal exit and the
+        // dispatcher's slow path.
+        let next = if side_exit || exit_kind == TransferKind::Sequential {
+            None
+        } else if exit_ic != IC_NONE {
+            match engine.ic_probe(slot, start_ip, exit_ic, self.ip) {
+                IcProbe::Hit(n) => Some((n, true)),
+                IcProbe::Mega => engine.lookup_slot(self.ip).map(|n| (n, false)),
+                IcProbe::Miss => None,
+            }
+        } else {
+            engine.lookup_slot(self.ip).map(|n| (n, false))
+        };
+        if let Some((next, predicted)) = next {
+            let nb = engine.block(next);
+            if nb.gen == self.mem.code_generation()
+                && nb.pages_valid(&self.mem)
+                && u64::from(nb.ops[0].n) <= budget - executed
+            {
+                if predicted {
+                    self.stats.tier2_ic_hits += 1;
+                }
+                self.stats.tier2_hits += 1;
+                slot = next;
+                continue 'chain;
+            }
+        }
+        break 'chain;
+        }
+        (executed, fault, exit_ic, slot)
     }
 
     /// Captures the complete architectural state of the machine —

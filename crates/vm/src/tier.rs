@@ -61,6 +61,33 @@
 //! accounting and `prev_ip`/`pending_transfer` reconstruction exact
 //! on every exit path.
 //!
+//! Dynamic transfers no longer pay a full dispatch round trip either:
+//! each `callr`/`jmpr`/unlinked-`ret` terminator carries a
+//! **polymorphic inline cache** — up to [`IC_WAYS`] observed
+//! `(target, block slot)` predictions ([`InlineCache`]). When the
+//! block exits through such a terminator, the dispatcher probes the
+//! cache with the actual runtime target (for `ret`, the popped —
+//! and shadow-stack-verified — return address), and a hit chains
+//! straight into the predicted successor block, skipping the block
+//! lookup and hotness bookkeeping. The predicted block is still
+//! validated against the global code generation and its per-page
+//! write generations before running, so SMC, snapshot restores and
+//! smashed pointers invalidate predictions exactly as they invalidate
+//! blocks. A miss falls back to the ordinary lookup and promotes the
+//! observed target (monomorphic → polymorphic); past [`IC_WAYS`]
+//! distinct targets the cache goes megamorphic and the terminator
+//! stops predicting.
+//!
+//! When a [`CoverageSink`](swsec_obs::CoverageSink) is attached
+//! directly (see `Machine::set_coverage`), blocks also update the
+//! coverage map **in place**: static calls bump a compile-time
+//! pre-resolved slot ([`Op::cov_slot`]) and dynamic terminators hash
+//! their runtime edge, instead of constructing `ControlTransfer`
+//! events and dispatching through the sink trait. The resulting map
+//! is byte-identical to the event path — same slots, same counts —
+//! so coverage-guided fuzzing keeps its fingerprints while running
+//! tier-2 engaged.
+//!
 //! Machines with a PMA policy installed, tracing on, or a sink
 //! interested in per-step events never enter tier 2 (the per-step
 //! checks those require are exactly what the tier hoists away); they
@@ -69,12 +96,27 @@
 use crate::isa::{self, AluOp, Cond, Instr};
 use crate::mem::{Access, Memory};
 use crate::policy::TransferKind;
+use swsec_obs::coverage::edge_slot;
+use swsec_obs::ControlKind;
 
 /// Number of direct-mapped block-cache slots per machine.
 pub const BLOCK_SLOTS: usize = 512;
 
-/// Number of direct-mapped hotness counters for transfer targets.
+/// Number of hotness-counter sets for transfer targets.
 pub const HOT_SLOTS: usize = 512;
+
+/// Ways per hotness set. Two targets whose addresses alias the same
+/// set each keep their own counter instead of resetting each other —
+/// a direct-mapped table starves both sides of a ping-pong pair (A
+/// claims, B claims, neither ever reaches the threshold).
+pub const HOT_WAYS: usize = 2;
+
+/// Ways per inline cache: distinct dynamic-transfer targets a
+/// `callr`/`jmpr`/`ret` terminator predicts before going megamorphic.
+pub const IC_WAYS: usize = 4;
+
+/// `Op::ic` value for ops that carry no inline cache.
+pub(crate) const IC_NONE: u16 = u16::MAX;
 
 /// Control transfers to an address before the region starting there
 /// is compiled into a block. Low enough that short campaign victims
@@ -192,6 +234,16 @@ pub(crate) struct Op {
     pub cont_ip: u32,
     pub cont_kind: TransferKind,
     pub n: u8,
+    /// Index into the block's [`InlineCache`] table for dynamic
+    /// transfer terminators (`callr`, `jmpr`, unlinked `ret`);
+    /// [`IC_NONE`] for every other op.
+    pub ic: u16,
+    /// Pre-resolved coverage-map slot of this op's control-transfer
+    /// edge, for ops whose edge is known at compile time (static
+    /// `call`): with a coverage sink attached the block bumps this
+    /// slot directly instead of constructing the event. Zero (unused)
+    /// for every other op.
+    pub cov_slot: u16,
     pub kind: MicroOp,
 }
 
@@ -202,6 +254,56 @@ impl Op {
     pub(crate) fn linked(&self) -> bool {
         self.cont_kind != TransferKind::Sequential
     }
+}
+
+/// One inline-cache entry: a predicted dynamic-transfer target and
+/// the block-cache slot serving it when the prediction was installed.
+#[derive(Debug, Clone, Copy, Default)]
+struct IcEntry {
+    target: u32,
+    slot: u32,
+}
+
+/// A polymorphic inline cache attached to a dynamic-transfer
+/// terminator (`callr`/`jmpr`/unlinked `ret`): up to [`IC_WAYS`]
+/// observed `(target, block slot)` predictions. A hit lets the
+/// dispatcher chain straight into the successor block without the
+/// index-mix/tag lookup and hotness bookkeeping; the predicted block
+/// is still re-validated against the code generation and per-page
+/// write generations before it runs, and — for `ret` — the probe key
+/// is the runtime-verified popped return address, so a stale or
+/// attacker-redirected prediction can never execute stale code.
+/// More than [`IC_WAYS`] distinct targets flips the cache megamorphic:
+/// the terminator gives up on prediction and stays terminal.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct InlineCache {
+    entries: [IcEntry; IC_WAYS],
+    len: u8,
+    mega: bool,
+}
+
+/// Outcome of probing an inline cache with an observed target.
+pub(crate) enum IcProbe {
+    /// Predicted block-cache slot, proven to hold a block starting at
+    /// the probed target (validation against generations still
+    /// pending).
+    Hit(usize),
+    /// No usable prediction: fall back to the full lookup, then
+    /// promote the observed target.
+    Miss,
+    /// The terminator saw more than [`IC_WAYS`] distinct targets;
+    /// neither probe nor promote — it stays terminal.
+    Mega,
+}
+
+/// Outcome of promoting an observed target into an inline cache.
+pub(crate) enum IcPromotion {
+    /// The target was installed (or its stale slot refreshed).
+    Installed,
+    /// The cache was full of other targets and flipped megamorphic.
+    Megamorphic,
+    /// The owning block is gone (evicted between exit and promote).
+    Skipped,
 }
 
 /// A compiled superinstruction block: straight-line micro-ops starting
@@ -216,6 +318,9 @@ pub(crate) struct Block {
     pub pages: [(u32, u64); MAX_BLOCK_PAGES],
     pub npages: u8,
     pub ops: Vec<Op>,
+    /// Inline caches of this block's dynamic-transfer terminators,
+    /// indexed by [`Op::ic`].
+    pub ics: Vec<InlineCache>,
 }
 
 impl Block {
@@ -229,8 +334,8 @@ impl Block {
     }
 }
 
-/// One hotness counter: transfers seen to `ip` since the slot was
-/// last claimed.
+/// One hotness counter: transfers seen to `ip` since the way was
+/// last claimed. `count == 0` marks an empty way.
 #[derive(Debug, Clone, Copy, Default)]
 struct HotSlot {
     ip: u32,
@@ -244,7 +349,7 @@ struct HotSlot {
 #[derive(Debug)]
 pub(crate) struct TierEngine {
     blocks: Box<[Option<Block>]>,
-    hot: Box<[HotSlot]>,
+    hot: Box<[[HotSlot; HOT_WAYS]]>,
 }
 
 /// Mixes high address bits into a table index so regions that share
@@ -259,7 +364,7 @@ impl TierEngine {
     pub(crate) fn new() -> TierEngine {
         TierEngine {
             blocks: (0..BLOCK_SLOTS).map(|_| None).collect(),
-            hot: vec![HotSlot::default(); HOT_SLOTS].into_boxed_slice(),
+            hot: vec![[HotSlot::default(); HOT_WAYS]; HOT_SLOTS].into_boxed_slice(),
         }
     }
 
@@ -300,26 +405,115 @@ impl TierEngine {
     }
 
     /// Counts one transfer to `ip`; returns `true` when the target has
-    /// crossed the promotion threshold.
+    /// crossed the promotion threshold. The table is set-associative
+    /// ([`HOT_WAYS`] ways per set, full `ip` stored and verified), so
+    /// two targets aliasing one set accumulate heat independently; a
+    /// genuine third claimant displaces the coldest way.
     #[inline]
     pub(crate) fn note_hot(&mut self, ip: u32) -> bool {
-        let slot = &mut self.hot[mix(ip) & (HOT_SLOTS - 1)];
-        if slot.ip == ip {
-            slot.count += 1;
-            slot.count >= HOT_THRESHOLD
-        } else {
-            // Direct-mapped: the newcomer claims the slot.
-            *slot = HotSlot { ip, count: 1 };
-            false
+        let set = &mut self.hot[mix(ip) & (HOT_SLOTS - 1)];
+        for way in set.iter_mut() {
+            if way.count > 0 && way.ip == ip {
+                way.count += 1;
+                return way.count >= HOT_THRESHOLD;
+            }
         }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|way| way.count)
+            .expect("set has ways");
+        *victim = HotSlot { ip, count: 1 };
+        false
     }
 
     /// Resets the hotness counter for `ip` (after an invalidation or a
     /// failed compile).
     pub(crate) fn reset_hot(&mut self, ip: u32) {
-        let slot = &mut self.hot[mix(ip) & (HOT_SLOTS - 1)];
-        if slot.ip == ip {
-            slot.count = 0;
+        let set = &mut self.hot[mix(ip) & (HOT_SLOTS - 1)];
+        for way in set.iter_mut() {
+            if way.count > 0 && way.ip == ip {
+                way.count = 0;
+            }
+        }
+    }
+
+    /// Probes the inline cache `ic` of the block in `from_slot`
+    /// (starting at `from_ip`) with the observed transfer target.
+    /// A hit guarantees the returned slot currently holds a block
+    /// starting at `target`; the dispatcher still validates that block
+    /// against the code generation and its per-page write generations
+    /// before running it.
+    #[inline]
+    pub(crate) fn ic_probe(&self, from_slot: usize, from_ip: u32, ic: u16, target: u32) -> IcProbe {
+        let Some(from) = self.blocks[from_slot].as_ref() else {
+            return IcProbe::Miss;
+        };
+        if from.start_ip != from_ip {
+            return IcProbe::Miss;
+        }
+        let Some(cache) = from.ics.get(usize::from(ic)) else {
+            return IcProbe::Miss;
+        };
+        if cache.mega {
+            return IcProbe::Mega;
+        }
+        for entry in &cache.entries[..usize::from(cache.len)] {
+            if entry.target == target {
+                let pred = entry.slot as usize;
+                // The predicted slot may have been evicted or reused
+                // for a different region since the entry was
+                // installed; only a live block with the right start
+                // address counts as a hit.
+                if self.blocks[pred].as_ref().is_some_and(|b| b.start_ip == target) {
+                    return IcProbe::Hit(pred);
+                }
+                return IcProbe::Miss;
+            }
+        }
+        IcProbe::Miss
+    }
+
+    /// Installs the observed `(target, succ_slot)` prediction into the
+    /// inline cache a probe just missed: an existing entry for the
+    /// target has its slot refreshed, a free way is claimed, and a
+    /// full cache flips megamorphic (monomorphic → polymorphic →
+    /// megamorphic, never back).
+    pub(crate) fn ic_promote(
+        &mut self,
+        from_slot: usize,
+        from_ip: u32,
+        ic: u16,
+        target: u32,
+        succ_slot: usize,
+    ) -> IcPromotion {
+        let Some(from) = self.blocks[from_slot].as_mut() else {
+            return IcPromotion::Skipped;
+        };
+        if from.start_ip != from_ip {
+            // Compiling the successor evicted the exiting block from
+            // its slot (a direct-mapped collision): nothing to update.
+            return IcPromotion::Skipped;
+        }
+        let Some(cache) = from.ics.get_mut(usize::from(ic)) else {
+            return IcPromotion::Skipped;
+        };
+        if cache.mega {
+            return IcPromotion::Skipped;
+        }
+        let len = usize::from(cache.len);
+        for entry in cache.entries[..len].iter_mut() {
+            if entry.target == target {
+                entry.slot = succ_slot as u32;
+                return IcPromotion::Installed;
+            }
+        }
+        if len < IC_WAYS {
+            cache.entries[len] = IcEntry { target, slot: succ_slot as u32 };
+            cache.len += 1;
+            IcPromotion::Installed
+        } else {
+            cache.mega = true;
+            IcPromotion::Megamorphic
         }
     }
 
@@ -411,6 +605,8 @@ fn fuse(ops: Vec<Op>) -> Vec<Op> {
                     cont_ip: ops[j + 2].cont_ip,
                     cont_kind: ops[j + 2].cont_kind,
                     n: 3,
+                    ic: IC_NONE,
+                    cov_slot: 0,
                     kind: MicroOp::FusedLoopI { dst, add_imm, a, cmp_imm, cond, target },
                 });
                 j += 3;
@@ -435,6 +631,8 @@ fn fuse(ops: Vec<Op>) -> Vec<Op> {
                     cont_ip: ops[j + 1].cont_ip,
                     cont_kind: ops[j + 1].cont_kind,
                     n: 2,
+                    ic: IC_NONE,
+                    cov_slot: 0,
                     kind,
                 });
                 j += 2;
@@ -472,6 +670,7 @@ pub(crate) fn compile(mem: &Memory, start_ip: u32) -> Option<Block> {
     let mut pages: [(u32, u64); MAX_BLOCK_PAGES] = [(0, 0); MAX_BLOCK_PAGES];
     let mut npages = 0usize;
     let mut ops: Vec<Op> = Vec::new();
+    let mut nics = 0usize;
     // Return addresses of linked calls whose matching `Ret` has not
     // been reached yet (compile-time call stack, innermost last).
     let mut call_rets: Vec<u32> = Vec::new();
@@ -515,7 +714,25 @@ pub(crate) fn compile(mem: &Memory, start_ip: u32) -> Option<Block> {
             }
             _ => (next_ip, TransferKind::Sequential),
         };
-        ops.push(Op { ip, last_ip: ip, next_ip, cont_ip, cont_kind, n: 1, kind });
+        // Dynamic-transfer terminators get an inline cache; a linked
+        // `ret` does not (its mismatch path — a smashed return
+        // address — must stay an unpredicted terminal exit).
+        let dynamic = matches!(kind, MicroOp::CallR { .. } | MicroOp::JmpR { .. })
+            || (matches!(kind, MicroOp::Ret) && cont_kind == TransferKind::Sequential);
+        let ic = if dynamic {
+            nics += 1;
+            (nics - 1) as u16
+        } else {
+            IC_NONE
+        };
+        // A static call's edge is fully known here: pre-resolve its
+        // coverage-map slot so an attached sink can be bumped without
+        // constructing the event.
+        let cov_slot = match kind {
+            MicroOp::Call { target } => edge_slot(ControlKind::Call as u8, ip, target) as u16,
+            _ => 0,
+        };
+        ops.push(Op { ip, last_ip: ip, next_ip, cont_ip, cont_kind, n: 1, ic, cov_slot, kind });
         if kind.terminal() && cont_kind == TransferKind::Sequential {
             break;
         }
@@ -540,6 +757,7 @@ pub(crate) fn compile(mem: &Memory, start_ip: u32) -> Option<Block> {
         pages,
         npages: npages as u8,
         ops: fuse(ops),
+        ics: vec![InlineCache::default(); nics],
     })
 }
 
@@ -728,10 +946,166 @@ mod tests {
         assert!(engine.note_hot(0x1000));
         engine.reset_hot(0x1000);
         assert!(!engine.note_hot(0x1000));
-        // A colliding newcomer claims the slot outright.
-        let other = 0x1000 ^ 0x4;
-        assert!(!engine.note_hot(other));
-        assert!(!engine.note_hot(0x1000));
+    }
+
+    /// Two targets that deliberately index the same hotness set.
+    fn aliasing_pair() -> (u32, u32) {
+        let a = 0x1000u32;
+        let set = mix(a) & (HOT_SLOTS - 1);
+        let b = (a + 1..)
+            .find(|&b| mix(b) & (HOT_SLOTS - 1) == set)
+            .expect("an alias exists");
+        (a, b)
+    }
+
+    #[test]
+    fn aliasing_hot_targets_promote_independently() {
+        // Regression: a direct-mapped table let two targets that alias
+        // one entry alternately claim it from each other, so a
+        // ping-pong pair (dispatcher + handler, caller + callee) never
+        // accumulated HOT_THRESHOLD and neither ever compiled. Each
+        // way now stores and verifies the full ip.
+        let (a, b) = aliasing_pair();
+        let mut engine = TierEngine::new();
+        let (mut hot_a, mut hot_b) = (false, false);
+        for _ in 0..HOT_THRESHOLD {
+            hot_a |= engine.note_hot(a);
+            hot_b |= engine.note_hot(b);
+        }
+        assert!(hot_a, "aliased target a starved of its counter");
+        assert!(hot_b, "aliased target b starved of its counter");
+    }
+
+    #[test]
+    fn third_claimant_displaces_the_coldest_way_only() {
+        let (a, b) = aliasing_pair();
+        let set = mix(a) & (HOT_SLOTS - 1);
+        let c = (b + 1..)
+            .find(|&c| mix(c) & (HOT_SLOTS - 1) == set)
+            .expect("a third alias exists");
+        let mut engine = TierEngine::new();
+        for _ in 0..5 {
+            engine.note_hot(a);
+        }
+        for _ in 0..3 {
+            engine.note_hot(b);
+        }
+        // c displaces b (the colder way); a's heat survives and still
+        // reaches the threshold on schedule.
+        assert!(!engine.note_hot(c));
+        for _ in 0..HOT_THRESHOLD - 5 - 1 {
+            assert!(!engine.note_hot(a));
+        }
+        assert!(engine.note_hot(a));
+    }
+
+    #[test]
+    fn compile_assigns_inline_caches_to_dynamic_terminators() {
+        for (instrs, want_ops) in [
+            (vec![Instr::Nop, Instr::CallR(Reg::R1)], 2),
+            (vec![Instr::Nop, Instr::JmpR(Reg::R2)], 2),
+            (vec![Instr::Nop, Instr::Ret], 2),
+        ] {
+            let mem = mem_with(0x1000, &instrs);
+            let block = compile(&mem, 0x1000).expect("block");
+            assert_eq!(block.ops.len(), want_ops);
+            assert_eq!(block.ics.len(), 1, "one dynamic terminator, one cache");
+            assert_eq!(block.ops[0].ic, IC_NONE);
+            assert_eq!(block.ops[1].ic, 0);
+        }
+    }
+
+    #[test]
+    fn linked_calls_and_returns_carry_no_inline_cache() {
+        let mut mem = mem_with(
+            0x1000,
+            &[Instr::Call(0x2000), Instr::Ret], // top-level ret: unlinked
+        );
+        mem.poke_bytes(0x2000, &assemble(&[Instr::Ret])).unwrap();
+        let block = compile(&mem, 0x1000).expect("block");
+        // linked call, linked ret, top-level (unlinked) ret.
+        assert_eq!(block.ops.len(), 3);
+        assert!(block.ops[0].linked());
+        assert_eq!(block.ops[0].ic, IC_NONE, "linked call predicts statically");
+        assert!(block.ops[1].linked());
+        assert_eq!(block.ops[1].ic, IC_NONE, "linked ret's mismatch path stays unpredicted");
+        assert!(!block.ops[2].linked());
+        assert_eq!(block.ops[2].ic, 0);
+        assert_eq!(block.ics.len(), 1);
+        // The static call's coverage slot is pre-resolved to exactly
+        // the slot the event path would hash to.
+        assert_eq!(
+            usize::from(block.ops[0].cov_slot),
+            edge_slot(ControlKind::Call as u8, 0x1000, 0x2000)
+        );
+    }
+
+    #[test]
+    fn ic_promotes_hits_and_goes_megamorphic() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 0x8000, Perm::RX).unwrap();
+        // Dispatcher block: a bare jmpr (ic 0).
+        mem.poke_bytes(0x1000, &assemble(&[Instr::JmpR(Reg::R0)])).unwrap();
+        // Six distinct targets, each its own one-op block.
+        let targets: Vec<u32> = (0..6).map(|k| 0x2000 + k * 0x100).collect();
+        for &t in &targets {
+            mem.poke_bytes(t, &assemble(&[Instr::Ret])).unwrap();
+        }
+        let mut engine = TierEngine::new();
+        assert!(engine.compile_into(&mem, 0x1000));
+        let from = engine.lookup_slot(0x1000).expect("dispatcher block");
+        assert!(engine.compile_into(&mem, targets[0]));
+        let succ = engine.lookup_slot(targets[0]).expect("target block");
+
+        // Cold cache: miss, then promote, then hit.
+        assert!(matches!(engine.ic_probe(from, 0x1000, 0, targets[0]), IcProbe::Miss));
+        assert!(matches!(
+            engine.ic_promote(from, 0x1000, 0, targets[0], succ),
+            IcPromotion::Installed
+        ));
+        assert!(matches!(
+            engine.ic_probe(from, 0x1000, 0, targets[0]),
+            IcProbe::Hit(s) if s == succ
+        ));
+
+        // Fill the remaining ways; the (IC_WAYS+1)-th distinct target
+        // flips the cache megamorphic, and it stays that way.
+        for &t in &targets[1..IC_WAYS] {
+            assert!(matches!(
+                engine.ic_promote(from, 0x1000, 0, t, succ),
+                IcPromotion::Installed
+            ));
+        }
+        assert!(matches!(
+            engine.ic_promote(from, 0x1000, 0, targets[IC_WAYS], succ),
+            IcPromotion::Megamorphic
+        ));
+        assert!(matches!(engine.ic_probe(from, 0x1000, 0, targets[0]), IcProbe::Mega));
+    }
+
+    #[test]
+    fn ic_hit_requires_a_live_matching_successor() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 0x4000, Perm::RX).unwrap();
+        mem.poke_bytes(0x1000, &assemble(&[Instr::JmpR(Reg::R0)])).unwrap();
+        mem.poke_bytes(0x2000, &assemble(&[Instr::Ret])).unwrap();
+        let mut engine = TierEngine::new();
+        assert!(engine.compile_into(&mem, 0x1000));
+        assert!(engine.compile_into(&mem, 0x2000));
+        let from = engine.lookup_slot(0x1000).unwrap();
+        let succ = engine.lookup_slot(0x2000).unwrap();
+        assert!(matches!(
+            engine.ic_promote(from, 0x1000, 0, 0x2000, succ),
+            IcPromotion::Installed
+        ));
+        assert!(matches!(engine.ic_probe(from, 0x1000, 0, 0x2000), IcProbe::Hit(_)));
+        // A different runtime target (a smashed pointer) never hits a
+        // cache entry installed for another address.
+        assert!(matches!(engine.ic_probe(from, 0x1000, 0, 0x2400), IcProbe::Miss));
+        // Dropping the predicted block (invalidation, eviction) turns
+        // the stale entry into a miss, not a hit on dead state.
+        engine.invalidate(0x2000);
+        assert!(matches!(engine.ic_probe(from, 0x1000, 0, 0x2000), IcProbe::Miss));
     }
 
     #[test]

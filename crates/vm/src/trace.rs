@@ -51,6 +51,19 @@ pub struct ExecStats {
     /// Tier-2 blocks dropped because a generation check failed at
     /// entry (SMC, loader pokes, snapshot restores, layout changes).
     pub tier2_invalidations: u64,
+    /// Dynamic-transfer inline-cache hits: chain entries served by a
+    /// terminator's predicted `(target, block)` pair, skipping the
+    /// block-cache lookup and hotness bookkeeping.
+    pub tier2_ic_hits: u64,
+    /// Inline-cache probes that found no usable prediction and fell
+    /// back to the full lookup.
+    pub tier2_ic_misses: u64,
+    /// Predictions installed (or refreshed) into an inline cache after
+    /// a miss.
+    pub tier2_ic_installs: u64,
+    /// Inline caches that overflowed their ways and went megamorphic
+    /// (the terminator stops predicting).
+    pub tier2_ic_megamorphic: u64,
 }
 
 impl ExecStats {
@@ -70,6 +83,10 @@ impl ExecStats {
         self.tier2_instructions = 0;
         self.tier2_side_exits = 0;
         self.tier2_invalidations = 0;
+        self.tier2_ic_hits = 0;
+        self.tier2_ic_misses = 0;
+        self.tier2_ic_installs = 0;
+        self.tier2_ic_megamorphic = 0;
         self
     }
 
@@ -88,7 +105,7 @@ impl ExecStats {
             }
         };
         format!(
-            "{self}\n  icache: {} hits, {} misses ({} hit rate)\n  tlb: {} hits, {} misses ({} hit rate)\n  tier2: {} blocks compiled, {} entries, {} instructions, {} side exits, {} invalidations",
+            "{self}\n  icache: {} hits, {} misses ({} hit rate)\n  tlb: {} hits, {} misses ({} hit rate)\n  tier2: {} blocks compiled, {} entries, {} instructions, {} side exits, {} invalidations\n  tier2 ic: {} hits, {} misses, {} installs, {} megamorphic",
             self.icache_hits,
             self.icache_misses,
             rate(self.icache_hits, self.icache_misses),
@@ -100,6 +117,10 @@ impl ExecStats {
             self.tier2_instructions,
             self.tier2_side_exits,
             self.tier2_invalidations,
+            self.tier2_ic_hits,
+            self.tier2_ic_misses,
+            self.tier2_ic_installs,
+            self.tier2_ic_megamorphic,
         )
     }
 }

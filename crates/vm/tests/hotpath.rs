@@ -7,8 +7,11 @@
 //! `Machine` API, several of them mid-run so translations and decodes
 //! are already cached when the invalidating event happens.
 
+use std::sync::Arc;
+
+use swsec_obs::CoverageSink;
 use swsec_vm::cpu::{Fault, Machine, RunOutcome, StepResult};
-use swsec_vm::isa::{sys, Instr, Reg};
+use swsec_vm::isa::{sys, AluOp, Cond, Instr, Reg};
 use swsec_vm::mem::{Access, MemErrorKind, Perm, PAGE_SIZE};
 
 const TEXT: u32 = 0x1000;
@@ -215,11 +218,23 @@ fn instruction_straddling_pages_respects_second_page_permissions() {
 /// and architectural stats agree bit-for-bit. Returns the tiered
 /// machine for tier-specific assertions.
 fn assert_three_way_identical(instrs: &[Instr], fuel: u64) -> Machine {
+    assert_three_way_identical_cfg(instrs, fuel, &|_| {}).1
+}
+
+/// [`assert_three_way_identical`] with a configuration hook run on
+/// each machine before execution (poke a dispatch table, enable the
+/// shadow stack), returning the shared outcome as well.
+fn assert_three_way_identical_cfg(
+    instrs: &[Instr],
+    fuel: u64,
+    cfg: &dyn Fn(&mut Machine),
+) -> (RunOutcome, Machine) {
     let build = |tier2: bool, fast: bool| {
         let mut m = machine_with(Perm::RWX, instrs);
         m.set_tier2(tier2);
         m.set_fast_path(fast);
         m.set_ip(TEXT); // set_fast_path cleared nothing architectural
+        cfg(&mut m);
         m
     };
     let mut tiered = build(true, true);
@@ -247,7 +262,7 @@ fn assert_three_way_identical(instrs: &[Instr], fuel: u64) -> Machine {
     }
     assert_eq!(tiered.stats().architectural(), fast.stats().architectural());
     assert_eq!(tiered.stats().architectural(), base.stats().architectural());
-    tiered
+    (outcome, tiered)
 }
 
 #[test]
@@ -455,4 +470,227 @@ fn smashed_return_address_exits_the_linked_block() {
     // Every post-warmup iteration exits at the mismatched return, so
     // the nop at the honest return site never runs in any tier.
     assert_eq!(stats.rets, 64, "{stats:?}");
+}
+
+/// Scratch RW home for function-pointer tables, below the stack.
+const TABLE: u32 = STACK_TOP - 0x2000;
+
+/// The indirect-dispatch shape, sized for tests: `iters` trips
+/// masking the counter into a four-entry function-pointer table at
+/// [`TABLE`], `callr` through the loaded entry into one of four
+/// rotating two-instruction callees, unlinked `ret` back. Returns the
+/// program and the table bytes the caller must poke at [`TABLE`].
+/// Every dynamic transfer in the loop goes through a tier-2 inline
+/// cache once the loop is hot.
+fn dispatch_prog(iters: u32) -> (Vec<Instr>, Vec<u8>) {
+    let mut prog = vec![
+        Instr::MovI { dst: Reg::R0, imm: iters },
+        Instr::MovI { dst: Reg::R5, imm: TABLE },
+        Instr::MovI { dst: Reg::R6, imm: 3 },
+        Instr::MovI { dst: Reg::R7, imm: 2 },
+        Instr::Mov { dst: Reg::R1, src: Reg::R0 }, // 4: loop head
+        Instr::Alu { op: AluOp::And, dst: Reg::R1, src: Reg::R6 },
+        Instr::Alu { op: AluOp::Shl, dst: Reg::R1, src: Reg::R7 },
+        Instr::Alu { op: AluOp::Add, dst: Reg::R1, src: Reg::R5 },
+        Instr::Load { dst: Reg::R2, base: Reg::R1, disp: 0 },
+        Instr::CallR(Reg::R2),
+        Instr::AddI { dst: Reg::R0, imm: (-1i32) as u32 },
+        Instr::CmpI { a: Reg::R0, imm: 0 },
+        Instr::JCond { cond: Cond::Nz, target: 0 }, // patched below
+        Instr::Jmp(0), // 13: to the epilogue, patched below
+        // 14..: four callees, `addi r3, k+1; ret` each.
+    ];
+    for k in 0..4u32 {
+        prog.push(Instr::AddI { dst: Reg::R3, imm: k + 1 });
+        prog.push(Instr::Ret);
+    }
+    prog[12] = Instr::JCond { cond: Cond::Nz, target: addr_at(&prog, 4) };
+    // The epilogue lives past the callees so tests can swap it for a
+    // multi-instruction driver without moving any code the table (or a
+    // compiled block) already points at.
+    prog[13] = Instr::Jmp(addr_at(&prog, 22));
+    let mut table = Vec::new();
+    for k in 0..4usize {
+        table.extend_from_slice(&addr_at(&prog, 14 + 2 * k).to_le_bytes());
+    }
+    prog.push(Instr::Sys(sys::EXIT)); // 22: default epilogue
+    (prog, table)
+}
+
+#[test]
+fn patching_a_callee_behind_a_hot_inline_cache_recompiles_it() {
+    // Phase 1 runs the dispatch loop hot — the `callr` and the four
+    // `ret`s all hold inline-cache predictions. The driver then writes
+    // through a function pointer into callee 0's body (AddI immediate
+    // low byte: +1 becomes +9) and reruns the loop. The stale
+    // prediction's target block fails generation validation, so the
+    // patched callee must be recompiled and every tier must agree
+    // bit-for-bit on the accumulator.
+    let (mut prog, table) = dispatch_prog(96);
+    // Swap the epilogue for the two-phase driver (the epilogue sits
+    // past the callees, so nothing the table points at moves).
+    // AddI encodes [op, dst, imm:le32]: the immediate low byte is +2.
+    prog.pop();
+    let d = prog.len();
+    prog.extend([
+        Instr::CmpI { a: Reg::R4, imm: 0 },
+        Instr::JCond { cond: Cond::Nz, target: 0 }, // patched below
+        Instr::MovI { dst: Reg::R4, imm: 1 },
+        Instr::MovI { dst: Reg::R1, imm: addr_at(&prog, 14) + 2 },
+        Instr::MovI { dst: Reg::R2, imm: 9 },
+        Instr::StoreB { base: Reg::R1, disp: 0, src: Reg::R2 },
+        Instr::MovI { dst: Reg::R0, imm: 96 },
+        Instr::Jmp(addr_at(&prog, 4)),
+        Instr::Mov { dst: Reg::R0, src: Reg::R3 },
+        Instr::Sys(sys::EXIT),
+    ]);
+    prog[d + 1] = Instr::JCond { cond: Cond::Nz, target: addr_at(&prog, d + 8) };
+    let (outcome, tiered) = assert_three_way_identical_cfg(&prog, 100_000, &|m| {
+        m.mem_mut().poke_bytes(TABLE, &table).unwrap();
+    });
+    // 96 trips per phase, 24 per callee: phase 1 sums to 240, phase 2
+    // with callee 0 adding 9 sums to 432.
+    assert_eq!(outcome, RunOutcome::Halted(672));
+    let stats = tiered.stats();
+    assert!(stats.tier2_ic_installs >= 1, "no IC installed: {stats:?}");
+    assert!(stats.tier2_ic_hits > 0, "ICs never predicted: {stats:?}");
+    assert!(
+        stats.tier2_invalidations >= 1,
+        "patched callee must invalidate its block: {stats:?}"
+    );
+}
+
+#[test]
+fn smashed_function_pointer_faults_identically_under_dep() {
+    // After the loop runs hot through its inline caches, the driver
+    // overwrites table entry 0 with the table's own (RW, never X)
+    // address — the paper's function-pointer-corruption primitive —
+    // and re-enters the loop. The `callr` must land on a DEP fetch
+    // denial at the smashed target, bit-for-bit in every tier: a
+    // prediction keyed on the old callee must not swallow the fault.
+    let (mut prog, table) = dispatch_prog(48);
+    // Swap the epilogue for the smash driver (the epilogue sits past
+    // the callees, so nothing the table points at moves).
+    prog.pop();
+    prog.extend([
+        Instr::MovI { dst: Reg::R2, imm: TABLE },
+        Instr::Store { base: Reg::R5, disp: 0, src: Reg::R2 },
+        Instr::MovI { dst: Reg::R0, imm: 4 }, // index 0 first: faults
+        Instr::Jmp(addr_at(&prog, 4)),
+    ]);
+    let (outcome, tiered) = assert_three_way_identical_cfg(&prog, 100_000, &|m| {
+        m.mem_mut().poke_bytes(TABLE, &table).unwrap();
+    });
+    match outcome {
+        RunOutcome::Fault(Fault::Mem(e)) => {
+            assert_eq!(e.access, Access::Fetch);
+            assert_eq!(e.addr, TABLE, "fault names the smashed target");
+            assert_eq!(e.kind, MemErrorKind::Denied { have: Perm::RW });
+        }
+        other => panic!("expected DEP fetch fault, got {other:?}"),
+    }
+    let stats = tiered.stats();
+    assert!(stats.tier2_ic_hits > 0, "ICs never predicted: {stats:?}");
+}
+
+#[test]
+fn smashed_return_address_through_an_inline_cache_trips_the_shadow_stack() {
+    // A register call into one fixed callee: its unlinked `ret` gets
+    // an inline cache keyed on the popped return address. After 40
+    // honest round trips the driver arms R2 and calls once more; the
+    // callee overwrites its saved return address with the attacker
+    // target. The popped address no longer matches the prediction key,
+    // the cache side-steps, and the enabled shadow stack must report
+    // the mismatch — identically in every tier.
+    let mut prog = vec![
+        Instr::MovI { dst: Reg::R0, imm: 40 },
+        Instr::MovI { dst: Reg::R5, imm: 0 }, // patched: callee address
+        Instr::CallR(Reg::R5),                // 2: loop head
+        Instr::AddI { dst: Reg::R0, imm: (-1i32) as u32 },
+        Instr::CmpI { a: Reg::R0, imm: 0 },
+        Instr::JCond { cond: Cond::Nz, target: 0 }, // patched below
+        Instr::MovI { dst: Reg::R2, imm: 0 },       // patched: smash target
+        Instr::CallR(Reg::R5),
+        Instr::Nop, // 8: honest return site (skipped by the smash)
+        Instr::Sys(sys::EXIT),
+        Instr::Sys(sys::EXIT), // 10: attacker target (never reached)
+        Instr::Enter(0),       // 11: callee
+        Instr::CmpI { a: Reg::R2, imm: 0 },
+        Instr::JCond { cond: Cond::Z, target: 0 }, // patched below
+        Instr::Store { base: Reg::Bp, disp: 4, src: Reg::R2 },
+        Instr::Leave, // 15
+        Instr::Ret,
+    ];
+    prog[1] = Instr::MovI { dst: Reg::R5, imm: addr_at(&prog, 11) };
+    prog[5] = Instr::JCond { cond: Cond::Nz, target: addr_at(&prog, 2) };
+    prog[6] = Instr::MovI { dst: Reg::R2, imm: addr_at(&prog, 10) };
+    prog[13] = Instr::JCond { cond: Cond::Z, target: addr_at(&prog, 15) };
+    let honest = addr_at(&prog, 8);
+    let smashed = addr_at(&prog, 10);
+    let (outcome, tiered) =
+        assert_three_way_identical_cfg(&prog, 100_000, &|m| m.set_shadow_stack(true));
+    assert_eq!(
+        outcome,
+        RunOutcome::Fault(Fault::ShadowStackMismatch { expected: honest, got: smashed })
+    );
+    let stats = tiered.stats();
+    assert!(stats.tier2_ic_hits > 0, "the ret IC never predicted: {stats:?}");
+}
+
+#[test]
+fn restore_from_drops_stale_inline_cache_predictions() {
+    // Fork-server shape: snapshot at boot, run the dispatch loop hot
+    // (blocks compiled, ICs predicting), restore, patch callee 0
+    // through the loader, run again. The post-restore run must match a
+    // fresh machine with the patched code bit-for-bit — no prediction
+    // or block from the first attempt may survive into the second.
+    let (prog, table) = dispatch_prog(96);
+    let imm_byte = addr_at(&prog, 14) + 2; // callee-0 AddI imm low byte
+    let build = || {
+        let mut m = machine_with(Perm::RWX, &prog);
+        m.set_tier2(true);
+        m.mem_mut().poke_bytes(TABLE, &table).unwrap();
+        m
+    };
+    let mut m = build();
+    let snap = m.snapshot();
+    let first = m.run(100_000);
+    assert_eq!(first, RunOutcome::Halted(0));
+    let r3_first = m.reg(Reg::R3);
+    assert_eq!(r3_first, 240, "96 trips over +1..+4 callees sum to 240");
+    assert!(m.stats().tier2_ic_hits > 0, "{:?}", m.stats());
+    m.restore_from(&snap);
+    m.mem_mut().poke_bytes(imm_byte, &[9]).unwrap();
+    let second = m.run(100_000);
+    let mut fresh = build();
+    fresh.mem_mut().poke_bytes(imm_byte, &[9]).unwrap();
+    let reference = fresh.run(100_000);
+    assert_eq!(second, reference);
+    assert_eq!(m.reg(Reg::R3), fresh.reg(Reg::R3));
+    assert_eq!(m.reg(Reg::R3), 432, "patched callee 0 adds 9, not 1");
+}
+
+#[test]
+fn coverage_fingerprints_are_tier_invariant_through_inline_caches() {
+    // With a coverage sink attached, tier-2 blocks bump the edge map
+    // directly from precomputed slots. The resulting map must be
+    // byte-identical to the tier-1 hash-at-transfer path on the same
+    // program — the fuzzer's novelty signal may not depend on which
+    // tier served an attempt.
+    let (prog, table) = dispatch_prog(200);
+    let run = |tier2: bool| {
+        let mut m = machine_with(Perm::RWX, &prog);
+        m.set_tier2(tier2);
+        m.mem_mut().poke_bytes(TABLE, &table).unwrap();
+        let sink = Arc::new(CoverageSink::new());
+        m.set_coverage(Some(Arc::clone(&sink)));
+        let outcome = m.run(100_000);
+        (outcome, sink.take_map().fingerprint(), m.stats().tier2_ic_hits)
+    };
+    let (tiered_outcome, tiered_fp, tiered_ic) = run(true);
+    let (fast_outcome, fast_fp, fast_ic) = run(false);
+    assert_eq!(tiered_outcome, fast_outcome);
+    assert_eq!(tiered_fp, fast_fp, "coverage diverges between tiers");
+    assert!(tiered_ic > 0, "the tiered run never hit an inline cache");
+    assert_eq!(fast_ic, 0, "the tier-1 run counted inline-cache hits");
 }

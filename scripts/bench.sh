@@ -7,18 +7,23 @@
 #                                  # (writes target/BENCH_vm_smoke.json)
 #   sh scripts/bench.sh --out P    # choose the JSON output path
 #
-# The full run measures instructions/sec on four workloads
-# (tight-loop, call-heavy, memory-heavy, PMA-crossing) with the
-# decoded-instruction cache + TLBs enabled vs disabled, attack
-# attempts/sec on three harness workloads (aslr-bruteforce,
-# canary-oracle, and fuzz-replay — a pre-mutated swsec-fuzz corpus
-# served through the victim target) through the fork server vs
-# per-attempt rebuild, one campaign-service round (2000 simulated
-# tenants behind the job queue, fork-served vs rebuilt, with p50/p99
-# job latency), plus campaign wall time. It fails if the tight-loop
-# speedup drops below 5x, any harness speedup below 10x, or the
-# service speedup below 5x; --smoke runs the same workloads (harness
-# and service ones included) at reduced sizes with a >1x floor.
+# The full run measures instructions/sec on five workloads
+# (tight-loop, call-heavy, memory-heavy, indirect-dispatch,
+# PMA-crossing) across three engine tiers — superinstruction blocks
+# with inline caches, the tier-1 fast path, and the everything-off
+# baseline — plus attack attempts/sec on three harness workloads
+# (aslr-bruteforce, canary-oracle, and fuzz-replay — a pre-mutated
+# swsec-fuzz corpus served through the victim target) through the
+# fork server vs per-attempt rebuild, a coverage-parity leg (per-input
+# fingerprints must be byte-identical tiered vs tier-1, with tier 2
+# and its inline caches demonstrably engaged), one campaign-service
+# round (2000 simulated tenants behind the job queue, fork-served vs
+# rebuilt, with p50/p99 job latency), and campaign wall time. It
+# fails if the tight-loop fast-path speedup drops below 5x, the
+# tier-2 speedup below 3x (tight-loop) / 2x (call-heavy,
+# indirect-dispatch), any harness speedup below 10x, or the service
+# speedup below 5x; --smoke runs the same workloads (harness and
+# service ones included) at reduced sizes with a >1x floor.
 #
 # It also re-times the tight loop with event sinks attached (the
 # telemetry overhead guard): an attached sink with no interests must

@@ -19,7 +19,8 @@
 #   7. tier smoke: the same quick campaign with --no-tier2 must render
 #      byte-identically to the tiered run (tier 2 is a pure speedup,
 #      DESIGN.md §12), and the tiered run's telemetry must carry
-#      vm.tier2.* metrics proving blocks actually compiled and ran;
+#      vm.tier2.* metrics — including the vm.tier2.ic_* inline-cache
+#      counters — proving blocks actually compiled and ran;
 #   8. fault-injection smoke: the E16 crash matrix standalone, plus a
 #      --fault-demo run that must exit non-zero, report its failed
 #      cells, and emit cell_failed telemetry;
@@ -27,7 +28,8 @@
 #      fixed seed and budget must rediscover the E2 stack smash, see
 #      zero fast-path-vs-baseline divergences, and render byte-identical
 #      reports at 1 and 4 workers (deterministic findings contract,
-#      DESIGN.md §11);
+#      DESIGN.md §11) and with --no-tier2 (the coverage feedback that
+#      steers the campaign may not depend on the serving tier);
 #  10. trace smoke: a quick campaign with spans and the sampling
 #      profiler attached must render byte-identically to the plain run,
 #      stream span records and vm.prof.* metrics into the telemetry
@@ -101,11 +103,15 @@ cmp "$TELDIR/render_with_sink.txt" "$TELDIR/render_no_tier2.txt" || {
     exit 1
 }
 # ... while the tiered run must have actually compiled and served
-# superinstruction blocks.
+# superinstruction blocks, and carried the inline-cache counters.
 target/release/telcheck "$TELDIR/campaign.jsonl" \
     --require "metric:vm.tier2.blocks_compiled" \
     --require "metric:vm.tier2.block_hits" \
-    --require "metric:vm.tier2.instructions"
+    --require "metric:vm.tier2.instructions" \
+    --require "metric:vm.tier2.ic_hits" \
+    --require "metric:vm.tier2.ic_misses" \
+    --require "metric:vm.tier2.ic_installs" \
+    --require "metric:vm.tier2.ic_megamorphic"
 
 echo "==> fault-injection smoke"
 FAULTDIR="target/fault-smoke"
@@ -143,6 +149,14 @@ target/release/fuzz --seed 9 --workers 4 --render-only \
     > "$FUZZDIR/render_w4.txt"
 cmp "$FUZZDIR/render_w1.txt" "$FUZZDIR/render_w4.txt" || {
     echo "verify: fuzz render differs across worker counts" >&2
+    exit 1
+}
+# Tier 2 (blocks, inline caches, in-block coverage) must be invisible
+# to the campaign: same findings, same corpus growth, same bytes.
+target/release/fuzz --seed 9 --workers 1 --render-only --no-tier2 \
+    > "$FUZZDIR/render_no_tier2.txt"
+cmp "$FUZZDIR/render_w1.txt" "$FUZZDIR/render_no_tier2.txt" || {
+    echo "verify: fuzz render differs with tier 2 disabled" >&2
     exit 1
 }
 # The known-vulnerable victim must yield the exploit-path finding ...
